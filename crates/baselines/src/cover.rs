@@ -1,0 +1,148 @@
+//! Shared coverage bookkeeping: which tree edges each non-tree edge
+//! covers, as bitsets.
+
+use decss_graphs::{EdgeId, Graph, VertexId};
+use decss_tree::{LcaOracle, RootedTree};
+
+/// A dense bitset over tree edges (indexed by child vertex id).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bits(Vec<u64>);
+
+impl Bits {
+    /// All-zero bitset for `n` slots.
+    pub fn zero(n: usize) -> Self {
+        Bits(vec![0; n.div_ceil(64)])
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// OR-assign.
+    pub fn or_assign(&mut self, other: &Bits) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    /// Whether every bit of `required` is set in `self`.
+    pub fn superset_of(&self, required: &Bits) -> bool {
+        self.0.iter().zip(&required.0).all(|(a, b)| a & b == *b)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of bits set in `other` but not in `self`.
+    pub fn missing_from(&self, other: &Bits) -> u32 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (b & !a).count_ones())
+            .sum()
+    }
+}
+
+/// The TAP instance in set-cover form.
+#[derive(Clone, Debug)]
+pub struct TapInstance {
+    /// Non-tree candidate edges.
+    pub candidates: Vec<EdgeId>,
+    /// `cover[i]` = tree edges covered by `candidates[i]`.
+    pub cover: Vec<Bits>,
+    /// All tree edges that must be covered.
+    pub required: Bits,
+    /// Weights aligned with `candidates`.
+    pub weights: Vec<u64>,
+}
+
+impl TapInstance {
+    /// Builds the instance from a graph and rooted spanning tree.
+    pub fn new(g: &Graph, tree: &RootedTree) -> Self {
+        let lca = LcaOracle::new(tree);
+        let n = tree.n();
+        let mut required = Bits::zero(n);
+        for v in tree.tree_edge_children() {
+            required.set(v.index());
+        }
+        let mut candidates = Vec::new();
+        let mut cover = Vec::new();
+        let mut weights = Vec::new();
+        for (id, e) in g.edges() {
+            if tree.is_tree_edge(id) {
+                continue;
+            }
+            let w = lca.lca(e.u, e.v);
+            let mut bits = Bits::zero(n);
+            for endpoint in [e.u, e.v] {
+                let mut cur = endpoint;
+                while cur != w {
+                    bits.set(cur.index());
+                    cur = tree.parent(cur).expect("w is an ancestor");
+                }
+            }
+            candidates.push(id);
+            cover.push(bits);
+            weights.push(e.weight);
+        }
+        TapInstance { candidates, cover, required, weights }
+    }
+
+    /// The lowest-index uncovered tree edge, if any.
+    pub fn first_uncovered(&self, covered: &Bits) -> Option<usize> {
+        for (w, (&have, &need)) in covered.0.iter().zip(&self.required.0).enumerate() {
+            let missing = need & !have;
+            if missing != 0 {
+                return Some(w * 64 + missing.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Indices of candidates covering tree edge `v`.
+    pub fn covering(&self, v: VertexId) -> impl Iterator<Item = usize> + '_ {
+        (0..self.candidates.len()).filter(move |&i| self.cover[i].get(v.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+
+    #[test]
+    fn bits_basics() {
+        let mut b = Bits::zero(130);
+        b.set(0);
+        b.set(129);
+        assert!(b.get(0) && b.get(129) && !b.get(64));
+        assert_eq!(b.count(), 2);
+        let mut c = Bits::zero(130);
+        c.set(129);
+        assert!(b.superset_of(&c));
+        assert!(!c.superset_of(&b));
+        assert_eq!(c.missing_from(&b), 1);
+        c.or_assign(&b);
+        assert!(c.superset_of(&b));
+    }
+
+    #[test]
+    fn instance_covers_match_paths() {
+        let g = gen::cycle(6, 9, 0);
+        let tree = RootedTree::mst(&g);
+        let inst = TapInstance::new(&g, &tree);
+        assert_eq!(inst.candidates.len(), 1); // one non-tree edge in a cycle
+        // The single chord covers every tree edge of the cycle's path.
+        assert!(inst.cover[0].superset_of(&inst.required));
+        assert_eq!(inst.first_uncovered(&Bits::zero(6)), Some(1));
+        assert_eq!(inst.covering(decss_graphs::VertexId(1)).count(), 1);
+    }
+}

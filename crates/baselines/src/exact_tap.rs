@@ -1,0 +1,144 @@
+//! Exact weighted TAP by branch-and-bound (small instances only; the
+//! problem is NP-hard).
+
+use crate::cover::{Bits, TapInstance};
+use decss_graphs::{EdgeId, Graph, VertexId, Weight};
+use decss_tree::RootedTree;
+
+/// Maximum number of non-tree candidate edges the solver accepts.
+pub const MAX_CANDIDATES: usize = 28;
+
+/// Computes an optimal augmentation of `tree` in `g`, or `None` if no
+/// augmentation covers all tree edges (graph not 2-edge-connected).
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_CANDIDATES`] non-tree
+/// edges (the search is exponential).
+pub fn exact_tap(g: &Graph, tree: &RootedTree) -> Option<(Vec<EdgeId>, Weight)> {
+    let inst = TapInstance::new(g, tree);
+    assert!(
+        inst.candidates.len() <= MAX_CANDIDATES,
+        "exact TAP limited to {MAX_CANDIDATES} candidates, got {}",
+        inst.candidates.len()
+    );
+    // Quick feasibility: every tree edge must be covered by something.
+    let mut all = Bits::zero(tree.n());
+    for c in &inst.cover {
+        all.or_assign(c);
+    }
+    if !all.superset_of(&inst.required) {
+        return None;
+    }
+
+    let mut best_weight = u64::MAX;
+    let mut best_set: Vec<usize> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    branch(
+        &inst,
+        &Bits::zero(tree.n()),
+        0,
+        &mut chosen,
+        &mut best_weight,
+        &mut best_set,
+    );
+    debug_assert_ne!(best_weight, u64::MAX, "feasible instance must have a solution");
+    let edges: Vec<EdgeId> = best_set.iter().map(|&i| inst.candidates[i]).collect();
+    Some((edges, best_weight))
+}
+
+/// Branch on the lowest-index uncovered tree edge: one of its covering
+/// candidates must be chosen (a classic exact-set-cover scheme that
+/// avoids enumerating irrelevant subsets).
+fn branch(
+    inst: &TapInstance,
+    covered: &Bits,
+    weight_so_far: u64,
+    chosen: &mut Vec<usize>,
+    best_weight: &mut u64,
+    best_set: &mut Vec<usize>,
+) {
+    if weight_so_far >= *best_weight {
+        return;
+    }
+    let Some(target) = inst.first_uncovered(covered) else {
+        *best_weight = weight_so_far;
+        *best_set = chosen.clone();
+        return;
+    };
+    let v = VertexId(target as u32);
+    for i in inst.covering(v) {
+        if chosen.contains(&i) {
+            continue;
+        }
+        let mut next = covered.clone();
+        next.or_assign(&inst.cover[i]);
+        chosen.push(i);
+        branch(inst, &next, weight_so_far + inst.weights[i], chosen, best_weight, best_set);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+
+    #[test]
+    fn cycle_needs_its_chord() {
+        let g = gen::cycle(6, 9, 1);
+        let tree = RootedTree::mst(&g);
+        let (edges, w) = exact_tap(&g, &tree).unwrap();
+        assert_eq!(edges.len(), 1);
+        // The only non-tree edge is the heaviest cycle edge.
+        let non_tree: Vec<EdgeId> =
+            g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
+        assert_eq!(edges, non_tree);
+        assert_eq!(w, g.weight(non_tree[0]));
+    }
+
+    #[test]
+    fn exact_is_minimal_against_brute_force() {
+        for seed in 0..5 {
+            let g = gen::sparse_two_ec(10, 6, 20, seed);
+            let tree = RootedTree::mst(&g);
+            let inst = crate::cover::TapInstance::new(&g, &tree);
+            if inst.candidates.len() > 16 {
+                continue;
+            }
+            let (_, w) = exact_tap(&g, &tree).unwrap();
+            // Brute force over all subsets.
+            let mut best = u64::MAX;
+            for mask in 0u32..(1 << inst.candidates.len()) {
+                let mut cov = Bits::zero(tree.n());
+                let mut total = 0u64;
+                for i in 0..inst.candidates.len() {
+                    if mask >> i & 1 == 1 {
+                        cov.or_assign(&inst.cover[i]);
+                        total += inst.weights[i];
+                    }
+                }
+                if cov.superset_of(&inst.required) {
+                    best = best.min(total);
+                }
+            }
+            assert_eq!(w, best, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        // A path plus one chord leaves the far edges uncoverable.
+        let g = decss_graphs::Graph::from_edges(
+            4,
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)],
+        )
+        .unwrap();
+        let tree = RootedTree::new(
+            &g,
+            decss_graphs::VertexId(0),
+            &[EdgeId(0), EdgeId(1), EdgeId(2)],
+        );
+        assert_eq!(exact_tap(&g, &tree), None);
+    }
+}

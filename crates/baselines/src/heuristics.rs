@@ -1,0 +1,86 @@
+//! The per-tree-edge cheapest-cover heuristic: every tree edge
+//! independently picks the cheapest non-tree edge covering it. Fast and
+//! simple, but its approximation ratio is unbounded (`Θ(n)` in the worst
+//! case) — it exists to show what the paper's machinery buys
+//! (Experiment E10).
+
+use crate::cover::TapInstance;
+use decss_graphs::{EdgeId, Graph, Weight};
+use decss_tree::RootedTree;
+
+/// Runs the cheapest-cover heuristic; `None` if some tree edge is
+/// uncoverable.
+pub fn cheapest_cover_tap(g: &Graph, tree: &RootedTree) -> Option<(Vec<EdgeId>, Weight)> {
+    let inst = TapInstance::new(g, tree);
+    let mut chosen = vec![false; inst.candidates.len()];
+    for v in tree.tree_edge_children() {
+        let best = inst
+            .covering(v)
+            .min_by_key(|&i| (inst.weights[i], i))?;
+        chosen[best] = true;
+    }
+    let edges: Vec<EdgeId> = (0..inst.candidates.len())
+        .filter(|&i| chosen[i])
+        .map(|i| inst.candidates[i])
+        .collect();
+    let weight = edges.iter().map(|&e| g.weight(e)).sum();
+    Some((edges, weight))
+}
+
+/// A worst-case family for the heuristic: a star-like tree where one
+/// shared cheap edge covers everything, but each tree edge also has a
+/// private slightly-cheaper cover, so the heuristic buys `n` private
+/// edges instead of one shared edge.
+pub fn heuristic_trap(k: usize) -> Graph {
+    // Path 0-1-...-k (tree), one long chord 0..k of weight 2, and per
+    // path edge a parallel chord of weight 1.
+    let mut b = decss_graphs::GraphBuilder::new(k + 1);
+    for i in 0..k as u32 {
+        b.add_edge(i, i + 1, 1).expect("in range");
+    }
+    b.add_edge(0, k as u32, 2).expect("in range");
+    for i in 0..k as u32 {
+        b.add_edge(i, i + 1, 1).expect("in range"); // parallel cover
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::{gen, VertexId};
+
+    #[test]
+    fn heuristic_covers_everything() {
+        for seed in 0..4 {
+            let g = gen::sparse_two_ec(24, 20, 30, seed);
+            let tree = RootedTree::mst(&g);
+            let (edges, _) = cheapest_cover_tap(&g, &tree).unwrap();
+            let tree_edges = g.edge_ids().filter(|&e| tree.is_tree_edge(e));
+            let all: Vec<EdgeId> = tree_edges.chain(edges.iter().copied()).collect();
+            assert!(decss_graphs::algo::two_edge_connected_in(&g, all));
+        }
+    }
+
+    #[test]
+    fn trap_blows_up_the_heuristic() {
+        let g = heuristic_trap(8);
+        let tree = RootedTree::new(
+            &g,
+            VertexId(0),
+            &g.edge_ids().take(8).collect::<Vec<_>>(),
+        );
+        let (_, heur) = cheapest_cover_tap(&g, &tree).unwrap();
+        let (_, exact) = crate::exact_tap(&g, &tree).unwrap();
+        // The heuristic pays ~k while the optimum pays 2.
+        assert_eq!(exact, 2);
+        assert!(heur >= 8, "heuristic weight {heur}");
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let g = decss_graphs::Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let tree = RootedTree::new(&g, VertexId(0), &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(cheapest_cover_tap(&g, &tree), None);
+    }
+}

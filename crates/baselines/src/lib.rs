@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+//! Baselines and oracles for the decss experiments:
+//!
+//! * [`exact_tap`](mod@exact_tap) — exact weighted TAP by branch-and-bound over the
+//!   non-tree edges (small instances; TAP is NP-hard),
+//! * [`exact_ecss`] — exact minimum-weight 2-ECSS by exhaustive search
+//!   with pruning (tiny instances),
+//! * [`greedy`] — the centralized greedy set-cover TAP, an `O(log n)`-
+//!   approximation matching the quality of Dory's PODC'18 distributed
+//!   algorithm,
+//! * [`heuristics`] — the per-tree-edge cheapest-cover heuristic (no
+//!   approximation guarantee; a sanity baseline).
+//!
+//! All baselines speak the same language as the main algorithms: a graph,
+//! a rooted spanning tree, and augmentations as sets of [`EdgeId`]s.
+
+pub mod cover;
+pub mod exact_ecss;
+pub mod exact_tap;
+pub mod greedy;
+pub mod heuristics;
+
+pub use exact_ecss::exact_two_ecss;
+pub use exact_tap::exact_tap;
+pub use greedy::greedy_tap;
+pub use heuristics::cheapest_cover_tap;
+
+// Re-export the id type the module signatures use.
+pub use decss_graphs::EdgeId;

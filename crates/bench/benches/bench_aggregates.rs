@@ -1,0 +1,33 @@
+//! Wall-clock of the aggregate engines (the inner loop of everything).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decss_core::VirtualGraph;
+use decss_graphs::gen;
+use decss_tree::{LcaOracle, RootedTree};
+
+fn bench(c: &mut Criterion) {
+    let n = 512;
+    let g = gen::sparse_two_ec(n, 2 * n, 64, 3);
+    let tree = RootedTree::mst(&g);
+    let lca = LcaOracle::new(&tree);
+    let vg = VirtualGraph::new(&g, &tree, &lca);
+    let engine = vg.engine(&tree, &lca);
+    let m = vg.len();
+    let active = vec![true; m];
+    let vals: Vec<f64> = (0..m).map(|i| (i % 97) as f64).collect();
+    let keys: Vec<u64> = (0..m as u64).map(|i| i * 31 % 1009).collect();
+    let tvals: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    let tkeys: Vec<u64> = (0..n as u64).collect();
+
+    let mut group = c.benchmark_group("aggregates");
+    group.bench_function("covering_sum", |b| b.iter(|| engine.covering_sum(&active, &vals)));
+    group.bench_function("covering_argmin", |b| {
+        b.iter(|| engine.covering_argmin(&active, &keys))
+    });
+    group.bench_function("covered_sum", |b| b.iter(|| engine.covered_sum(&tvals)));
+    group.bench_function("covered_min", |b| b.iter(|| engine.covered_min(&tkeys)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-clock of the exact/baseline solvers (bounds the sizes at which
+//! true-ratio experiments are feasible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decss_baselines::{cheapest_cover_tap, exact_tap, exact_two_ecss, greedy_tap};
+use decss_graphs::gen;
+use decss_tree::RootedTree;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    let small = gen::sparse_two_ec(14, 10, 20, 1);
+    let small_tree = RootedTree::mst(&small);
+    group.bench_function("exact_tap(n=14,24 edges)", |b| {
+        b.iter(|| exact_tap(&small, &small_tree).unwrap())
+    });
+
+    let tiny = gen::sparse_two_ec(8, 4, 20, 1);
+    group.bench_function("exact_two_ecss(n=8,12 edges)", |b| {
+        b.iter(|| exact_two_ecss(&tiny).unwrap())
+    });
+
+    let medium = gen::sparse_two_ec(128, 128, 64, 1);
+    let medium_tree = RootedTree::mst(&medium);
+    group.bench_function("greedy_tap(n=128)", |b| {
+        b.iter(|| greedy_tap(&medium, &medium_tree).unwrap())
+    });
+    group.bench_function("cheapest_cover_tap(n=128)", |b| {
+        b.iter(|| cheapest_cover_tap(&medium, &medium_tree).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

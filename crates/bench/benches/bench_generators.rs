@@ -1,0 +1,23 @@
+//! Wall-clock of the workload generators (so experiment cost is known).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decss_graphs::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("sparse_two_ec(1024)", |b| {
+        b.iter(|| gen::sparse_two_ec(1024, 1024, 64, 1))
+    });
+    group.bench_function("grid(32x32)", |b| b.iter(|| gen::grid(32, 32, 64, 1)));
+    group.bench_function("outerplanar_disk(1024)", |b| {
+        b.iter(|| gen::outerplanar_disk(1024, 1.0, 64, 1))
+    });
+    group.bench_function("tree_plus_chords(512)", |b| {
+        b.iter(|| gen::tree_plus_chords(512, 256, 64, 1))
+    });
+    group.bench_function("broom_two_ec(1024)", |b| b.iter(|| gen::broom_two_ec(1024, 64, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

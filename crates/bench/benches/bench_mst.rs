@@ -1,0 +1,28 @@
+//! Wall-clock of the MST substrates: centralized Kruskal (logical
+//! pipeline) vs message-level distributed Borůvka.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decss_congest::protocols::boruvka;
+use decss_graphs::{algo, gen};
+use decss_tree::RootedTree;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let g = gen::gnp_two_ec(n, 4.0 / n as f64, 1_000, 5);
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| algo::minimum_spanning_tree(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rooted_mst", n), &g, |b, g| {
+            b.iter(|| RootedTree::mst(g))
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka_simulated", n), &g, |b, g| {
+            b.iter(|| boruvka::distributed_mst(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

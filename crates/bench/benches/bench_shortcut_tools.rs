@@ -1,0 +1,54 @@
+//! Wall-clock of the Section 5.2/5.3 tools.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decss_congest::protocols::convergecast::Agg;
+use decss_congest::RoundLedger;
+use decss_graphs::gen;
+use decss_shortcuts::probes;
+use decss_shortcuts::tools::ScTools;
+use decss_tree::RootedTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::grid(20, 20, 64, 4);
+    let tree = RootedTree::mst(&g);
+
+    let mut group = c.benchmark_group("shortcut_tools");
+    group.sample_size(10);
+    group.bench_function("build(ScTools)", |b| b.iter(|| ScTools::new(&g, &tree)));
+
+    let tools = ScTools::new(&g, &tree);
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    group.bench_function("descendants_sum", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            tools.descendants_sum(&values, Agg::Sum, &mut ledger)
+        })
+    });
+    group.bench_function("ancestors_sum", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            tools.ancestors_sum(&values, Agg::Sum, &mut ledger)
+        })
+    });
+    let non_tree: Vec<_> = g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
+    group.bench_function("covered_mask(Lemma 5.4)", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut ledger = RoundLedger::new();
+            probes::covered_mask(&tools, &non_tree, &mut rng, &mut ledger)
+        })
+    });
+    let marked = vec![true; g.n()];
+    group.bench_function("marked_cover_counts(Lemma 5.5)", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            probes::marked_cover_counts(&tools, &non_tree, &marked, &mut ledger)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

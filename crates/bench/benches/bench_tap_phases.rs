@@ -1,0 +1,64 @@
+//! Wall-clock of the TAP phases: setup, forward, reverse-delete.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decss_congest::RoundLedger;
+use decss_core::forward::forward_phase;
+use decss_core::mis::MisContext;
+use decss_core::reverse::reverse_delete;
+use decss_core::{TapConfig, Variant, VirtualGraph};
+use decss_graphs::gen;
+use decss_tree::{EulerTour, Layering, LcaOracle, RootedTree, SegmentDecomposition};
+
+fn bench(c: &mut Criterion) {
+    let n = 192;
+    let g = gen::sparse_two_ec(n, n, 64, 2);
+    let tree = RootedTree::mst(&g);
+    let lca = LcaOracle::new(&tree);
+    let layering = Layering::new(&tree);
+    let euler = EulerTour::new(&tree);
+    let segments = SegmentDecomposition::new(&tree, &euler);
+    let params = decss_core::rounds::measure(&g, tree.root(), &segments);
+    let vg = VirtualGraph::new(&g, &tree, &lca);
+    let engine = vg.engine(&tree, &lca);
+    let weights = vg.weights_f64();
+    let eps = TapConfig::default().epsilon_prime();
+
+    let mut group = c.benchmark_group("tap_phases");
+    group.sample_size(10);
+    group.bench_function("setup(decompositions)", |b| {
+        b.iter(|| {
+            let tree = RootedTree::mst(&g);
+            let euler = EulerTour::new(&tree);
+            (
+                Layering::new(&tree),
+                SegmentDecomposition::new(&tree, &euler),
+                LcaOracle::new(&tree),
+            )
+        })
+    });
+    group.bench_function("forward", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            forward_phase(&tree, &layering, &engine, &weights, eps, &params, &mut ledger)
+        })
+    });
+    let mut ledger = RoundLedger::new();
+    let fwd = forward_phase(&tree, &layering, &engine, &weights, eps, &params, &mut ledger);
+    group.bench_function("reverse_improved", |b| {
+        b.iter(|| {
+            let ctx = MisContext {
+                tree: &tree,
+                lca: &lca,
+                layering: &layering,
+                segments: &segments,
+                engine: &engine,
+            };
+            let mut ledger = RoundLedger::new();
+            reverse_delete(&ctx, &fwd, Variant::Improved, &params, &mut ledger)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

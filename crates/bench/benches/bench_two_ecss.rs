@@ -1,0 +1,26 @@
+//! Wall-clock of the full (5+ε) 2-ECSS pipeline by instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decss_core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
+use decss_graphs::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_ecss");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let g = gen::sparse_two_ec(n, n, 64, 1);
+        group.bench_with_input(BenchmarkId::new("improved", n), &g, |b, g| {
+            b.iter(|| approximate_two_ecss(g, &TwoEcssConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("basic", n), &g, |b, g| {
+            let config = TwoEcssConfig {
+                tap: TapConfig { epsilon: 0.25, variant: Variant::Basic },
+            };
+            b.iter(|| approximate_two_ecss(g, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

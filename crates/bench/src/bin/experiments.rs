@@ -1,0 +1,20 @@
+//! Experiment runner: `experiments [--quick] <e1..e14|all>`.
+
+use decss_bench::experiments::{dispatch, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--quick] <e1..e14|all> [more ids...]");
+        std::process::exit(2);
+    }
+    for id in ids {
+        if !dispatch(id, scale) {
+            eprintln!("unknown experiment id: {id} (expected e1..e14 or all)");
+            std::process::exit(2);
+        }
+    }
+}

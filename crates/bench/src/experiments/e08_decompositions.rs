@@ -1,0 +1,39 @@
+//! E8 / Table 7 — Claims 4.7 and the segment construction: `O(log n)`
+//! layers; `O(√n)` segments of diameter `O(√n)`.
+
+use super::Scale;
+use crate::table::{f2, Table};
+use decss_graphs::gen::{self, Family};
+use decss_tree::{EulerTour, Layering, RootedTree, SegmentDecomposition};
+
+/// Runs the experiment and prints Table 7.
+pub fn run(scale: Scale) {
+    let mut t = Table::new(&[
+        "family", "n", "layers", "log2 n", "segments", "sqrt n", "max-seg-diam",
+    ]);
+    for family in [
+        Family::SparseRandom,
+        Family::Grid,
+        Family::OuterplanarDisk,
+        Family::Lollipop,
+        Family::Hypercube,
+    ] {
+        for &n in scale.scaling_sizes() {
+            let g = gen::instance(family, n, 32, 4);
+            let tree = RootedTree::mst(&g);
+            let layering = Layering::new(&tree);
+            let euler = EulerTour::new(&tree);
+            let segs = SegmentDecomposition::new(&tree, &euler);
+            t.row(vec![
+                family.label().into(),
+                g.n().to_string(),
+                layering.num_layers().to_string(),
+                f2((g.n() as f64).log2()),
+                segs.len().to_string(),
+                f2((g.n() as f64).sqrt()),
+                segs.max_diameter().to_string(),
+            ]);
+        }
+    }
+    t.print("E8 / Table 7: layering (<= log2 n layers) and segments (~sqrt n count & diameter)");
+}

@@ -1,0 +1,94 @@
+//! E11 / Table 10 — calibrating the round ledger against the
+//! message-level CONGEST simulator: the ledger's primitive formulas must
+//! match the rounds of genuine executions on the same instances.
+
+use super::Scale;
+use crate::table::{f2, Table};
+use decss_congest::ledger::CostParams;
+use decss_congest::protocols::{bfs, boruvka, broadcast, convergecast, pipeline};
+use decss_graphs::{algo, gen, VertexId};
+use decss_tree::{EulerTour, RootedTree, SegmentDecomposition};
+
+/// Runs the calibration and prints Table 10.
+pub fn run(scale: Scale) {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[36],
+        Scale::Full => &[36, 100, 196],
+    };
+    let mut t = Table::new(&[
+        "n", "primitive", "simulated", "ledger", "sim/ledger",
+    ]);
+    for &n in sizes {
+        let g = gen::gnp_two_ec(n, 3.0 / n as f64, 32, 3);
+        let tree = RootedTree::mst(&g);
+        let euler = EulerTour::new(&tree);
+        let segs = SegmentDecomposition::new(&tree, &euler);
+        let params = CostParams {
+            n: g.n(),
+            bfs_depth: algo::bfs_tree(&g, VertexId(0)).depth(),
+            num_segments: segs.len(),
+            max_segment_diameter: segs.max_diameter(),
+        };
+
+        // BFS: the wave takes depth + O(1) rounds; ledger broadcast
+        // charges 2 * depth.
+        let (_, bfs_report) = bfs::distributed_bfs(&g, VertexId(0));
+        t.row(vec![
+            n.to_string(),
+            "bfs".into(),
+            bfs_report.rounds.to_string(),
+            params.broadcast().to_string(),
+            f2(bfs_report.rounds as f64 / params.broadcast() as f64),
+        ]);
+
+        // Broadcast + convergecast over the MST.
+        let mst_edges: Vec<_> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+        let overlay = broadcast::TreeOverlay::from_edges(&g, VertexId(0), &mst_edges);
+        let (_, bc) = broadcast::broadcast(&g, &overlay, 42);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let (_, cc) = convergecast::convergecast(&g, &overlay, &values, convergecast::Agg::Sum);
+        let both = bc.rounds + cc.rounds;
+        t.row(vec![
+            n.to_string(),
+            "bcast+converge".into(),
+            both.to_string(),
+            (2 * overlay.depth() as u64).to_string(),
+            f2(both as f64 / (2.0 * overlay.depth() as f64)),
+        ]);
+
+        // Pipelined collection of one item per segment (the Claim 4.4
+        // pattern); ledger: per_segment_broadcast.
+        let mut items: Vec<Vec<u64>> = vec![Vec::new(); g.n()];
+        for (i, seg) in segs.segments().iter().enumerate() {
+            items[seg.descendant.index()].push(i as u64);
+        }
+        let (_, pipe) = pipeline::collect_items(&g, &overlay, &items);
+        t.row(vec![
+            n.to_string(),
+            "per-segment pipeline".into(),
+            pipe.rounds.to_string(),
+            params.per_segment_broadcast().to_string(),
+            f2(pipe.rounds as f64 / params.per_segment_broadcast() as f64),
+        ]);
+
+        // Distributed Borůvka vs the Kutten-Peleg-shaped ledger charge
+        // (Borůvka is the slower genuine substrate; ratio > 1 expected).
+        let (boruvka_edges, bor) = boruvka::distributed_mst(&g);
+        assert_eq!(
+            boruvka_edges,
+            algo::minimum_spanning_tree(&g).expect("connected"),
+            "Borůvka disagrees with Kruskal"
+        );
+        t.row(vec![
+            n.to_string(),
+            "mst (Boruvka vs KP charge)".into(),
+            bor.rounds.to_string(),
+            params.mst().to_string(),
+            f2(bor.rounds as f64 / params.mst() as f64),
+        ]);
+    }
+    t.print(
+        "E11 / Table 10: ledger formulas vs message-level simulation \
+         (sim/ledger <= 1 means the charge is a safe upper bound; Borůvka is intentionally slower)",
+    );
+}

@@ -1,0 +1,6 @@
+//! The experiment harness: regenerates every table and figure of
+//! EXPERIMENTS.md (`cargo run -p decss-bench --bin experiments -- all`)
+//! and hosts the Criterion wall-clock benches.
+
+pub mod table;
+pub mod experiments;

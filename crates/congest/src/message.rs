@@ -1,0 +1,52 @@
+//! Messages and bandwidth accounting.
+//!
+//! In CONGEST a message is `O(log n)` bits. We model one *word* as a
+//! `u64` — enough to hold an id, a weight (`<= poly(n)`), or a small
+//! tagged value — and allow a small constant number of words per edge per
+//! direction per round ([`DEFAULT_BANDWIDTH`]). Protocols that need
+//! `O(log^2 n)`-bit messages (e.g. light-edge lists) must spread them
+//! over multiple rounds or multiple messages, exactly as in the model.
+
+/// One `O(log n)`-bit unit of communication.
+pub type Word = u64;
+
+/// Number of words each vertex may push over each incident edge, per
+/// direction, per round. Kept small so congestion violations surface.
+pub const DEFAULT_BANDWIDTH: usize = 4;
+
+/// A message: a short sequence of words plus a protocol-defined tag.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Message {
+    /// Protocol-defined discriminant.
+    pub tag: u8,
+    /// Payload words; the bandwidth budget counts `1 + words.len()`.
+    pub words: Vec<Word>,
+}
+
+impl Message {
+    /// Creates a message with the given tag and payload.
+    pub fn new(tag: u8, words: impl Into<Vec<Word>>) -> Self {
+        Message { tag, words: words.into() }
+    }
+
+    /// A tag-only message (one word of bandwidth).
+    pub fn signal(tag: u8) -> Self {
+        Message { tag, words: Vec::new() }
+    }
+
+    /// Bandwidth cost in words (tag counts as part of the first word).
+    pub fn cost(&self) -> usize {
+        1 + self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_counts_tag() {
+        assert_eq!(Message::signal(3).cost(), 1);
+        assert_eq!(Message::new(1, vec![10, 20]).cost(), 3);
+    }
+}

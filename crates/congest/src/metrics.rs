@@ -1,0 +1,57 @@
+//! Simulation metrics: rounds, messages, words, congestion.
+
+use std::fmt;
+
+/// Summary of a finished simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SimReport {
+    /// Number of synchronous rounds executed (excluding the final
+    /// quiescent round used to detect termination).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words delivered (bandwidth actually used).
+    pub words: u64,
+    /// Maximum words pushed over a single edge in a single direction in a
+    /// single round (must stay within the configured bandwidth).
+    pub max_edge_load: u64,
+}
+
+impl SimReport {
+    /// Merges two reports from sequentially-composed protocol runs.
+    pub fn then(self, later: SimReport) -> SimReport {
+        SimReport {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            words: self.words + later.words,
+            max_edge_load: self.max_edge_load.max(later.max_edge_load),
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} words, max edge load {}",
+            self.rounds, self.messages, self.words, self.max_edge_load
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_compose() {
+        let a = SimReport { rounds: 3, messages: 5, words: 9, max_edge_load: 2 };
+        let b = SimReport { rounds: 2, messages: 1, words: 1, max_edge_load: 4 };
+        let c = a.then(b);
+        assert_eq!(c.rounds, 5);
+        assert_eq!(c.messages, 6);
+        assert_eq!(c.words, 10);
+        assert_eq!(c.max_edge_load, 4);
+        assert!(format!("{c}").contains("5 rounds"));
+    }
+}

@@ -1,0 +1,271 @@
+//! The synchronous round simulator.
+
+use crate::message::{Message, DEFAULT_BANDWIDTH};
+use crate::metrics::SimReport;
+use decss_graphs::{EdgeId, Graph, VertexId};
+
+/// Behaviour of one vertex in a protocol.
+///
+/// A node is driven once per round with the messages delivered that round
+/// and may enqueue messages for the next round. The simulator terminates
+/// when a round is *quiescent*: no messages were delivered, none were
+/// sent, and no node asked to keep ticking.
+pub trait NodeLogic {
+    /// One synchronous round. Inspect [`RoundCtx::inbox`] and send via
+    /// [`RoundCtx::send`].
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Whether this node wants another round even without traffic
+    /// (e.g. it is counting down a pipeline delay). Defaults to `false`.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+}
+
+/// Per-round view handed to a node.
+pub struct RoundCtx<'a> {
+    /// This node's id.
+    pub me: VertexId,
+    /// Current round number (starting at 0).
+    pub round: u64,
+    /// Incident `(edge, neighbour)` ports, as in the underlying graph.
+    pub ports: &'a [(EdgeId, VertexId)],
+    /// Messages delivered this round as `(edge, sender, message)`.
+    pub inbox: &'a [(EdgeId, VertexId, Message)],
+    outbox: &'a mut Vec<(EdgeId, VertexId, Message)>,
+}
+
+impl RoundCtx<'_> {
+    /// Sends `msg` over `edge` to `to` at the end of this round; it is
+    /// delivered at the start of the next round.
+    pub fn send(&mut self, edge: EdgeId, to: VertexId, msg: Message) {
+        self.outbox.push((edge, to, msg));
+    }
+
+    /// Sends `msg` to every neighbour.
+    pub fn send_all(&mut self, msg: &Message) {
+        for &(e, w) in self.ports {
+            self.outbox.push((e, w, msg.clone()));
+        }
+    }
+}
+
+/// The simulator: owns the per-vertex node states and runs rounds until
+/// quiescence or a round cap.
+pub struct Network<'g, N> {
+    graph: &'g Graph,
+    nodes: Vec<N>,
+    bandwidth: usize,
+    report: SimReport,
+    /// In-flight messages addressed per recipient for the next round.
+    pending: Vec<Vec<(EdgeId, VertexId, Message)>>,
+}
+
+impl<'g, N: NodeLogic> Network<'g, N> {
+    /// Builds a network where vertex `v` runs `make(v)`.
+    pub fn new(graph: &'g Graph, make: impl FnMut(VertexId) -> N) -> Self {
+        let nodes: Vec<N> = graph.vertices().map(make).collect();
+        Network {
+            graph,
+            nodes,
+            bandwidth: DEFAULT_BANDWIDTH,
+            report: SimReport::default(),
+            pending: vec![Vec::new(); graph.n()],
+        }
+    }
+
+    /// Overrides the per-edge per-direction per-round word budget.
+    pub fn with_bandwidth(mut self, words: usize) -> Self {
+        self.bandwidth = words;
+        self
+    }
+
+    /// Immutable access to a node's state (e.g. to read results out).
+    pub fn node(&self, v: VertexId) -> &N {
+        &self.nodes[v.index()]
+    }
+
+    /// Iterates over all node states.
+    pub fn nodes(&self) -> impl Iterator<Item = (VertexId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VertexId(i as u32), n))
+    }
+
+    /// Runs rounds until quiescence or `max_rounds`.
+    ///
+    /// Returns the metrics of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex exceeds the bandwidth budget on an edge, or if
+    /// the protocol fails to quiesce within `max_rounds` (a protocol bug).
+    pub fn run(&mut self, max_rounds: u64) -> SimReport {
+        for round in 0..max_rounds {
+            let quiescent = self.step(round);
+            if quiescent {
+                return self.report;
+            }
+        }
+        panic!("protocol did not quiesce within {max_rounds} rounds");
+    }
+
+    /// Executes a single round; returns whether the round was quiescent
+    /// (nothing delivered, nothing sent, nobody wants a tick).
+    pub fn step(&mut self, round: u64) -> bool {
+        let n = self.graph.n();
+        // Take this round's deliveries.
+        let inboxes: Vec<Vec<(EdgeId, VertexId, Message)>> =
+            std::mem::replace(&mut self.pending, vec![Vec::new(); n]);
+        let delivered: u64 = inboxes.iter().map(|b| b.len() as u64).sum();
+        let any_tick = self.nodes.iter().any(|nd| nd.wants_tick());
+
+        let mut outbox: Vec<(EdgeId, VertexId, Message)> = Vec::new();
+        let mut sent_any = false;
+        for v in 0..n {
+            let me = VertexId(v as u32);
+            let mut ctx = RoundCtx {
+                me,
+                round,
+                ports: self.graph.incident(me),
+                inbox: &inboxes[v],
+                outbox: &mut outbox,
+            };
+            self.nodes[v].on_round(&mut ctx);
+            if !outbox.is_empty() {
+                sent_any = true;
+                // Bandwidth accounting: per (edge, direction) words.
+                let mut per_edge: std::collections::HashMap<EdgeId, u64> =
+                    std::collections::HashMap::new();
+                for (e, to, msg) in outbox.drain(..) {
+                    let edge = self.graph.edge(e);
+                    assert!(
+                        edge.has_endpoint(me) && edge.other(me) == to,
+                        "{me} tried to send over non-incident edge {e} to {to}"
+                    );
+                    let load = per_edge.entry(e).or_insert(0);
+                    *load += msg.cost() as u64;
+                    assert!(
+                        *load <= self.bandwidth as u64,
+                        "bandwidth exceeded on {e} by {me}: {} > {} words",
+                        *load,
+                        self.bandwidth
+                    );
+                    self.report.messages += 1;
+                    self.report.words += msg.cost() as u64;
+                    self.report.max_edge_load = self.report.max_edge_load.max(*load);
+                    self.pending[to.index()].push((e, me, msg));
+                }
+            }
+        }
+
+        if delivered == 0 && !sent_any && !any_tick {
+            true
+        } else {
+            self.report.rounds += 1;
+            false
+        }
+    }
+
+    /// The metrics accumulated so far.
+    pub fn report(&self) -> SimReport {
+        self.report
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+
+    /// Every node floods a token once; network must quiesce after 2 rounds.
+    struct Flood {
+        fired: bool,
+        heard: usize,
+    }
+
+    impl NodeLogic for Flood {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if !self.fired {
+                self.fired = true;
+                ctx.send_all(&Message::signal(1));
+            }
+            self.heard += ctx.inbox.len();
+        }
+    }
+
+    #[test]
+    fn flood_quiesces_and_counts() {
+        let g = gen::cycle(5, 1, 0);
+        let mut net = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+        let report = net.run(10);
+        // 5 vertices x 2 neighbours, one burst.
+        assert_eq!(report.messages, 10);
+        assert!(report.rounds <= 3);
+        for (_, node) in net.nodes() {
+            assert_eq!(node.heard, 2);
+        }
+    }
+
+    /// A node that sends too much in one round must trip the budget.
+    struct Hog;
+    impl NodeLogic for Hog {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round == 0 {
+                let (e, w) = ctx.ports[0];
+                for _ in 0..10 {
+                    ctx.send(e, w, Message::signal(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    fn bandwidth_is_enforced() {
+        let g = gen::cycle(3, 1, 0);
+        let mut net = Network::new(&g, |_| Hog);
+        net.run(5);
+    }
+
+    /// Sending over a non-incident edge is a protocol bug.
+    struct Liar;
+    impl NodeLogic for Liar {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round == 0 && ctx.me == VertexId(0) {
+                // Edge 1 is {1,2}; vertex 0 is not an endpoint.
+                ctx.send(EdgeId(1), VertexId(2), Message::signal(0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-incident")]
+    fn non_incident_send_rejected() {
+        let g = gen::cycle(3, 1, 0);
+        let mut net = Network::new(&g, |_| Liar);
+        net.run(5);
+    }
+
+    struct Never;
+    impl NodeLogic for Never {
+        fn on_round(&mut self, _: &mut RoundCtx<'_>) {}
+        fn wants_tick(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn runaway_protocol_is_detected() {
+        let g = gen::cycle(3, 1, 0);
+        let mut net = Network::new(&g, |_| Never);
+        net.run(4);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+//! The paper's primary contribution: a deterministic `(4+ε)`-approximation
+//! for weighted tree augmentation (TAP) and a `(5+ε)`-approximation for
+//! weighted 2-ECSS, with CONGEST round complexity
+//! `O((D + √n) · log²n / ε)` (Dory & Ghaffari, PODC 2019).
+//!
+//! # Pipeline
+//!
+//! 1. Compute the MST `T` and root it ([`decss_tree::RootedTree::mst`]);
+//!    by Claim 2.1, an `α`-approximate augmentation of `T` yields an
+//!    `(α+1)`-approximate 2-ECSS.
+//! 2. Replace `G` by the virtual graph `G'` ([`virtual_graph`]) in which
+//!    every non-tree edge runs between an ancestor and a descendant
+//!    (Khuller–Thurimella; Section 4.1). An `α`-approximation on `G'` is
+//!    a `2α`-approximation on `G` (Lemma 4.1).
+//! 3. Decompose `T` into layers ([`decss_tree::Layering`]) and segments
+//!    ([`decss_tree::SegmentDecomposition`]).
+//! 4. Run the primal-dual **forward phase** ([`forward`]): epochs over
+//!    layers; each epoch raises the dual variables of its uncovered
+//!    layer edges until the covering constraints go tight and the tight
+//!    non-tree edges enter the candidate set `A`.
+//! 5. Run the **reverse-delete phase** ([`reverse`] for the basic ≤4-cover
+//!    variant, [`improved`] for the ≤2-cover variant with the cleaning
+//!    pass), which prunes `A` to `B` using per-layer maximal independent
+//!    sets of tree edges and their **petals** ([`petals`]).
+//! 6. Map the chosen virtual edges back to graph edges.
+//!
+//! The top-level entry points are [`approximate_tap`] and
+//! [`approximate_two_ecss`]; the unweighted special case (Section 3.6.1)
+//! is [`unweighted::unweighted_tap`].
+//!
+//! # Example
+//!
+//! ```
+//! use decss_graphs::gen;
+//! use decss_core::{approximate_two_ecss, TwoEcssConfig};
+//!
+//! let g = gen::sparse_two_ec(40, 30, 50, 7);
+//! let result = approximate_two_ecss(&g, &TwoEcssConfig::default())?;
+//! assert!(result.certified_ratio() <= 5.0 + 0.25);
+//! # Ok::<(), decss_core::TapError>(())
+//! ```
+
+pub mod algorithm;
+pub mod config;
+pub mod forward;
+pub mod improved;
+pub mod mis;
+pub mod petals;
+pub mod reverse;
+pub mod rounds;
+pub mod trace;
+pub mod unweighted;
+pub mod verify;
+pub mod virtual_graph;
+
+pub use algorithm::{approximate_tap, approximate_two_ecss, TapResult, TwoEcssResult};
+pub use config::{TapConfig, TapError, TwoEcssConfig, Variant};
+pub use virtual_graph::VirtualGraph;

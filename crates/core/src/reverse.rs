@@ -1,0 +1,305 @@
+//! The reverse-delete phase (Sections 3.5 and 4.5).
+//!
+//! Epochs run over the layers in reverse, `k = L .. 1`. Epoch `k` builds
+//! a fresh cover `Y ⊆ X = B ∪ A_k` of `F = ∪_{i ≥ k} F_i` (the tree
+//! edges first covered in epoch `≥ k`), where `B` is the previous
+//! epoch's output. Within the epoch, iterations `i = k .. L` cover the
+//! layer-`i` part of `F` by computing a maximal independent set of the
+//! still-uncovered edges (global + local parts, [`crate::mis`]) and
+//! adding the anchors' petals to `Y`:
+//!
+//! * **Basic** variant: both petals per anchor → every `R_k` edge ends
+//!   covered at most 4 times (Lemma 3.2),
+//! * **Improved** variant: higher petals only, plus a cleaning pass per
+//!   epoch → at most 2 times (Lemma 4.18).
+
+use crate::config::Variant;
+use crate::forward::ForwardResult;
+use crate::improved;
+use crate::mis::{Anchor, MisContext};
+use crate::petals::PetalTable;
+use crate::rounds;
+use decss_congest::ledger::{CostParams, RoundLedger};
+use decss_graphs::VertexId;
+
+/// Output of the reverse-delete phase.
+#[derive(Clone, Debug)]
+pub struct ReverseResult {
+    /// Whether each virtual edge is in the final cover `B`.
+    pub in_b: Vec<bool>,
+    /// All anchors selected in the final epoch of each layer (for
+    /// inspection/experiments).
+    pub total_anchors: usize,
+    /// Number of petals removed by cleaning passes (improved variant).
+    pub cleaned: usize,
+    /// Per-iteration trace (Experiment E14).
+    pub trace: Vec<crate::trace::ReverseIterationTrace>,
+    /// `(epoch, petals removed)` per cleaning pass.
+    pub cleaned_per_epoch: Vec<(u32, u32)>,
+}
+
+/// Runs the reverse-delete phase.
+pub fn reverse_delete(
+    ctx: &MisContext<'_>,
+    fwd: &ForwardResult,
+    variant: Variant,
+    params: &CostParams,
+    ledger: &mut RoundLedger,
+) -> ReverseResult {
+    let n = ctx.tree.n();
+    let m = ctx.engine.arcs().len();
+    let num_layers = ctx.layering.num_layers();
+    let root = ctx.tree.root();
+
+    let mut in_b = vec![false; m];
+    let mut total_anchors = 0usize;
+    let mut cleaned = 0usize;
+    let mut trace: Vec<crate::trace::ReverseIterationTrace> = Vec::new();
+    let mut cleaned_per_epoch: Vec<(u32, u32)> = Vec::new();
+
+    for k in (1..=num_layers).rev() {
+        // X = B ∪ A_k.
+        let x: Vec<bool> = (0..m)
+            .map(|i| in_b[i] || (fwd.in_a[i] && fwd.epoch_added[i] == k))
+            .collect();
+        // F = edges first covered in epoch >= k.
+        let f_mask: Vec<bool> = (0..n)
+            .map(|vi| vi != root.index() && fwd.epoch_covered[vi] >= k)
+            .collect();
+        if !f_mask.iter().any(|&b| b) {
+            continue;
+        }
+
+        let mut y_active = vec![false; m];
+        let mut covered_by_y = vec![false; n];
+        let mut epoch_anchors: Vec<Anchor> = Vec::new();
+
+        for i in k..=num_layers {
+            // Skip layers with no H_i edges.
+            let has_work = (0..n).any(|vi| {
+                f_mask[vi]
+                    && !covered_by_y[vi]
+                    && ctx.layering.layer(VertexId(vi as u32)) == i
+            });
+            if !has_work {
+                continue;
+            }
+
+            rounds::charge_petals(ledger, params);
+            let petals = PetalTable::compute(
+                ctx.engine,
+                ctx.lca,
+                ctx.layering,
+                ctx.tree.root(),
+                i,
+                &x,
+            );
+
+            let eligible =
+                |v: VertexId| f_mask[v.index()] && !covered_by_y[v.index()];
+
+            rounds::charge_global_mis(ledger, params);
+            let globals = ctx.global_mis(i, &petals, &eligible);
+            for a in &globals {
+                add_petals(&mut y_active, a, variant);
+            }
+
+            // Coverage including the freshly added global petals, for the
+            // local scans (part of the same O(D + sqrt n) iteration).
+            let cov_counts = ctx.engine.covering_count(&y_active);
+            let covered_now =
+                |v: VertexId| covered_by_y[v.index()] || cov_counts[v.index()] > 0;
+
+            rounds::charge_local_mis(ledger, params);
+            let locals = ctx.local_mis(i, &petals, &eligible, &covered_now);
+            for a in &locals {
+                add_petals(&mut y_active, a, variant);
+            }
+
+            rounds::charge_refresh(ledger, params);
+            let counts = ctx.engine.covering_count(&y_active);
+            for vi in 0..n {
+                covered_by_y[vi] = counts[vi] > 0;
+            }
+
+            total_anchors += globals.len() + locals.len();
+            trace.push(crate::trace::ReverseIterationTrace {
+                epoch: k,
+                layer: i,
+                global_anchors: globals.len() as u32,
+                local_anchors: locals.len() as u32,
+            });
+            epoch_anchors.extend(globals);
+            epoch_anchors.extend(locals);
+        }
+
+        // Claim 4.15, checked in debug builds: if two anchors of this
+        // epoch share a covering arc of X, then the lower one is local,
+        // the upper one is global, and they are in the same layer.
+        #[cfg(debug_assertions)]
+        if variant == Variant::Improved {
+            use crate::mis::AnchorKind;
+            for (ai, a) in epoch_anchors.iter().enumerate() {
+                for b in epoch_anchors.iter().skip(ai + 1) {
+                    let conflict = (0..m)
+                        .any(|e| x[e] && ctx.engine.covers(e, a.edge) && ctx.engine.covers(e, b.edge));
+                    if !conflict {
+                        continue;
+                    }
+                    let (lo, hi) = if ctx.lca.depth(a.edge) > ctx.lca.depth(b.edge) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    assert_eq!(
+                        (lo.kind, hi.kind),
+                        (AnchorKind::Local, AnchorKind::Global),
+                        "epoch {k}: conflicting anchors {}/{} violate the Claim 4.15 shape",
+                        lo.edge,
+                        hi.edge
+                    );
+                    assert_eq!(lo.layer, hi.layer, "epoch {k}: conflicting anchors in different layers");
+                }
+            }
+        }
+
+        if variant == Variant::Improved {
+            rounds::charge_cleaning(ledger, params);
+            let removed = improved::cleaning_pass(ctx, fwd, k, &epoch_anchors, &mut y_active);
+            cleaned += removed;
+            cleaned_per_epoch.push((k, removed as u32));
+        }
+
+        // Lemma 3.2 / Claim 4.17 part 1, checked in debug builds: at the
+        // end of every epoch (after cleaning) Y covers all of F.
+        #[cfg(debug_assertions)]
+        {
+            let counts = ctx.engine.covering_count(&y_active);
+            for vi in 0..n {
+                if f_mask[vi] {
+                    assert!(
+                        counts[vi] > 0,
+                        "epoch {k}: F edge above v{vi} left uncovered by Y"
+                    );
+                }
+            }
+        }
+
+        in_b = y_active;
+    }
+
+    ReverseResult { in_b, total_anchors, cleaned, trace, cleaned_per_epoch }
+}
+
+fn add_petals(y_active: &mut [bool], a: &Anchor, variant: Variant) {
+    y_active[a.higher as usize] = true;
+    if variant == Variant::Basic {
+        y_active[a.lower as usize] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward_phase;
+    use crate::virtual_graph::VirtualGraph;
+    use decss_congest::ledger::RoundLedger;
+    use decss_graphs::gen;
+    use decss_tree::{EulerTour, Layering, LcaOracle, RootedTree, SegmentDecomposition};
+
+    fn pipeline(n: usize, extra: usize, seed: u64, variant: Variant) -> (Vec<u32>, Vec<bool>, usize) {
+        let g = gen::sparse_two_ec(n, extra, 30, seed);
+        let tree = RootedTree::mst(&g);
+        let lca = LcaOracle::new(&tree);
+        let layering = Layering::new(&tree);
+        let euler = EulerTour::new(&tree);
+        let segments = SegmentDecomposition::new(&tree, &euler);
+        let params = crate::rounds::measure(&g, tree.root(), &segments);
+        let vg = VirtualGraph::new(&g, &tree, &lca);
+        let engine = vg.engine(&tree, &lca);
+        let weights = vg.weights_f64();
+        let mut ledger = RoundLedger::new();
+        let fwd =
+            forward_phase(&tree, &layering, &engine, &weights, 0.125, &params, &mut ledger);
+        let ctx = MisContext {
+            tree: &tree,
+            lca: &lca,
+            layering: &layering,
+            segments: &segments,
+            engine: &engine,
+        };
+        let rev = reverse_delete(&ctx, &fwd, variant, &params, &mut ledger);
+        // Cover counts of the final B per tree edge.
+        let counts = engine.covering_count(&rev.in_b);
+        (counts, fwd.r_edge, rev.total_anchors)
+    }
+
+    #[test]
+    fn basic_variant_covers_everything_with_bound_4() {
+        for seed in 0..8 {
+            let (counts, r_edge, anchors) = pipeline(36, 30, seed, Variant::Basic);
+            assert!(anchors > 0);
+            for (vi, &c) in counts.iter().enumerate().skip(1) {
+                assert!(c >= 1, "seed {seed}: tree edge at v{vi} uncovered by B");
+                if r_edge[vi] {
+                    assert!(c <= 4, "seed {seed}: R-edge at v{vi} covered {c} > 4 times");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improved_variant_covers_everything_with_bound_2() {
+        for seed in 0..8 {
+            let (counts, r_edge, _) = pipeline(36, 30, seed, Variant::Improved);
+            for (vi, &c) in counts.iter().enumerate().skip(1) {
+                assert!(c >= 1, "seed {seed}: tree edge at v{vi} uncovered by B");
+                if r_edge[vi] {
+                    assert!(c <= 2, "seed {seed}: R-edge at v{vi} covered {c} > 2 times");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improved_is_no_heavier_than_basic() {
+        // Not a theorem, but with identical duals the 2-cover bound must
+        // beat the 4-cover bound on aggregate weight over a small sweep.
+        let mut basic_total = 0u64;
+        let mut improved_total = 0u64;
+        for seed in 20..26 {
+            let g = gen::sparse_two_ec(32, 26, 30, seed);
+            let tree = RootedTree::mst(&g);
+            let lca = LcaOracle::new(&tree);
+            let layering = Layering::new(&tree);
+            let euler = EulerTour::new(&tree);
+            let segments = SegmentDecomposition::new(&tree, &euler);
+            let params = crate::rounds::measure(&g, tree.root(), &segments);
+            let vg = VirtualGraph::new(&g, &tree, &lca);
+            let engine = vg.engine(&tree, &lca);
+            let weights = vg.weights_f64();
+            let mut ledger = RoundLedger::new();
+            let fwd = forward_phase(
+                &tree, &layering, &engine, &weights, 0.125, &params, &mut ledger,
+            );
+            let ctx = MisContext {
+                tree: &tree,
+                lca: &lca,
+                layering: &layering,
+                segments: &segments,
+                engine: &engine,
+            };
+            for (variant, total) in [
+                (Variant::Basic, &mut basic_total),
+                (Variant::Improved, &mut improved_total),
+            ] {
+                let rev = reverse_delete(&ctx, &fwd, variant, &params, &mut ledger);
+                *total += (0..vg.len())
+                    .filter(|&i| rev.in_b[i])
+                    .map(|i| vg.edges()[i].weight)
+                    .sum::<u64>();
+            }
+        }
+        assert!(improved_total <= basic_total, "{improved_total} > {basic_total}");
+    }
+}

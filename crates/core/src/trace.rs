@@ -1,0 +1,72 @@
+//! Per-phase execution traces: what each forward epoch and reverse
+//! iteration actually did. Powers Experiment E14 and post-mortem
+//! debugging of the primal-dual dynamics.
+
+/// One forward-phase epoch (= one layer processed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForwardEpochTrace {
+    /// The layer this epoch processed.
+    pub layer: u32,
+    /// `|R_k|`: tree edges that entered the epoch uncovered.
+    pub r_edges: u32,
+    /// Iterations until the layer was fully covered.
+    pub iterations: u32,
+    /// Virtual edges that went tight during this epoch.
+    pub arcs_added: u32,
+    /// Total dual mass `Σ y(t)` granted in this epoch.
+    pub dual_mass: f64,
+}
+
+/// One reverse-delete iteration (epoch `k`, layer `i`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReverseIterationTrace {
+    /// The epoch (processed in decreasing order).
+    pub epoch: u32,
+    /// The layer handled by this iteration.
+    pub layer: u32,
+    /// Global anchors selected.
+    pub global_anchors: u32,
+    /// Local anchors selected.
+    pub local_anchors: u32,
+}
+
+/// Full trace of a TAP run.
+#[derive(Clone, Debug, Default)]
+pub struct TapTrace {
+    /// Forward-phase epochs in processing order.
+    pub forward: Vec<ForwardEpochTrace>,
+    /// Reverse-delete iterations in processing order.
+    pub reverse: Vec<ReverseIterationTrace>,
+    /// Petals removed per epoch by the cleaning pass.
+    pub cleaned_per_epoch: Vec<(u32, u32)>,
+}
+
+impl TapTrace {
+    /// Total dual mass across epochs.
+    pub fn total_dual_mass(&self) -> f64 {
+        self.forward.iter().map(|e| e.dual_mass).sum()
+    }
+
+    /// Total anchors across iterations.
+    pub fn total_anchors(&self) -> u32 {
+        self.reverse
+            .iter()
+            .map(|it| it.global_anchors + it.local_anchors)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulators() {
+        let mut t = TapTrace::default();
+        t.forward.push(ForwardEpochTrace { layer: 1, r_edges: 5, iterations: 2, arcs_added: 3, dual_mass: 1.5 });
+        t.forward.push(ForwardEpochTrace { layer: 2, r_edges: 2, iterations: 1, arcs_added: 1, dual_mass: 0.5 });
+        t.reverse.push(ReverseIterationTrace { epoch: 2, layer: 2, global_anchors: 1, local_anchors: 2 });
+        assert!((t.total_dual_mass() - 2.0).abs() < 1e-12);
+        assert_eq!(t.total_anchors(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Breadth-first search: distances and BFS trees.
+
+use crate::edge::{EdgeId, VertexId};
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// A BFS tree rooted at some vertex, with hop distances.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The root of the search.
+    pub root: VertexId,
+    /// `parent[v]` is `None` for the root and for unreachable vertices.
+    pub parent: Vec<Option<VertexId>>,
+    /// Tree edge to the parent, aligned with `parent`.
+    pub parent_edge: Vec<Option<EdgeId>>,
+    /// Hop distance from the root; `None` if unreachable.
+    pub dist: Vec<Option<u32>>,
+}
+
+impl BfsTree {
+    /// Maximum distance of any reachable vertex: the BFS depth.
+    pub fn depth(&self) -> u32 {
+        self.dist.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every vertex is reachable from the root.
+    pub fn spans_all(&self) -> bool {
+        self.dist.iter().all(|d| d.is_some())
+    }
+
+    /// The tree edges (one per non-root reachable vertex).
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.parent_edge.iter().flatten().copied()
+    }
+}
+
+/// Runs BFS from `root`, returning the tree and distances.
+pub fn bfs_tree(g: &Graph, root: VertexId) -> BfsTree {
+    let n = g.n();
+    let mut parent = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    let mut dist = vec![None; n];
+    dist[root.index()] = Some(0);
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued vertices have distances");
+        for &(eid, w) in g.incident(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                parent[w.index()] = Some(v);
+                parent_edge[w.index()] = Some(eid);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { root, parent, parent_edge, dist }
+}
+
+/// Hop distances from `root`; `None` for unreachable vertices.
+pub fn bfs_distances(g: &Graph, root: VertexId) -> Vec<Option<u32>> {
+    bfs_tree(g, root).dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let t = bfs_tree(&g, VertexId(0));
+        assert_eq!(t.dist[3], Some(3));
+        assert_eq!(t.depth(), 3);
+        assert!(t.spans_all());
+        assert_eq!(t.tree_edges().count(), 3);
+        assert_eq!(t.parent[1], Some(VertexId(0)));
+    }
+
+    #[test]
+    fn bfs_detects_unreachable() {
+        let g = Graph::from_edges(3, [(0, 1, 1)]).unwrap();
+        let t = bfs_tree(&g, VertexId(0));
+        assert!(!t.spans_all());
+        assert_eq!(t.dist[2], None);
+        assert_eq!(bfs_distances(&g, VertexId(0))[2], None);
+    }
+
+    #[test]
+    fn bfs_prefers_shortest_hop_path() {
+        // 0-1-2 and direct 0-2: dist(2) must be 1.
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 100)]).unwrap();
+        let t = bfs_tree(&g, VertexId(0));
+        assert_eq!(t.dist[2], Some(1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Bridge finding and 2-edge-connectivity tests (Tarjan's low-link DFS,
+//! iterative to survive deep recursion on path-like graphs).
+//!
+//! These are the *verification oracles* of the workspace: every 2-ECSS
+//! the distributed algorithms output is checked to be spanning and
+//! bridgeless with this module.
+
+use crate::edge::{EdgeId, VertexId};
+use crate::graph::Graph;
+
+/// Finds all bridges of the subgraph induced by `keep` (on all vertices).
+///
+/// An edge is a bridge if its removal disconnects the component that
+/// contains it. Parallel edges are handled correctly: two parallel edges
+/// are never bridges.
+pub fn bridges_in_subgraph(g: &Graph, keep: &[bool]) -> Vec<EdgeId> {
+    assert_eq!(keep.len(), g.m(), "keep mask must cover all edges");
+    let n = g.n();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut out = Vec::new();
+
+    // Iterative DFS: stack entries are (vertex, incident-list cursor,
+    // edge id used to enter the vertex).
+    let mut stack: Vec<(VertexId, usize, Option<EdgeId>)> = Vec::new();
+    for start in g.vertices() {
+        if disc[start.index()] != u32::MAX {
+            continue;
+        }
+        disc[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        stack.push((start, 0, None));
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            let (v, cursor, entry) = stack[top];
+            let incident = g.incident(v);
+            if cursor < incident.len() {
+                stack[top].1 += 1;
+                let (eid, w) = incident[cursor];
+                if !keep[eid.index()] {
+                    continue;
+                }
+                // Skip only the exact edge used to enter v, so that a
+                // parallel edge still provides a back-edge.
+                if Some(eid) == entry {
+                    continue;
+                }
+                if disc[w.index()] == u32::MAX {
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    timer += 1;
+                    stack.push((w, 0, Some(eid)));
+                } else {
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        out.push(entry.expect("non-root has an entry edge"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All bridges of the full graph.
+pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    bridges_in_subgraph(g, &vec![true; g.m()])
+}
+
+/// Whether the full graph is connected and bridgeless (2-edge-connected).
+///
+/// A single-vertex graph counts as 2-edge-connected.
+pub fn is_two_edge_connected(g: &Graph) -> bool {
+    two_edge_connected_in(g, g.edge_ids())
+}
+
+/// Whether the subgraph formed by `edges` is spanning, connected, and
+/// bridgeless.
+pub fn two_edge_connected_in(g: &Graph, edges: impl IntoIterator<Item = EdgeId>) -> bool {
+    let mut keep = vec![false; g.m()];
+    for id in edges {
+        keep[id.index()] = true;
+    }
+    if !super::connectivity::is_connected_subgraph(
+        g,
+        g.edge_ids().filter(|id| keep[id.index()]),
+    ) {
+        return g.n() == 1;
+    }
+    bridges_in_subgraph(g, &keep).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(bridges(&g).len(), 3);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]).unwrap();
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn barbell_has_one_bridge() {
+        // Two triangles joined by edge 3 (index into list below).
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1), // the bridge
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(bridges(&g), vec![EdgeId(3)]);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let g = Graph::from_edges(2, [(0, 1, 1), (0, 1, 2)]).unwrap();
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn single_parallel_edge_is_a_bridge() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        assert_eq!(bridges(&g), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn disconnected_subgraph_is_not_2ecc() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]).unwrap();
+        assert!(!two_edge_connected_in(&g, [EdgeId(0), EdgeId(1)]));
+        assert!(two_edge_connected_in(&g, g.edge_ids()));
+    }
+
+    #[test]
+    fn bridges_in_components() {
+        // Two disjoint paths: every edge is a bridge.
+        let g = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(bridges(&g).len(), 2);
+    }
+
+    #[test]
+    fn single_vertex_is_2ecc() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 200_000u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+        let g = Graph::from_edges(n as usize, edges).unwrap();
+        assert_eq!(bridges(&g).len(), n as usize - 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Connectivity checks and a union-find used across the workspace.
+
+use crate::edge::{EdgeId, VertexId};
+use crate::graph::Graph;
+
+/// Disjoint-set union with path compression and union by rank.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// The representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns whether they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Whether the whole graph is connected.
+pub fn is_connected(g: &Graph) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for (_, e) in g.edges() {
+        uf.union(e.u.index(), e.v.index());
+    }
+    uf.components() == 1
+}
+
+/// Whether the subgraph formed by `edges` spans and connects all vertices.
+pub fn is_connected_subgraph(g: &Graph, edges: impl IntoIterator<Item = EdgeId>) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for id in edges {
+        let e = g.edge(id);
+        uf.union(e.u.index(), e.v.index());
+    }
+    uf.components() == 1
+}
+
+/// Component label for every vertex under the given edge set (labels are
+/// the minimum vertex id in each component).
+pub fn component_labels(g: &Graph, edges: impl IntoIterator<Item = EdgeId>) -> Vec<VertexId> {
+    let mut uf = UnionFind::new(g.n());
+    for id in edges {
+        let e = g.edge(id);
+        uf.union(e.u.index(), e.v.index());
+    }
+    let mut min_label = vec![u32::MAX; g.n()];
+    for v in 0..g.n() {
+        let r = uf.find(v);
+        min_label[r] = min_label[r].min(v as u32);
+    }
+    (0..g.n()).map(|v| VertexId(min_label[uf.find(v)])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert_eq!(uf.components(), 1);
+    }
+
+    #[test]
+    fn connected_checks() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        assert!(is_connected(&g));
+        assert!(!is_connected_subgraph(&g, [EdgeId(0)]));
+        assert!(is_connected_subgraph(&g, [EdgeId(0), EdgeId(1)]));
+    }
+
+    #[test]
+    fn component_labels_are_minima() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        let labels = component_labels(&g, g.edge_ids());
+        assert_eq!(labels[0], VertexId(0));
+        assert_eq!(labels[1], VertexId(0));
+        assert_eq!(labels[2], VertexId(2));
+        assert_eq!(labels[3], VertexId(2));
+    }
+}

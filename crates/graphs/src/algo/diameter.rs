@@ -1,0 +1,62 @@
+//! Hop diameter and eccentricity.
+//!
+//! The round complexities in the paper are stated in terms of the hop
+//! diameter `D` of the communication network, so the experiment harness
+//! computes exact diameters (all-pairs BFS; fine at experiment sizes).
+
+use crate::algo::bfs::bfs_distances;
+use crate::edge::VertexId;
+use crate::graph::Graph;
+
+/// Largest hop distance from `v` to any reachable vertex.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (eccentricity is undefined).
+pub fn eccentricity(g: &Graph, v: VertexId) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .map(|d| d.expect("eccentricity requires a connected graph"))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact hop diameter of a connected graph.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn diameter(g: &Graph) -> u32 {
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_of_path() {
+        let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1, 1))).unwrap();
+        assert_eq!(diameter(&g), 4);
+        assert_eq!(eccentricity(&g, VertexId(2)), 2);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6, 1))).unwrap();
+        assert_eq!(diameter(&g), 3);
+    }
+
+    #[test]
+    fn diameter_of_single_vertex() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(diameter(&g), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn diameter_panics_when_disconnected() {
+        let g = Graph::from_edges(3, [(0, 1, 1)]).unwrap();
+        let _ = diameter(&g);
+    }
+}

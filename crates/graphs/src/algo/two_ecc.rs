@@ -1,0 +1,146 @@
+//! 2-edge-connected components: the blocks left after removing all
+//! bridges. Used by the failure-analysis examples and as a richer oracle
+//! than the boolean [`is_two_edge_connected`](super::is_two_edge_connected).
+
+use crate::algo::bridges::bridges_in_subgraph;
+use crate::algo::connectivity::UnionFind;
+use crate::edge::{EdgeId, VertexId};
+use crate::graph::Graph;
+
+/// The 2-edge-connected components of a subgraph.
+#[derive(Clone, Debug)]
+pub struct TwoEccComponents {
+    /// Component index per vertex (isolated vertices get their own).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// The bridges that separate them.
+    pub bridges: Vec<EdgeId>,
+}
+
+impl TwoEccComponents {
+    /// Whether `u` and `v` are 2-edge-connected to each other (two
+    /// edge-disjoint paths exist between them).
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+}
+
+/// Computes the 2-edge-connected components of the subgraph formed by
+/// `keep` (mask over all edges).
+pub fn two_ecc_components(g: &Graph, keep: &[bool]) -> TwoEccComponents {
+    let bridges = bridges_in_subgraph(g, keep);
+    let is_bridge: std::collections::HashSet<EdgeId> = bridges.iter().copied().collect();
+    let mut uf = UnionFind::new(g.n());
+    for (id, e) in g.edges() {
+        if keep[id.index()] && !is_bridge.contains(&id) {
+            uf.union(e.u.index(), e.v.index());
+        }
+    }
+    let mut label = vec![u32::MAX; g.n()];
+    let mut count = 0u32;
+    let mut component = vec![0u32; g.n()];
+    for v in 0..g.n() {
+        let r = uf.find(v);
+        if label[r] == u32::MAX {
+            label[r] = count;
+            count += 1;
+        }
+        component[v] = label[r];
+    }
+    TwoEccComponents { component, count: count as usize, bridges }
+}
+
+/// Convenience: components of the whole graph.
+pub fn two_ecc_components_of(g: &Graph) -> TwoEccComponents {
+    two_ecc_components(g, &vec![true; g.m()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn barbell_splits_into_two_blocks() {
+        // Two triangles joined by a bridge.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (2, 3, 1), // bridge
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+        )
+        .unwrap();
+        let c = two_ecc_components_of(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.bridges, vec![EdgeId(3)]);
+        assert!(c.same(VertexId(0), VertexId(2)));
+        assert!(c.same(VertexId(3), VertexId(5)));
+        assert!(!c.same(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn two_ec_graph_is_one_block() {
+        let g = gen::gnp_two_ec(20, 0.15, 10, 2);
+        let c = two_ecc_components_of(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.bridges.is_empty());
+    }
+
+    #[test]
+    fn path_is_all_singletons() {
+        let g = gen::path(5);
+        let c = two_ecc_components_of(&g);
+        assert_eq!(c.count, 5);
+        assert_eq!(c.bridges.len(), 4);
+    }
+
+    #[test]
+    fn same_relation_matches_two_disjoint_paths_property() {
+        // In any graph, u ~ v in 2ECC iff removing any single edge leaves
+        // them connected. Check against that definition on small graphs.
+        let g = gen::sparse_two_ec(10, 3, 5, 7);
+        // Remove one edge to create bridges.
+        let mut keep = vec![true; g.m()];
+        keep[0] = false;
+        let c = two_ecc_components(&g, &keep);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u >= v {
+                    continue;
+                }
+                // Definition: same block iff for every single deleted
+                // edge they stay connected (within the kept subgraph).
+                let mut robust = true;
+                for drop in g.edge_ids() {
+                    if !keep[drop.index()] {
+                        continue;
+                    }
+                    let alive = g
+                        .edge_ids()
+                        .filter(|&e| keep[e.index()] && e != drop);
+                    let labels = crate::algo::component_labels(&g, alive);
+                    if labels[u.index()] != labels[v.index()] {
+                        robust = false;
+                        break;
+                    }
+                }
+                // Also need them connected at all.
+                let labels =
+                    crate::algo::component_labels(&g, g.edge_ids().filter(|&e| keep[e.index()]));
+                let connected = labels[u.index()] == labels[v.index()];
+                assert_eq!(
+                    c.same(u, v),
+                    robust && connected,
+                    "pair {u},{v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Vertex and edge identities.
+//!
+//! Both the CONGEST simulator and the TAP machinery need *stable* edge
+//! identities (an edge keeps its id through tree/non-tree classification,
+//! virtualization, and round accounting), so edges are referred to by
+//! [`EdgeId`] newtypes rather than `(u, v)` pairs, and vertices by
+//! [`VertexId`].
+
+use crate::weight::Weight;
+use std::fmt;
+
+/// Identifier of a vertex: a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex index as a `usize`, for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifier of an edge: a dense index in `0..m`, stable for the lifetime
+/// of the [`Graph`](crate::Graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge index as a `usize`, for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(e: u32) -> Self {
+        EdgeId(e)
+    }
+}
+
+/// An undirected weighted edge between two distinct vertices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// One endpoint (the smaller id by construction).
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Non-negative integer weight.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates an edge, normalizing endpoint order so `u <= v`.
+    pub fn new(u: VertexId, v: VertexId, weight: Weight) -> Self {
+        if u <= v {
+            Edge { u, v, weight }
+        } else {
+            Edge { u: v, v: u, weight }
+        }
+    }
+
+    /// Returns the endpoint opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "vertex {x} is not an endpoint of {self:?}");
+            self.u
+        }
+    }
+
+    /// Whether `x` is one of the two endpoints.
+    #[inline]
+    pub fn has_endpoint(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e = Edge::new(VertexId(7), VertexId(2), 10);
+        assert_eq!(e.u, VertexId(2));
+        assert_eq!(e.v, VertexId(7));
+        assert_eq!(e.weight, 10);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(VertexId(1), VertexId(4), 3);
+        assert_eq!(e.other(VertexId(1)), VertexId(4));
+        assert_eq!(e.other(VertexId(4)), VertexId(1));
+        assert!(e.has_endpoint(VertexId(1)));
+        assert!(!e.has_endpoint(VertexId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge::new(VertexId(1), VertexId(4), 3);
+        let _ = e.other(VertexId(9));
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", EdgeId(12)), "e12");
+        assert_eq!(VertexId::from(5u32).index(), 5);
+        assert_eq!(EdgeId::from(5u32).index(), 5);
+    }
+}

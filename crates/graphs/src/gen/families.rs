@@ -1,0 +1,140 @@
+//! A single enum tying the generators together, so the experiment
+//! harness can sweep `family x size x seed` uniformly.
+
+use crate::graph::Graph;
+use crate::weight::Weight;
+use std::fmt;
+
+/// The graph families used across the experiment suite.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Hamiltonian cycle + random chords; `m ≈ 2n`.
+    SparseRandom,
+    /// Erdős–Rényi over a cycle with `p = 4/n`.
+    GnpModerate,
+    /// Planar `√n x √n` grid.
+    Grid,
+    /// Torus (vertex-transitive, no boundary effects).
+    Torus,
+    /// Outerplanar disk with all chords (`D = O(log n)`, treewidth 2).
+    OuterplanarDisk,
+    /// Caterpillar of bounded pathwidth.
+    Caterpillar,
+    /// Clique + long handle (`D = Θ(n − √n)`, worst-case-ish).
+    Lollipop,
+    /// Hypercube `Q_{log2 n}` (`D = log2 n`).
+    Hypercube,
+    /// Complete graph.
+    Complete,
+}
+
+impl Family {
+    /// All families, in table order.
+    pub const ALL: [Family; 9] = [
+        Family::SparseRandom,
+        Family::GnpModerate,
+        Family::Grid,
+        Family::Torus,
+        Family::OuterplanarDisk,
+        Family::Caterpillar,
+        Family::Lollipop,
+        Family::Hypercube,
+        Family::Complete,
+    ];
+
+    /// Stable short label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::SparseRandom => "sparse-random",
+            Family::GnpModerate => "gnp",
+            Family::Grid => "grid",
+            Family::Torus => "torus",
+            Family::OuterplanarDisk => "outerplanar",
+            Family::Caterpillar => "caterpillar",
+            Family::Lollipop => "lollipop",
+            Family::Hypercube => "hypercube",
+            Family::Complete => "complete",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generates an instance of `family` with *approximately* `n` vertices
+/// (families with structural constraints round `n` to a feasible size),
+/// weights in `1..=max_weight`.
+///
+/// Every returned graph is 2-edge-connected.
+///
+/// # Panics
+///
+/// Panics if `n < 9` (the smallest size every family supports).
+pub fn instance(family: Family, n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 9, "family instances need n >= 9, got {n}");
+    match family {
+        Family::SparseRandom => super::sparse_two_ec(n, n, max_weight, seed),
+        Family::GnpModerate => super::gnp_two_ec(n, 4.0 / n as f64, max_weight, seed),
+        Family::Grid => {
+            let side = (n as f64).sqrt().round().max(3.0) as usize;
+            super::grid(side, side, max_weight, seed)
+        }
+        Family::Torus => {
+            let side = (n as f64).sqrt().round().max(3.0) as usize;
+            super::torus(side, side, max_weight, seed)
+        }
+        Family::OuterplanarDisk => super::outerplanar_disk(n, 1.0, max_weight, seed),
+        Family::Caterpillar => {
+            // spine + spine/2 * 2 legs ≈ n  =>  spine ≈ n/2
+            let spine = (n / 2).max(4);
+            super::caterpillar_two_ec(spine, 2, max_weight, seed)
+        }
+        Family::Lollipop => super::lollipop_two_ec(n, max_weight, seed),
+        Family::Hypercube => {
+            let d = (n as f64).log2().round().clamp(3.0, 20.0) as u32;
+            super::hypercube(d, max_weight, seed)
+        }
+        Family::Complete => super::complete(n.min(160), max_weight, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn every_family_is_two_edge_connected() {
+        for family in Family::ALL {
+            let g = instance(family, 36, 64, 11);
+            assert!(
+                algo::is_two_edge_connected(&g),
+                "family {family} produced a non-2EC graph"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_are_approximate() {
+        for family in Family::ALL {
+            let g = instance(family, 64, 64, 3);
+            assert!(
+                g.n() >= 25 && g.n() <= 160,
+                "family {family} size {} far from request",
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Family::ALL.iter().map(|f| f.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Family::ALL.len());
+        assert_eq!(format!("{}", Family::Grid), "grid");
+    }
+}

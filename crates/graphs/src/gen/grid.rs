@@ -1,0 +1,90 @@
+//! Planar grid and torus generators.
+//!
+//! Grids are the canonical "well-behaved" family for the shortcut
+//! experiments: planar, diameter `Θ(rows+cols)`, and 2-edge-connected for
+//! `rows, cols >= 2`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::random::random_weights;
+
+/// A `rows x cols` grid with random weights in `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 2` (smaller grids are not
+/// 2-edge-connected).
+pub fn grid(rows: usize, cols: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(rows >= 2 && cols >= 2, "grid needs rows, cols >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(idx(r, c), idx(r, c + 1), w).expect("in range");
+            }
+            if r + 1 < rows {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(idx(r, c), idx(r + 1, c), w).expect("in range");
+            }
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// A `rows x cols` torus (grid with wrap-around) with random weights.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (wrap-around would create parallel
+/// edges or self-loops).
+pub fn torus(rows: usize, cols: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |r: usize, c: usize| ((r % rows) * cols + (c % cols)) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let w1 = random_weights(&mut rng, max_weight);
+            b.add_edge(idx(r, c), idx(r, c + 1), w1).expect("in range");
+            let w2 = random_weights(&mut rng, max_weight);
+            b.add_edge(idx(r, c), idx(r + 1, c), w2).expect("in range");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4, 10, 1);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(algo::is_two_edge_connected(&g));
+        assert_eq!(algo::diameter(&g), 2 + 3);
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(3, 3, 10, 1);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 18);
+        assert!(algo::is_two_edge_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows, cols >= 2")]
+    fn degenerate_grid_rejected() {
+        let _ = grid(1, 5, 10, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Deterministic (seeded) generators for the graph families used in the
+//! experiments.
+//!
+//! Every generator returns a *connected* graph; the `*_two_ec` variants
+//! additionally guarantee 2-edge-connectivity, which is the precondition
+//! of the TAP and 2-ECSS algorithms.
+
+mod families;
+mod grid;
+mod outerplanar;
+mod random;
+mod special;
+
+pub use families::{instance, Family};
+pub use grid::{grid, torus};
+pub use outerplanar::outerplanar_disk;
+pub use random::{gnp_two_ec, random_weights, sparse_two_ec, tree_plus_chords};
+pub use special::{
+    broom_two_ec, caterpillar_two_ec, chorded_cycle, complete, cycle, hard_sqrt_two_ec,
+    hypercube, ladder, lollipop_two_ec, path,
+};

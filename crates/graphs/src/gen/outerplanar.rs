@@ -1,0 +1,82 @@
+//! Outerplanar generator: a cycle with non-crossing chords.
+//!
+//! Outerplanar graphs have treewidth 2 and small shortcut complexity,
+//! making them the low-diameter "well-behaved" family for Experiment E5
+//! (grids are planar but already have `D = Θ(sqrt(n))`, so they cannot
+//! separate `Õ(D)` from `Õ(D + sqrt(n))`; chord-dense outerplanar disks
+//! have `D = O(log n)`).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::random::random_weights;
+
+/// A maximal-ish outerplanar "disk": cycle `0..n` plus recursive
+/// non-crossing chords (a balanced triangulation of the polygon, each
+/// chord kept with probability `chord_p`). With `chord_p = 1` the
+/// diameter is `O(log n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `chord_p` is not in `[0, 1]`.
+pub fn outerplanar_disk(n: usize, chord_p: f64, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 4, "outerplanar disk needs n >= 4");
+    assert!((0.0..=1.0).contains(&chord_p), "chord_p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, (i + 1) % n as u32, w).expect("in range");
+    }
+    // Recursive balanced chords over the arc [lo, hi] (indices along the
+    // cycle), never crossing because each call splits its own arc.
+    let mut stack = vec![(0u32, n as u32 - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi - lo < 2 {
+            continue;
+        }
+        let mid = (lo + hi) / 2;
+        // Chord {lo, mid} and {mid, hi} close the two halves.
+        for (a, c) in [(lo, mid), (mid, hi)] {
+            if c > a + 1 && rng.gen_bool(chord_p) {
+                let w = random_weights(&mut rng, max_weight);
+                let _ = b.add_edge_dedup(a, c, w).expect("in range");
+            }
+        }
+        stack.push((lo, mid));
+        stack.push((mid, hi));
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn disk_is_two_edge_connected() {
+        let g = outerplanar_disk(32, 1.0, 10, 0);
+        assert!(algo::is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn full_disk_has_logarithmic_diameter() {
+        let g = outerplanar_disk(256, 1.0, 10, 1);
+        assert!(algo::diameter(&g) <= 2 * 8 + 2, "D = {}", algo::diameter(&g));
+    }
+
+    #[test]
+    fn chordless_disk_is_a_cycle() {
+        let g = outerplanar_disk(16, 0.0, 10, 2);
+        assert_eq!(g.m(), 16);
+    }
+
+    #[test]
+    fn disk_is_deterministic() {
+        assert_eq!(outerplanar_disk(20, 0.5, 10, 9), outerplanar_disk(20, 0.5, 10, 9));
+    }
+}

@@ -1,0 +1,185 @@
+//! Random graph generators (seeded, deterministic).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a weight uniformly from `1..=max_weight`.
+pub fn random_weights(rng: &mut StdRng, max_weight: Weight) -> Weight {
+    rng.gen_range(1..=max_weight.max(1))
+}
+
+/// An Erdős–Rényi graph `G(n, p)` overlaid on a Hamiltonian cycle, which
+/// makes it 2-edge-connected for any `p` (the cycle alone is a 2-ECSS).
+///
+/// Weights are uniform in `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (no 2-edge-connected simple graph exists).
+pub fn gnp_two_ec(n: usize, p: f64, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "2-edge-connected graphs need n >= 3, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w).expect("cycle edges are valid");
+    }
+    for i in 0..n as u32 {
+        for j in (i + 2)..n as u32 {
+            // Skip the wrap-around cycle edge {0, n-1}.
+            if i == 0 && j == n as u32 - 1 {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(i, j, w).expect("chord edges are valid");
+            }
+        }
+    }
+    b.build().expect("n >= 3")
+}
+
+/// A sparse 2-edge-connected graph: Hamiltonian cycle plus `extra` random
+/// chords (deduplicated), so `m = n + extra'` with `extra' <= extra`.
+///
+/// This is the workhorse workload: the number of non-tree edges — the
+/// "sets" of the TAP set-cover instance — is directly controlled.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn sparse_two_ec(n: usize, extra: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "2-edge-connected graphs need n >= 3, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w).expect("cycle edges are valid");
+    }
+    let mut attempts = 0usize;
+    let mut added = 0usize;
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let w = random_weights(&mut rng, max_weight);
+        if b.add_edge_dedup(u, v, w).expect("random chord endpoints valid") {
+            added += 1;
+        }
+    }
+    b.build().expect("n >= 3")
+}
+
+/// A random *branching* spanning tree (edge ids `0..n-1`, vertex `v`'s
+/// parent drawn from `0..v`) plus enough random chords to make the graph
+/// 2-edge-connected, plus `extra` more chords.
+///
+/// Unlike [`sparse_two_ec`] (whose unit-weight MST degenerates to the
+/// Hamiltonian cycle path), this generator produces trees with real
+/// junctions — the shape the layering/MIS machinery is about. The first
+/// `n - 1` edge ids are always the tree edges.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn tree_plus_chords(n: usize, extra: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "tree_plus_chords needs n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(parent, v, w).expect("in range");
+    }
+    // Close every leaf-ish vertex with a random chord, then keep adding
+    // random chords until bridgeless.
+    let mut attempts = 0usize;
+    loop {
+        let g = b.clone().build().expect("non-empty");
+        let bridges = crate::algo::bridges(&g);
+        if bridges.is_empty() {
+            break;
+        }
+        attempts += 1;
+        assert!(attempts < 20 * n, "failed to 2-edge-connect the tree");
+        // Target a bridge directly: connect a vertex below it to one
+        // outside its subtree.
+        let e = g.edge(bridges[rng.gen_range(0..bridges.len())]);
+        let (u, v) = (e.u.0, e.v.0);
+        let x = rng.gen_range(0..n as u32);
+        let target = if x == u || x == v { (x + 1) % n as u32 } else { x };
+        let pick = if rng.gen_bool(0.5) { u } else { v };
+        if pick != target {
+            let w = random_weights(&mut rng, max_weight);
+            let _ = b.add_edge_dedup(pick, target, w).expect("in range");
+        }
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            let w = random_weights(&mut rng, max_weight);
+            let _ = b.add_edge_dedup(u, v, w).expect("in range");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn gnp_is_two_edge_connected() {
+        for seed in 0..5 {
+            let g = gnp_two_ec(24, 0.1, 100, seed);
+            assert!(algo::is_two_edge_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gnp_is_deterministic() {
+        let a = gnp_two_ec(16, 0.3, 50, 7);
+        let b = gnp_two_ec(16, 0.3, 50, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_controls_edge_count() {
+        let g = sparse_two_ec(30, 10, 100, 3);
+        assert!(algo::is_two_edge_connected(&g));
+        assert!(g.m() >= 30 && g.m() <= 40, "m = {}", g.m());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn small_n_rejected() {
+        let _ = gnp_two_ec(2, 0.5, 10, 0);
+    }
+
+    #[test]
+    fn tree_plus_chords_is_two_ec_with_branching_tree() {
+        let mut saw_junction = false;
+        for seed in 0..5 {
+            let g = tree_plus_chords(30, 5, 20, seed);
+            assert!(algo::is_two_edge_connected(&g), "seed {seed}");
+            // Tree edges are ids 0..n-1; check some vertex has 2+ children.
+            let mut children = vec![0u32; 30];
+            for id in 0..29u32 {
+                let e = g.edge(crate::EdgeId(id));
+                children[e.u.index().min(e.v.index())] += 1;
+            }
+            saw_junction |= children.iter().any(|&c| c >= 2);
+        }
+        assert!(saw_junction, "no branching tree generated at all");
+    }
+}

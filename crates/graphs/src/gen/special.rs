@@ -1,0 +1,340 @@
+//! Structured generators: paths, cycles, cliques, lollipops (the
+//! `Ω(D + sqrt(n))` lower-bound shape), caterpillars (bounded pathwidth),
+//! ladders, and hypercubes.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::random::random_weights;
+
+/// A path on `n` vertices with unit weights (not 2-edge-connected; used
+/// by substrate tests).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) as u32 {
+        b.add_edge(i, i + 1, 1).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+/// A cycle on `n >= 3` vertices with random weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, (i + 1) % n as u32, w).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+/// The complete graph `K_n` with random weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn complete(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "complete graph for 2-ECSS needs n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(i, j, w).expect("in range");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// A 2-edge-connected "lollipop": a dense clique of `~sqrt(n)` vertices
+/// attached to the two ends of a long *doubled* path (two parallel edge
+/// chains made 2-edge-connected by connecting both path ends into the
+/// clique). Diameter `Θ(n)` after the clique, which stresses the `D`
+/// term; used as the worst-case family for the shortcut experiments.
+///
+/// # Panics
+///
+/// Panics if `n < 8`.
+pub fn lollipop_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 8, "lollipop needs n >= 8");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = (n as f64).sqrt().ceil() as usize; // clique size
+    let k = k.clamp(3, n - 3);
+    let mut b = GraphBuilder::new(n);
+    // Clique on 0..k.
+    for i in 0..k as u32 {
+        for j in (i + 1)..k as u32 {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(i, j, w).expect("in range");
+        }
+    }
+    // Path k-1 -> k -> k+1 -> ... -> n-1.
+    for i in (k - 1) as u32..(n - 1) as u32 {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, i + 1, w).expect("in range");
+    }
+    // Close the handle: far path end back into the clique, making the
+    // path edges non-bridges.
+    let w = random_weights(&mut rng, max_weight);
+    b.add_edge((n - 1) as u32, 0, w).expect("in range");
+    b.build().expect("non-empty")
+}
+
+/// A 2-edge-connected caterpillar-like graph of bounded pathwidth: a
+/// spine cycle with short legs, each leg closed by an edge back to the
+/// spine (so legs are not bridges).
+///
+/// # Panics
+///
+/// Panics if `spine < 4` or `leg_len == 0`.
+pub fn caterpillar_two_ec(spine: usize, leg_len: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(spine >= 4 && leg_len >= 1, "need spine >= 4 and leg_len >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = spine + spine / 2 * leg_len;
+    let mut b = GraphBuilder::new(n);
+    // Spine cycle 0..spine.
+    for i in 0..spine as u32 {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, (i + 1) % spine as u32, w).expect("in range");
+    }
+    // Legs hang off every second spine vertex and loop back to the next
+    // spine vertex, forming small cycles.
+    let mut next = spine as u32;
+    for s in (0..spine).step_by(2) {
+        if next as usize + leg_len > n {
+            break;
+        }
+        let mut prev = s as u32;
+        for _ in 0..leg_len {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(prev, next, w).expect("in range");
+            prev = next;
+            next += 1;
+        }
+        let w = random_weights(&mut rng, max_weight);
+        let back = ((s + 1) % spine) as u32;
+        b.add_edge(prev, back, w).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+/// A circular ladder (prism) `CL_n`: two concentric `n`-cycles joined by
+/// rungs. Planar, 3-regular, 2-edge-connected.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ladder(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "ladder needs n >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(2 * n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w1 = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w1).expect("in range");
+        let w2 = random_weights(&mut rng, max_weight);
+        b.add_edge(n as u32 + i, n as u32 + j, w2).expect("in range");
+        let w3 = random_weights(&mut rng, max_weight);
+        b.add_edge(i, n as u32 + i, w3).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+/// The `d`-dimensional hypercube `Q_d` with random weights: diameter `d =
+/// log2 n`, 2-edge-connected for `d >= 2`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `d > 20`.
+pub fn hypercube(d: u32, max_weight: Weight, seed: u64) -> Graph {
+    assert!((2..=20).contains(&d), "hypercube dimension must be in 2..=20");
+    let n = 1usize << d;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(v, u, w).expect("in range");
+            }
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// A 2-edge-connected "broom": about `√n` disjoint paths of length `√n`
+/// whose both ends attach to a small hub cycle. Diameter is `Θ(√n)` but
+/// the only way to shortcut a path-part is through the hub, so any
+/// tree-restricted shortcut pays congestion `Θ(√n)` — the family where
+/// `SC(G)` genuinely sits at `D + √n` rather than `Õ(D)`.
+///
+/// # Panics
+///
+/// Panics if `n < 16`.
+pub fn broom_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 16, "broom needs n >= 16");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = (n as f64).sqrt().floor() as usize; // number of teeth
+    let len = (n - 4) / k; // tooth length
+    let hub = 4usize; // hub cycle vertices 0..4
+    let total = hub + k * len;
+    let mut b = GraphBuilder::new(total);
+    for i in 0..hub as u32 {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, (i + 1) % hub as u32, w).expect("in range");
+    }
+    let mut next = hub as u32;
+    for t in 0..k {
+        let attach = (t % hub) as u32;
+        let mut prev = attach;
+        for _ in 0..len {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(prev, next, w).expect("in range");
+            prev = next;
+            next += 1;
+        }
+        // Close the tooth back into the hub so its edges are not bridges.
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(prev, ((t + 1) % hub) as u32, w).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+/// The Das Sarma et al. lower-bound shape (the graph family behind the
+/// paper's `Ω̃(D + √n)` hardness): `p ≈ √n` disjoint paths of length
+/// `p`, plus a balanced binary tree over `p` leaves where leaf `j`
+/// attaches to the `j`-th vertex of *every* path. Diameter `O(log n)`,
+/// yet any low-dilation shortcut for the path partition must cram `√n`
+/// parts through the tree — congestion `Ω̃(√n)`. This is the family
+/// where `SC(G)` provably sits at `√n` despite tiny `D`.
+///
+/// # Panics
+///
+/// Panics if `n < 16`.
+pub fn hard_sqrt_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 16, "hard instance needs n >= 16");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (n as f64).sqrt().floor() as usize; // paths and path length
+    // Vertices: paths occupy ids [0, p*p); the binary tree over p leaves
+    // occupies [p*p, p*p + 2p - 1) (heap layout, 1-based within block).
+    let path_v = |i: usize, j: usize| (i * p + j) as u32;
+    let tree_base = p * p;
+    let tree_size = 2 * p - 1; // heap-complete-ish binary tree
+    let total = tree_base + tree_size;
+    let mut b = GraphBuilder::new(total);
+    // The p paths.
+    for i in 0..p {
+        for j in 0..p - 1 {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(path_v(i, j), path_v(i, j + 1), w).expect("in range");
+        }
+    }
+    // Binary tree (heap indices 0..tree_size; children 2k+1, 2k+2).
+    let tv = |k: usize| (tree_base + k) as u32;
+    for k in 1..tree_size {
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(tv((k - 1) / 2), tv(k), w).expect("in range");
+    }
+    // Leaves of the heap are the last p nodes; leaf j attaches to the
+    // j-th vertex of every path.
+    let leaf = |j: usize| tv(tree_size - p + j);
+    for j in 0..p {
+        for i in 0..p {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(leaf(j), path_v(i, j), w).expect("in range");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// A random unit-weight expander-ish graph used by congestion tests: a
+/// cycle plus `n` random chords.
+pub fn chorded_cycle(n: usize, seed: u64) -> Graph {
+    assert!(n >= 4, "chorded cycle needs n >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        b.add_edge(i, (i + 1) % n as u32, 1).expect("in range");
+    }
+    for _ in 0..n {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            let _ = b.add_edge_dedup(u, v, 1).expect("in range");
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn hard_sqrt_shape() {
+        let g = hard_sqrt_two_ec(100, 10, 0);
+        assert!(algo::is_two_edge_connected(&g));
+        // Diameter is logarithmic: up one path, through the tree, down.
+        let d = algo::diameter(&g);
+        assert!(d <= 2 * 10 + 4, "D = {d}"); // 2 log2(sqrt(100)) + slack
+        assert!(g.n() >= 100);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom_two_ec(100, 10, 0);
+        assert!(algo::is_two_edge_connected(&g));
+        // Diameter about 2 * tooth length ~ 2 sqrt(n).
+        let d = algo::diameter(&g) as f64;
+        assert!(d >= (g.n() as f64).sqrt() / 2.0 && d <= 4.0 * (g.n() as f64).sqrt());
+    }
+
+    #[test]
+    fn generators_yield_two_edge_connected_graphs() {
+        assert!(algo::is_two_edge_connected(&cycle(8, 10, 0)));
+        assert!(algo::is_two_edge_connected(&broom_two_ec(20, 10, 0)));
+        assert!(algo::is_two_edge_connected(&complete(6, 10, 0)));
+        assert!(algo::is_two_edge_connected(&lollipop_two_ec(30, 10, 0)));
+        assert!(algo::is_two_edge_connected(&caterpillar_two_ec(10, 3, 10, 0)));
+        assert!(algo::is_two_edge_connected(&ladder(5, 10, 0)));
+        assert!(algo::is_two_edge_connected(&hypercube(4, 10, 0)));
+        assert!(algo::is_two_edge_connected(&chorded_cycle(12, 0)));
+    }
+
+    #[test]
+    fn path_is_a_tree() {
+        let g = path(6);
+        assert_eq!(g.m(), 5);
+        assert!(algo::is_connected(&g));
+        assert!(!algo::is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_has_large_diameter() {
+        let g = lollipop_two_ec(100, 10, 1);
+        assert!(algo::diameter(&g) as usize > 30);
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        let g = hypercube(5, 10, 2);
+        assert_eq!(g.n(), 32);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(7, 10, 0);
+        assert_eq!(g.m(), 21);
+    }
+}

@@ -1,0 +1,350 @@
+//! The core undirected weighted graph type.
+
+use crate::edge::{Edge, EdgeId, VertexId};
+use crate::weight::Weight;
+use std::fmt;
+
+/// Errors produced when constructing or mutating a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// An endpoint index was `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop was requested; the model works on simple graphs.
+    SelfLoop {
+        /// The vertex at both endpoints.
+        vertex: VertexId,
+    },
+    /// A graph with zero vertices was requested.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at {vertex} is not allowed")
+            }
+            GraphError::EmptyGraph => write!(f, "graph must have at least one vertex"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected weighted multigraph with `n` vertices and stable edge ids.
+///
+/// Vertices are the dense range `0..n`; edges are stored in insertion
+/// order and identified by [`EdgeId`]. Parallel edges are permitted (they
+/// arise naturally in network-design inputs: two links with different
+/// costs between the same routers), self-loops are not.
+///
+/// # Example
+///
+/// ```
+/// use decss_graphs::{Graph, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 2)?;
+/// b.add_edge(1, 2, 4)?;
+/// let g: Graph = b.build()?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.total_weight(), 6);
+/// # Ok::<(), decss_graphs::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (edge id, other endpoint)
+    adjacency: Vec<Vec<(EdgeId, VertexId)>>,
+}
+
+impl Graph {
+    /// Creates a graph from an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n == 0`, an endpoint is out of range, or
+    /// an edge is a self-loop.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, Weight)>,
+    ) -> Result<Self, GraphError> {
+        let mut builder = crate::builder::GraphBuilder::new(n);
+        for (u, v, w) in edges {
+            builder.add_edge(u, v, w)?;
+        }
+        builder.build()
+    }
+
+    pub(crate) fn from_parts(n: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut adjacency = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adjacency[e.u.index()].push((id, e.v));
+            adjacency[e.v.index()].push((id, e.u));
+        }
+        Ok(Graph { n, edges, adjacency })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Weight of the edge with the given id.
+    #[inline]
+    pub fn weight(&self, id: EdgeId) -> Weight {
+        self.edges[id.index()].weight
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n as u32).map(VertexId)
+    }
+
+    /// Iterator over `(EdgeId, Edge)` pairs in id order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (EdgeId(i as u32), e))
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Incident edges of `v` as `(EdgeId, neighbour)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> &[(EdgeId, VertexId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> Weight {
+        crate::weight::total(self.edges.iter().map(|e| e.weight))
+    }
+
+    /// Sum of weights of a subset of edges.
+    pub fn weight_of(&self, ids: impl IntoIterator<Item = EdgeId>) -> Weight {
+        crate::weight::total(ids.into_iter().map(|id| self.weight(id)))
+    }
+
+    /// The subgraph containing only `keep` edges, on the same vertex set.
+    pub fn edge_subgraph(&self, keep: impl IntoIterator<Item = EdgeId>) -> SubgraphView<'_> {
+        let mut mask = vec![false; self.m()];
+        for id in keep {
+            mask[id.index()] = true;
+        }
+        SubgraphView { graph: self, mask }
+    }
+
+    /// Largest edge weight, or 0 for an edgeless graph.
+    pub fn max_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.weight).max().unwrap_or(0)
+    }
+
+    /// Returns a copy of this graph with every edge weight replaced by 1.
+    ///
+    /// Used by the unweighted-TAP experiments.
+    pub fn unweighted(&self) -> Graph {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge { weight: 1, ..*e })
+            .collect();
+        Graph::from_parts(self.n, edges).expect("same structure is valid")
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph(n={}, m={})", self.n, self.m())?;
+        for (id, e) in self.edges() {
+            writeln!(f, "  {id}: {} -- {} (w={})", e.u, e.v, e.weight)?;
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed view of a graph restricted to a subset of its edges.
+///
+/// Produced by [`Graph::edge_subgraph`]; used by the verification oracles
+/// to check properties of computed subgraphs without copying.
+pub struct SubgraphView<'a> {
+    graph: &'a Graph,
+    mask: Vec<bool>,
+}
+
+impl<'a> SubgraphView<'a> {
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Whether edge `id` is part of the view.
+    #[inline]
+    pub fn contains(&self, id: EdgeId) -> bool {
+        self.mask[id.index()]
+    }
+
+    /// Incident edges of `v` restricted to the view.
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        self.graph
+            .incident(v)
+            .iter()
+            .copied()
+            .filter(move |(id, _)| self.mask[id.index()])
+    }
+
+    /// Number of edges in the view.
+    pub fn m(&self) -> usize {
+        self.mask.iter().filter(|&&b| b).count()
+    }
+
+    /// Total weight of the view's edges.
+    pub fn total_weight(&self) -> Weight {
+        crate::weight::total(
+            self.graph
+                .edges()
+                .filter(|(id, _)| self.mask[id.index()])
+                .map(|(_, e)| e.weight),
+        )
+    }
+}
+
+impl fmt::Debug for SubgraphView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubgraphView({} of {} edges)", self.m(), self.graph.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (2, 0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.weight(EdgeId(1)), 2);
+        assert_eq!(g.total_weight(), 6);
+        assert_eq!(g.max_weight(), 3);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.vertices().count(), 3);
+        assert_eq!(g.edge_ids().count(), 3);
+    }
+
+    #[test]
+    fn incident_lists_are_consistent() {
+        let g = triangle();
+        for v in g.vertices() {
+            for &(id, w) in g.incident(v) {
+                let e = g.edge(id);
+                assert!(e.has_endpoint(v));
+                assert_eq!(e.other(v), w);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let g = Graph::from_edges(2, [(0, 1, 1), (0, 1, 7)]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(2, [(1, 1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { vertex: VertexId(1) });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(2, [(0, 5, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let err = Graph::from_edges(0, []).unwrap_err();
+        assert_eq!(err, GraphError::EmptyGraph);
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn subgraph_view_filters_edges() {
+        let g = triangle();
+        let view = g.edge_subgraph([EdgeId(0), EdgeId(2)]);
+        assert_eq!(view.m(), 2);
+        assert!(view.contains(EdgeId(0)));
+        assert!(!view.contains(EdgeId(1)));
+        assert_eq!(view.total_weight(), 4);
+        assert_eq!(view.incident(VertexId(1)).count(), 1);
+    }
+
+    #[test]
+    fn unweighted_copy() {
+        let g = triangle().unweighted();
+        assert_eq!(g.total_weight(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn weight_of_subset() {
+        let g = triangle();
+        assert_eq!(g.weight_of([EdgeId(0), EdgeId(2)]), 4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(format!("{:?}", triangle()).contains("Graph(n=3, m=3)"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text graph serialization (a DIMACS-flavoured edge-list format).
+//!
+//! ```text
+//! # optional comments
+//! p <n> <m>
+//! e <u> <v> <weight>     (m lines, 0-based vertex ids)
+//! ```
+//!
+//! Used by the `decss` CLI so real topologies can be fed to the
+//! algorithms without writing Rust.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, GraphError};
+use std::fmt;
+
+/// Errors when parsing the text format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The `p n m` header line is missing or malformed.
+    BadHeader(String),
+    /// An edge line is malformed.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The number of edge lines does not match the header.
+    WrongEdgeCount {
+        /// Edges promised by the header.
+        expected: usize,
+        /// Edges actually present.
+        found: usize,
+    },
+    /// The edges violate graph validity (self-loop / out of range).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader(s) => write!(f, "bad header line: {s:?}"),
+            ParseError::BadEdge { line, content } => {
+                write!(f, "bad edge on line {line}: {content:?}")
+            }
+            ParseError::WrongEdgeCount { expected, found } => {
+                write!(f, "header promised {expected} edges, found {found}")
+            }
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any structural problem; parsing is strict
+/// so silently-wrong topologies cannot slip into experiments.
+pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    let (n, m) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("p"), Some(n), Some(m), None) => {
+            let n: usize = n.parse().map_err(|_| ParseError::BadHeader(header.into()))?;
+            let m: usize = m.parse().map_err(|_| ParseError::BadHeader(header.into()))?;
+            (n, m)
+        }
+        _ => return Err(ParseError::BadHeader(header.into())),
+    };
+    let mut builder = GraphBuilder::new(n);
+    let mut found = 0usize;
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("e"), Some(u), Some(v), Some(w), None) => {
+                let parse = || -> Option<(u32, u32, u64)> {
+                    Some((u.parse().ok()?, v.parse().ok()?, w.parse().ok()?))
+                };
+                let (u, v, w) = parse().ok_or(ParseError::BadEdge {
+                    line: line_no,
+                    content: line.into(),
+                })?;
+                builder.add_edge(u, v, w)?;
+                found += 1;
+            }
+            _ => {
+                return Err(ParseError::BadEdge { line: line_no, content: line.into() });
+            }
+        }
+    }
+    if found != m {
+        return Err(ParseError::WrongEdgeCount { expected: m, found });
+    }
+    Ok(builder.build()?)
+}
+
+/// Serializes a graph to the text format.
+pub fn format_graph(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 16 * g.m());
+    out.push_str(&format!("p {} {}\n", g.n(), g.m()));
+    for (_, e) in g.edges() {
+        out.push_str(&format!("e {} {} {}\n", e.u.0, e.v.0, e.weight));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::gnp_two_ec(20, 0.2, 50, 3);
+        let text = format_graph(&g);
+        let back = parse_graph(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a graph\n\np 3 2\n# edges\ne 0 1 5\ne 1 2 7\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.total_weight(), 12);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(parse_graph("q 3 2"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(parse_graph(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(parse_graph("p 3"), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_edge_rejected() {
+        let err = parse_graph("p 2 1\ne 0 x 1").unwrap_err();
+        assert!(matches!(err, ParseError::BadEdge { line: 2, .. }));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let err = parse_graph("p 3 2\ne 0 1 1").unwrap_err();
+        assert_eq!(err, ParseError::WrongEdgeCount { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        let err = parse_graph("p 2 1\ne 0 0 1").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::SelfLoop { .. })));
+        let err = parse_graph("p 2 1\ne 0 9 1").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::VertexOutOfRange { .. })));
+    }
+}

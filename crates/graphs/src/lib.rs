@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+//! Weighted-graph substrate for the `decss` workspace.
+//!
+//! This crate provides everything the distributed 2-ECSS algorithms need
+//! from a graph library:
+//!
+//! * [`Graph`] — an undirected weighted multigraph with stable edge
+//!   identities ([`EdgeId`]) and vertex identities ([`VertexId`]),
+//! * [`GraphBuilder`] — incremental construction with validation,
+//! * generators for the graph families used in the experiments
+//!   ([`gen`]), all seeded and deterministic,
+//! * verification oracles ([`algo`]): BFS/diameter, DFS, bridges and
+//!   2-edge-connectivity, connectivity, and a centralized minimum
+//!   spanning tree used both as a substrate and as a test oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use decss_graphs::{GraphBuilder, algo};
+//!
+//! // A 4-cycle is 2-edge-connected; removing one edge leaves it connected.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 5)?;
+//! b.add_edge(1, 2, 5)?;
+//! b.add_edge(2, 3, 5)?;
+//! b.add_edge(3, 0, 5)?;
+//! let g = b.build()?;
+//! assert!(algo::is_two_edge_connected(&g));
+//! # Ok::<(), decss_graphs::GraphError>(())
+//! ```
+
+pub mod algo;
+pub mod builder;
+pub mod edge;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod weight;
+
+pub use builder::GraphBuilder;
+pub use edge::{Edge, EdgeId, VertexId};
+pub use graph::{Graph, GraphError};
+pub use weight::Weight;

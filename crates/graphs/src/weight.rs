@@ -1,0 +1,38 @@
+//! Edge weights.
+//!
+//! The paper assumes polynomially-bounded integer weights (`W_max <=
+//! poly(n)`), which is what makes `O(log n)`-bit messages able to carry a
+//! weight. We use `u64` and provide a saturating sum helper so that total
+//! weights of edge sets cannot overflow silently.
+
+/// An edge weight: a non-negative integer, assumed `<= poly(n)`.
+pub type Weight = u64;
+
+/// Sums the weights of an iterator, panicking on (absurd) overflow.
+///
+/// # Panics
+///
+/// Panics if the sum exceeds `u64::MAX`, which cannot happen for the
+/// polynomially-bounded weights the model assumes.
+pub fn total<I: IntoIterator<Item = Weight>>(weights: I) -> Weight {
+    weights
+        .into_iter()
+        .fold(0u64, |acc, w| acc.checked_add(w).expect("weight sum overflow"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums() {
+        assert_eq!(total([1, 2, 3]), 6);
+        assert_eq!(total(std::iter::empty()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn total_panics_on_overflow() {
+        let _ = total([u64::MAX, 1]);
+    }
+}

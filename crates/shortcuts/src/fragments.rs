@@ -1,0 +1,160 @@
+//! The `O(log n)`-level fragment hierarchy over a rooted tree used by
+//! the ancestors'/descendants' sum tools (Theorems 5.1 and 5.2).
+//!
+//! A *fragment* is the subtree hanging below the bottom endpoint of a
+//! light edge (or the whole tree, for the root fragment); its *spine* is
+//! the heavy path starting at its top. Every vertex lies on exactly one
+//! spine; fragments at the same light depth are vertex-disjoint, and
+//! light depth is at most `log2 n` — so the hierarchy has `O(log n)`
+//! levels, each forming a valid partition for the shortcut framework.
+
+use crate::partition::Partition;
+use decss_graphs::{Graph, VertexId};
+use decss_tree::{HeavyLight, RootedTree};
+
+/// One fragment: its top vertex, its spine (top-down), and all its
+/// vertices... kept implicit; the hierarchy stores per-level partitions.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Top vertex (bottom endpoint of a light edge, or the root).
+    pub top: VertexId,
+    /// Spine: the heavy path from `top`, top-down.
+    pub spine: Vec<VertexId>,
+    /// All vertices of the fragment (the subtree of `top` *excluding*
+    /// deeper fragments' vertices — i.e. exactly the spine plus nothing:
+    /// fragments are identified with their spines for partitioning, so
+    /// every vertex belongs to exactly one fragment per hierarchy).
+    pub level: usize,
+}
+
+/// The fragment hierarchy: `levels[d]` lists the spines at light depth
+/// `d` (each spine a connected path — a valid partition part).
+#[derive(Clone, Debug)]
+pub struct FragmentHierarchy {
+    /// `levels[d]` = spines of light depth `d`.
+    pub levels: Vec<Vec<Fragment>>,
+    /// `spine_of[v]` = (level, index within level) of `v`'s spine.
+    pub spine_of: Vec<(u32, u32)>,
+}
+
+impl FragmentHierarchy {
+    /// Builds the hierarchy from a tree and its heavy-light
+    /// decomposition.
+    pub fn new(tree: &RootedTree, hld: &HeavyLight) -> Self {
+        let n = tree.n();
+        let mut levels: Vec<Vec<Fragment>> = Vec::new();
+        let mut spine_of = vec![(0u32, 0u32); n];
+        // Heads of heavy paths are exactly the fragment tops.
+        let mut tops: Vec<VertexId> = tree
+            .order()
+            .iter()
+            .copied()
+            .filter(|&v| hld.head(v) == v)
+            .collect();
+        // Process tops in BFS order so parents' levels are known.
+        tops.sort_by_key(|&v| tree.depth(v));
+        for top in tops {
+            let level = hld.light_depth(top);
+            while levels.len() <= level {
+                levels.push(Vec::new());
+            }
+            // Walk the heavy path downward.
+            let mut spine = vec![top];
+            let mut cur = top;
+            while let Some(&next) = tree
+                .children(cur)
+                .iter()
+                .find(|&&c| hld.is_heavy_above(c))
+            {
+                spine.push(next);
+                cur = next;
+            }
+            let idx = levels[level].len() as u32;
+            for &v in &spine {
+                spine_of[v.index()] = (level as u32, idx);
+            }
+            levels[level].push(Fragment { top, spine, level });
+        }
+        FragmentHierarchy { levels, spine_of }
+    }
+
+    /// Number of levels (max light depth + 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level partitions (spines as parts).
+    pub fn level_partition(&self, g: &Graph, level: usize) -> Partition {
+        Partition::new(
+            g,
+            self.levels[level]
+                .iter()
+                .map(|f| f.spine.clone())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+    use decss_tree::EulerTour;
+
+    fn build(g: &Graph) -> (RootedTree, FragmentHierarchy) {
+        let tree = RootedTree::mst(g);
+        let euler = EulerTour::new(&tree);
+        let hld = HeavyLight::new(&tree, &euler);
+        let h = FragmentHierarchy::new(&tree, &hld);
+        (tree, h)
+    }
+
+    #[test]
+    fn spines_partition_all_vertices() {
+        let g = gen::gnp_two_ec(60, 0.08, 30, 4);
+        let (tree, h) = build(&g);
+        let total: usize = h
+            .levels
+            .iter()
+            .flat_map(|l| l.iter().map(|f| f.spine.len()))
+            .sum();
+        assert_eq!(total, tree.n());
+    }
+
+    #[test]
+    fn levels_are_logarithmic() {
+        let g = gen::gnp_two_ec(200, 0.03, 30, 5);
+        let (_, h) = build(&g);
+        assert!(
+            h.num_levels() <= 9, // log2(200) ~ 7.6, +1 slack
+            "{} levels",
+            h.num_levels()
+        );
+    }
+
+    #[test]
+    fn spines_are_tree_paths() {
+        let g = gen::grid(6, 6, 10, 6);
+        let (tree, h) = build(&g);
+        for level in &h.levels {
+            for f in level {
+                for w in f.spine.windows(2) {
+                    assert_eq!(tree.parent(w[1]), Some(w[0]));
+                }
+                assert_eq!(f.spine[0], f.top);
+            }
+        }
+    }
+
+    #[test]
+    fn level_partitions_validate_on_the_graph() {
+        // Spines are tree paths of the MST; the MST edges exist in G, so
+        // each spine is connected in G.
+        let g = gen::gnp_two_ec(40, 0.1, 20, 7);
+        let (_, h) = build(&g);
+        for d in 0..h.num_levels() {
+            let p = h.level_partition(&g, d);
+            assert!(!p.is_empty());
+        }
+    }
+}

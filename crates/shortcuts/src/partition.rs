@@ -1,0 +1,107 @@
+//! Vertex partitions into connected parts — the input object of the
+//! shortcut framework.
+
+use decss_graphs::{Graph, VertexId};
+
+/// A family of vertex-disjoint parts, each inducing a connected subgraph.
+/// The family need not cover all vertices (fragment levels don't).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    parts: Vec<Vec<VertexId>>,
+    /// `part_of[v]` = part index, or `u32::MAX` if uncovered.
+    part_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds and validates a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parts overlap, contain out-of-range vertices, are empty,
+    /// or induce disconnected subgraphs of `g`.
+    pub fn new(g: &Graph, parts: Vec<Vec<VertexId>>) -> Self {
+        let mut part_of = vec![u32::MAX; g.n()];
+        for (i, part) in parts.iter().enumerate() {
+            assert!(!part.is_empty(), "part {i} is empty");
+            for &v in part {
+                assert!(v.index() < g.n(), "vertex {v} out of range");
+                assert_eq!(part_of[v.index()], u32::MAX, "vertex {v} in two parts");
+                part_of[v.index()] = i as u32;
+            }
+        }
+        let me = Partition { parts, part_of };
+        for (i, part) in me.parts.iter().enumerate() {
+            assert!(me.part_is_connected(g, i), "part {i} ({} vertices) is disconnected", part.len());
+        }
+        me
+    }
+
+    fn part_is_connected(&self, g: &Graph, i: usize) -> bool {
+        let part = &self.parts[i];
+        let mut seen = std::collections::HashSet::from([part[0]]);
+        let mut queue = std::collections::VecDeque::from([part[0]]);
+        while let Some(v) = queue.pop_front() {
+            for &(_, w) in g.incident(v) {
+                if self.part_of[w.index()] == i as u32 && seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen.len() == part.len()
+    }
+
+    /// The parts.
+    pub fn parts(&self) -> &[Vec<VertexId>] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether there are no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Part index of `v`, if covered.
+    pub fn part_of(&self, v: VertexId) -> Option<u32> {
+        let p = self.part_of[v.index()];
+        (p != u32::MAX).then_some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn valid_partition_accepted() {
+        let g = gen::cycle(6, 1, 0);
+        let p = Partition::new(&g, vec![vec![v(0), v(1)], vec![v(3), v(4)]]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.part_of(v(0)), Some(0));
+        assert_eq!(p.part_of(v(2)), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_part_rejected() {
+        let g = gen::cycle(6, 1, 0);
+        let _ = Partition::new(&g, vec![vec![v(0), v(3)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in two parts")]
+    fn overlapping_parts_rejected() {
+        let g = gen::cycle(6, 1, 0);
+        let _ = Partition::new(&g, vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The two subroutines of Section 5.3.
+//!
+//! * [`covered_mask`] (Lemma 5.4): given a candidate set `S` of non-tree
+//!   edges, decide for every tree edge whether `S` covers it. Every
+//!   `S`-edge gets a random fingerprint; each vertex XORs the
+//!   fingerprints of its incident `S`-edges; a descendants' XOR then
+//!   cancels edges with both endpoints inside the subtree, so the edge
+//!   above `u` is covered iff the subtree XOR is non-zero (w.h.p.).
+//! * [`marked_cover_counts`] (Lemma 5.5): for every non-tree edge
+//!   `e = {u, v}`, the number of *marked* tree edges it covers, via
+//!   `M_u + M_v − 2·M_w` where `M_x` counts marked edges on the root
+//!   path of `x` (an ancestors' sum) and `w = LCA(u, v)` comes from the
+//!   heavy-light labels.
+//! * [`path_load`]: the transpose — for every tree edge, how many edges
+//!   of a set cover it (two descendants' sums: incident-count minus
+//!   twice the LCA-count).
+
+use crate::tools::ScTools;
+use decss_congest::ledger::RoundLedger;
+use decss_congest::protocols::convergecast::Agg;
+use decss_graphs::{EdgeId, VertexId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Lemma 5.4: whether each tree edge (indexed by child vertex) is
+/// covered by `set`. Randomized; correct w.h.p. (no false "covered" is
+/// possible for XOR of fewer than 2^64 terms only with negligible
+/// probability; false "uncovered" never happens for the zero case).
+pub fn covered_mask(
+    tools: &ScTools<'_>,
+    set: &[EdgeId],
+    rng: &mut StdRng,
+    ledger: &mut RoundLedger,
+) -> Vec<bool> {
+    let n = tools.tree.n();
+    let mut x = vec![0u64; n];
+    for &id in set {
+        let fp: u64 = rng.gen::<u64>() | 1; // non-zero fingerprint
+        let e = tools.graph.edge(id);
+        x[e.u.index()] ^= fp;
+        x[e.v.index()] ^= fp;
+    }
+    let sub = tools.descendants_sum(&x, Agg::Xor, ledger);
+    (0..n)
+        .map(|vi| {
+            let v = VertexId(vi as u32);
+            tools.tree.parent(v).is_some() && sub[vi] != 0
+        })
+        .collect()
+}
+
+/// Lemma 5.5: for each entry of `candidates`, the number of tree edges
+/// with `marked` set that it covers.
+pub fn marked_cover_counts(
+    tools: &ScTools<'_>,
+    candidates: &[EdgeId],
+    marked: &[bool],
+    ledger: &mut RoundLedger,
+) -> Vec<u32> {
+    let n = tools.tree.n();
+    assert_eq!(marked.len(), n);
+    let x: Vec<u64> = (0..n).map(|vi| u64::from(marked[vi])).collect();
+    let m_counts = tools.ancestors_sum(&x, Agg::Sum, ledger);
+    candidates
+        .iter()
+        .map(|&id| {
+            let e = tools.graph.edge(id);
+            let w = tools.lca(e.u, e.v);
+            (m_counts[e.u.index()] + m_counts[e.v.index()] - 2 * m_counts[w.index()]) as u32
+        })
+        .collect()
+}
+
+/// For each tree edge (child vertex), how many edges of `set` cover it:
+/// `Σ_{x ∈ subtree} inc(x) − 2 · Σ_{x ∈ subtree} lca_count(x)`.
+pub fn path_load(
+    tools: &ScTools<'_>,
+    set: &[EdgeId],
+    ledger: &mut RoundLedger,
+) -> Vec<u32> {
+    let n = tools.tree.n();
+    let mut inc = vec![0u64; n];
+    let mut lca_cnt = vec![0u64; n];
+    for &id in set {
+        let e = tools.graph.edge(id);
+        inc[e.u.index()] += 1;
+        inc[e.v.index()] += 1;
+        lca_cnt[tools.lca(e.u, e.v).index()] += 1;
+    }
+    let endpoints = tools.descendants_sum(&inc, Agg::Sum, ledger);
+    let insiders = tools.descendants_sum(&lca_cnt, Agg::Sum, ledger);
+    (0..n)
+        .map(|vi| {
+            let v = VertexId(vi as u32);
+            if tools.tree.parent(v).is_none() {
+                0
+            } else {
+                (endpoints[vi] - 2 * insiders[vi]) as u32
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+    use decss_tree::{LcaOracle, RootedTree};
+    use rand::SeedableRng;
+
+    fn non_tree_edges(g: &decss_graphs::Graph, tree: &RootedTree) -> Vec<EdgeId> {
+        g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect()
+    }
+
+    /// Ground truth: does any edge of `set` cover the tree edge above v?
+    fn naive_covered(
+        g: &decss_graphs::Graph,
+        _tree: &RootedTree,
+        lca: &LcaOracle,
+        set: &[EdgeId],
+        v: VertexId,
+    ) -> bool {
+        set.iter().any(|&id| {
+            let e = g.edge(id);
+            let w = lca.lca(e.u, e.v);
+            (lca.is_ancestor(v, e.u) || lca.is_ancestor(v, e.v)) && lca.is_proper_ancestor(w, v)
+        })
+    }
+
+    #[test]
+    fn covered_mask_matches_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..5 {
+            let g = gen::sparse_two_ec(40, 30, 20, seed);
+            let tree = RootedTree::mst(&g);
+            let lca = LcaOracle::new(&tree);
+            let tools = ScTools::new(&g, &tree);
+            let candidates = non_tree_edges(&g, &tree);
+            let set: Vec<EdgeId> = candidates.iter().copied().step_by(2).collect();
+            let mut ledger = RoundLedger::new();
+            let mask = covered_mask(&tools, &set, &mut rng, &mut ledger);
+            for v in tree.tree_edge_children() {
+                assert_eq!(
+                    mask[v.index()],
+                    naive_covered(&g, &tree, &lca, &set, v),
+                    "seed {seed}, edge above {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marked_cover_counts_match_ground_truth() {
+        let g = gen::sparse_two_ec(35, 25, 20, 7);
+        let tree = RootedTree::mst(&g);
+        let lca = LcaOracle::new(&tree);
+        let tools = ScTools::new(&g, &tree);
+        let candidates = non_tree_edges(&g, &tree);
+        let marked: Vec<bool> = (0..g.n()).map(|i| i % 3 != 0).collect();
+        let mut ledger = RoundLedger::new();
+        let counts = marked_cover_counts(&tools, &candidates, &marked, &mut ledger);
+        for (i, &id) in candidates.iter().enumerate() {
+            let expected = tree
+                .tree_edge_children()
+                .filter(|&v| {
+                    marked[v.index()] && naive_covered(&g, &tree, &lca, &[id], v)
+                })
+                .count() as u32;
+            assert_eq!(counts[i], expected, "candidate {id}");
+        }
+    }
+
+    #[test]
+    fn path_load_matches_ground_truth() {
+        let g = gen::sparse_two_ec(30, 25, 20, 9);
+        let tree = RootedTree::mst(&g);
+        let lca = LcaOracle::new(&tree);
+        let tools = ScTools::new(&g, &tree);
+        let candidates = non_tree_edges(&g, &tree);
+        let set: Vec<EdgeId> = candidates.iter().copied().take(10).collect();
+        let mut ledger = RoundLedger::new();
+        let loads = path_load(&tools, &set, &mut ledger);
+        for v in tree.tree_edge_children() {
+            let expected = set
+                .iter()
+                .filter(|&&id| naive_covered(&g, &tree, &lca, &[id], v))
+                .count() as u32;
+            assert_eq!(loads[v.index()], expected, "edge above {v}");
+        }
+        // Two descendants' sums were charged.
+        assert_eq!(ledger.invocations_of("sc.descendants-sum"), 2);
+    }
+}

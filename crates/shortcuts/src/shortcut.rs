@@ -1,0 +1,269 @@
+//! Shortcut constructions with *measured* quality.
+//!
+//! Two constructions are implemented (DESIGN.md §3 documents this as a
+//! substitution for the planar-specific constructions of [12, 18]):
+//!
+//! * **Threshold-BFS** — parts with at least `√n` vertices receive the
+//!   whole BFS tree as their `H_i`; smaller parts receive nothing. At
+//!   most `√n` parts are big, so `α ≤ √n + O(1)`; big parts reach
+//!   diameter `O(D)` through the BFS tree and small parts have at most
+//!   `√n` vertices, so `β = O(D + √n)` — the general worst-case bound
+//!   of Ghaffari–Haeupler.
+//! * **Tree-restricted Steiner** — each part's `H_i` is the minimal
+//!   BFS-tree subtree spanning it (the union of tree paths from its
+//!   vertices to their common ancestor). This is the tree-restricted
+//!   shortcut family of Haeupler–Izumi–Zuzic; on low-treewidth and
+//!   outerplanar-like networks its measured congestion stays near-`D`.
+//!
+//! [`best_shortcut`] evaluates both and returns the better
+//! `(α + β)`-quality one; the experiments report the measured values.
+
+use crate::partition::Partition;
+use decss_graphs::algo::BfsTree;
+use decss_graphs::{EdgeId, Graph, VertexId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which construction produced a shortcut.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShortcutScheme {
+    /// Threshold-BFS (worst-case `O(D + √n)`).
+    ThresholdBfs,
+    /// Tree-restricted Steiner subtrees.
+    TreeRestricted,
+}
+
+/// Measured quality of a shortcut for one partition.
+#[derive(Clone, Copy, Debug)]
+pub struct ShortcutQuality {
+    /// Maximum number of `G[V_i] + H_i` subgraphs any edge appears in.
+    pub alpha: u32,
+    /// Maximum over parts of the eccentricity of the part's leader in
+    /// `G[V_i] + H_i` (broadcast radius; within a factor 2 of the
+    /// diameter bound in the definition).
+    pub beta: u32,
+    /// The winning construction.
+    pub scheme: ShortcutScheme,
+}
+
+impl ShortcutQuality {
+    /// `α + β`: the per-use round cost of the shortcut.
+    pub fn cost(&self) -> u64 {
+        self.alpha as u64 + self.beta as u64
+    }
+}
+
+/// Builds both constructions for `partition` and returns the better one.
+///
+/// `bfs` must be a spanning BFS tree of `g` (the shortcut backbone).
+pub fn best_shortcut(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let a = threshold_bfs(g, bfs, partition);
+    let b = tree_restricted(g, bfs, partition);
+    if a.cost() <= b.cost() {
+        a
+    } else {
+        b
+    }
+}
+
+/// The threshold-BFS construction.
+pub fn threshold_bfs(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let threshold = (g.n() as f64).sqrt().ceil() as usize;
+    let tree_edges: Vec<EdgeId> = bfs.tree_edges().collect();
+    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    let mut beta = 0u32;
+    let mut big_parts = 0u32;
+    for part in partition.parts() {
+        let hi: &[EdgeId] = if part.len() >= threshold {
+            big_parts += 1;
+            &tree_edges
+        } else {
+            &[]
+        };
+        for &e in hi {
+            *edge_load.entry(e).or_insert(0) += 1;
+        }
+        beta = beta.max(part_radius(g, partition, part, hi));
+    }
+    // Induced edges count once for their own part.
+    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
+    let _ = big_parts;
+    ShortcutQuality { alpha, beta, scheme: ShortcutScheme::ThresholdBfs }
+}
+
+/// The tree-restricted Steiner construction.
+pub fn tree_restricted(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    let mut beta = 0u32;
+    for part in partition.parts() {
+        let hi = steiner_edges(bfs, part);
+        for &e in &hi {
+            *edge_load.entry(e).or_insert(0) += 1;
+        }
+        beta = beta.max(part_radius(g, partition, part, &hi));
+    }
+    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
+    ShortcutQuality { alpha, beta, scheme: ShortcutScheme::TreeRestricted }
+}
+
+/// The minimal BFS-tree subtree spanning `part`: the union of tree paths
+/// from each vertex to the part's topmost common ancestor, pruned at
+/// already-visited vertices (linear in the Steiner tree size).
+pub fn steiner_edges(bfs: &BfsTree, part: &[VertexId]) -> Vec<EdgeId> {
+    // The common ancestor is found by walking the first vertex's root
+    // path and marking it, then intersecting with the others implicitly:
+    // we collect paths-to-root and keep the deepest vertex on all of
+    // them... simpler: union of paths to the BFS root, then prune edges
+    // above the highest branching/part vertex.
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut edges: Vec<(VertexId, EdgeId)> = Vec::new(); // (child, edge)
+    for &v in part {
+        let mut cur = v;
+        while visited.insert(cur) {
+            match (bfs.parent[cur.index()], bfs.parent_edge[cur.index()]) {
+                (Some(p), Some(e)) => {
+                    edges.push((cur, e));
+                    cur = p;
+                }
+                _ => break, // reached the BFS root
+            }
+        }
+    }
+    // Prune the tail above the subtree actually needed: repeatedly drop
+    // a "chain top" edge whose child has exactly one child in the union
+    // and is not a part vertex. Equivalent to trimming the path from the
+    // part's common ancestor up to the root.
+    let part_set: HashSet<VertexId> = part.iter().copied().collect();
+    let mut child_count: HashMap<VertexId, u32> = HashMap::new();
+    let mut parent_of: HashMap<VertexId, (VertexId, EdgeId)> = HashMap::new();
+    for &(c, e) in &edges {
+        let p = bfs.parent[c.index()].expect("edge has a parent");
+        *child_count.entry(p).or_insert(0) += 1;
+        parent_of.insert(c, (p, e));
+    }
+    // Walk down from the BFS root along single chains of non-part
+    // vertices, discarding those edges.
+    let mut discard: HashSet<EdgeId> = HashSet::new();
+    let mut cur = bfs.root;
+    loop {
+        if part_set.contains(&cur) || child_count.get(&cur).copied().unwrap_or(0) != 1 {
+            break;
+        }
+        // The unique union-child of cur.
+        let Some((&child, &(_, e))) = parent_of.iter().find(|(_, &(p, _))| p == cur) else {
+            break;
+        };
+        discard.insert(e);
+        cur = child;
+    }
+    edges
+        .into_iter()
+        .map(|(_, e)| e)
+        .filter(|e| !discard.contains(e))
+        .collect()
+}
+
+/// Eccentricity of the part's first vertex (its leader) inside
+/// `G[V_i] + H_i`.
+fn part_radius(g: &Graph, partition: &Partition, part: &[VertexId], hi: &[EdgeId]) -> u32 {
+    let me = partition.part_of(part[0]);
+    let hi_set: HashSet<EdgeId> = hi.iter().copied().collect();
+    let usable = |e: EdgeId| -> bool {
+        if hi_set.contains(&e) {
+            return true;
+        }
+        let edge = g.edge(e);
+        partition.part_of(edge.u) == me && partition.part_of(edge.v) == me
+    };
+    let mut dist: HashMap<VertexId, u32> = HashMap::from([(part[0], 0)]);
+    let mut queue = VecDeque::from([part[0]]);
+    let mut radius = 0;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for &(e, w) in g.incident(v) {
+            if usable(e) && !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+        radius = radius.max(d);
+    }
+    // Every part vertex must be reachable (parts are connected).
+    debug_assert!(part.iter().all(|v| dist.contains_key(v)));
+    // Only count the distance to part vertices: the shortcut is used to
+    // communicate within the part.
+    part.iter().map(|v| dist[v]).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::{algo, gen};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn singleton_parts_are_free() {
+        let g = gen::grid(4, 4, 5, 0);
+        let bfs = algo::bfs_tree(&g, v(0));
+        let parts: Vec<Vec<VertexId>> = g.vertices().map(|x| vec![x]).collect();
+        let p = Partition::new(&g, parts);
+        let q = best_shortcut(&g, &bfs, &p);
+        assert_eq!(q.beta, 0);
+        assert!(q.alpha <= 2);
+    }
+
+    #[test]
+    fn whole_graph_part_costs_about_diameter() {
+        let g = gen::grid(5, 5, 5, 1);
+        let bfs = algo::bfs_tree(&g, v(0));
+        let p = Partition::new(&g, vec![g.vertices().collect()]);
+        let q = best_shortcut(&g, &bfs, &p);
+        let d = algo::diameter(&g);
+        assert!(q.beta as u32 <= 2 * d + 2, "beta {} vs D {d}", q.beta);
+        assert!(q.alpha <= 2);
+    }
+
+    #[test]
+    fn steiner_tree_spans_the_part() {
+        let g = gen::grid(4, 6, 5, 2);
+        let bfs = algo::bfs_tree(&g, v(0));
+        let part = vec![v(3), v(17), v(22)];
+        let edges = steiner_edges(&bfs, &part);
+        // The Steiner edges plus nothing else must connect the part.
+        let mut uf = decss_graphs::algo::UnionFind::new(g.n());
+        for &e in &edges {
+            let edge = g.edge(e);
+            uf.union(edge.u.index(), edge.v.index());
+        }
+        assert!(uf.same(3, 17));
+        assert!(uf.same(3, 22));
+    }
+
+    #[test]
+    fn fragment_like_partition_has_bounded_cost_on_outerplanar() {
+        // Low-diameter outerplanar graphs: tree-restricted shortcuts stay
+        // near D while n grows.
+        let g = gen::outerplanar_disk(128, 1.0, 5, 3);
+        let bfs = algo::bfs_tree(&g, v(0));
+        // Partition = BFS subtrees at depth 2 boundaries (connected parts).
+        let mut parts: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for u in g.vertices() {
+            // group by ancestor at depth <= 2
+            let mut cur = u;
+            while bfs.dist[cur.index()].unwrap() > 2 {
+                cur = bfs.parent[cur.index()].unwrap();
+            }
+            parts.entry(cur).or_default().push(u);
+        }
+        let p = Partition::new(&g, parts.into_values().collect());
+        let q = best_shortcut(&g, &bfs, &p);
+        let d = algo::diameter(&g);
+        assert!(
+            q.cost() <= (4 * d as u64 + 8) * 4,
+            "cost {} vs D {d}",
+            q.cost()
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! The layering decomposition of the tree (Sections 3.2 and 4.3).
+//!
+//! Layer 1 consists of the tree paths between each leaf and its lowest
+//! junction ancestor; contracting them yields a smaller tree whose
+//! leaf-to-junction paths form layer 2, and so on. Equivalently, the
+//! layer of the edge above `v` is the *Strahler number* of `v`:
+//!
+//! * a leaf has Strahler number 1,
+//! * a vertex whose children have numbers `l1 >= l2 >= ...` has number
+//!   `l1` if `l1 > l2` (or only one child), and `l1 + 1` if `l1 == l2`.
+//!
+//! Each layer is a union of vertex-disjoint tree paths; along any
+//! leaf-to-root path the layer numbers are non-decreasing (Claim 4.8's
+//! premise); and there are at most `log2(#leaves) + 1` layers
+//! (Claim 4.7). The distributed construction costs
+//! `O((D + √n) log n)` rounds (Claim 4.10), charged by the round ledger.
+
+use crate::rooted::RootedTree;
+use decss_graphs::VertexId;
+
+/// Identifier of a layer path (dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathId(pub u32);
+
+/// One maximal path of a layer.
+#[derive(Clone, Debug)]
+pub struct LayerPath {
+    /// The layer this path belongs to (1-based).
+    pub layer: u32,
+    /// The path's tree edges, identified by child endpoints, bottom-up.
+    pub edges: Vec<VertexId>,
+    /// The lowest vertex of the path — `leaf(P)` in the paper.
+    pub leaf: VertexId,
+    /// The highest vertex of the path (the parent of the topmost edge).
+    pub top: VertexId,
+}
+
+/// The layering decomposition.
+#[derive(Clone, Debug)]
+pub struct Layering {
+    /// `layer[v]` = layer of the edge above `v`; 0 (unused) for the root.
+    layer: Vec<u32>,
+    /// `leaf_of[v]` = `leaf(t)` for the edge above `v`.
+    leaf_of: Vec<VertexId>,
+    /// `path_of[v]` = the layer path containing the edge above `v`.
+    path_of: Vec<PathId>,
+    paths: Vec<LayerPath>,
+    num_layers: u32,
+}
+
+impl Layering {
+    /// Computes the layering of a rooted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-vertex tree (there are no tree edges to layer).
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        assert!(n >= 2, "layering needs at least one tree edge");
+        let mut layer = vec![0u32; n];
+        // Strahler numbers, children before parents (reverse BFS order).
+        for &v in tree.order().iter().rev() {
+            let kids = tree.children(v);
+            if v == tree.root() {
+                continue;
+            }
+            if kids.is_empty() {
+                layer[v.index()] = 1;
+                continue;
+            }
+            let mut best = 0u32;
+            let mut second = 0u32;
+            for &c in kids {
+                let l = layer[c.index()];
+                if l > best {
+                    second = best;
+                    best = l;
+                } else if l > second {
+                    second = l;
+                }
+            }
+            layer[v.index()] = if kids.len() >= 2 && best == second { best + 1 } else { best };
+        }
+
+        // leaf(t) and path identification: the path of layer i containing
+        // the edge above v extends through the unique child with the same
+        // layer, if any.
+        let mut leaf_of = vec![VertexId(0); n];
+        let mut path_of = vec![PathId(u32::MAX); n];
+        let mut paths: Vec<LayerPath> = Vec::new();
+        for &v in tree.order().iter().rev() {
+            if v == tree.root() {
+                continue;
+            }
+            let continuation = tree
+                .children(v)
+                .iter()
+                .copied()
+                .find(|&c| layer[c.index()] == layer[v.index()]);
+            match continuation {
+                Some(c) => {
+                    leaf_of[v.index()] = leaf_of[c.index()];
+                    path_of[v.index()] = path_of[c.index()];
+                    let pid = path_of[c.index()];
+                    paths[pid.0 as usize].edges.push(v);
+                }
+                None => {
+                    let pid = PathId(paths.len() as u32);
+                    leaf_of[v.index()] = v;
+                    path_of[v.index()] = pid;
+                    paths.push(LayerPath {
+                        layer: layer[v.index()],
+                        edges: vec![v],
+                        leaf: v,
+                        top: v, // fixed below
+                    });
+                }
+            }
+        }
+        // Fix the `top` of each path: parent of its highest edge.
+        for p in &mut paths {
+            let highest_child = *p.edges.last().expect("paths are non-empty");
+            p.top = tree.parent(highest_child).expect("non-root child");
+        }
+        let num_layers = layer.iter().copied().max().unwrap_or(0);
+        Layering { layer, leaf_of, path_of, paths, num_layers }
+    }
+
+    /// Layer of the tree edge above `v` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `v` is the root.
+    #[inline]
+    pub fn layer(&self, v: VertexId) -> u32 {
+        debug_assert_ne!(self.layer[v.index()], 0, "the root has no edge above it");
+        self.layer[v.index()]
+    }
+
+    /// `leaf(t)` for the tree edge above `v`: the lowest vertex of the
+    /// layer path containing it.
+    #[inline]
+    pub fn leaf_of(&self, v: VertexId) -> VertexId {
+        self.leaf_of[v.index()]
+    }
+
+    /// The layer path containing the edge above `v`.
+    #[inline]
+    pub fn path_of(&self, v: VertexId) -> PathId {
+        self.path_of[v.index()]
+    }
+
+    /// The path with the given id.
+    pub fn path(&self, id: PathId) -> &LayerPath {
+        &self.paths[id.0 as usize]
+    }
+
+    /// All layer paths.
+    pub fn paths(&self) -> &[LayerPath] {
+        &self.paths
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> u32 {
+        self.num_layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{binary_tree, figure_tree, path_tree};
+
+    #[test]
+    fn figure_tree_layers_match_paper() {
+        let (_, t) = figure_tree();
+        let l = Layering::new(&t);
+        // Legs: edges above 3, 4, 5, 7, 8 are layer 1.
+        for v in [3u32, 4, 5, 7, 8] {
+            assert_eq!(l.layer(VertexId(v)), 1, "edge above v{v}");
+        }
+        // Junction 6 has two layer-1 children -> edge above 6 is layer 2.
+        assert_eq!(l.layer(VertexId(6)), 2);
+        // Vertex 2 has children layers [1, 1, 2]: unique max -> layer 2,
+        // continuing up through vertex 1.
+        assert_eq!(l.layer(VertexId(2)), 2);
+        assert_eq!(l.layer(VertexId(1)), 2);
+        assert_eq!(l.num_layers(), 2);
+    }
+
+    #[test]
+    fn figure_tree_paths_and_leaves() {
+        let (_, t) = figure_tree();
+        let l = Layering::new(&t);
+        // The leg 3-4 is one layer-1 path with leaf 4.
+        assert_eq!(l.path_of(VertexId(3)), l.path_of(VertexId(4)));
+        assert_eq!(l.leaf_of(VertexId(3)), VertexId(4));
+        assert_eq!(l.leaf_of(VertexId(4)), VertexId(4));
+        // The layer-2 path is 6 -> 2 -> 1 with leaf 6 and top 0.
+        assert_eq!(l.path_of(VertexId(6)), l.path_of(VertexId(1)));
+        assert_eq!(l.leaf_of(VertexId(1)), VertexId(6));
+        let p = l.path(l.path_of(VertexId(6)));
+        assert_eq!(p.layer, 2);
+        assert_eq!(p.edges, vec![VertexId(6), VertexId(2), VertexId(1)]);
+        assert_eq!(p.top, VertexId(0));
+    }
+
+    #[test]
+    fn path_tree_is_one_layer() {
+        let (_, t) = path_tree(12);
+        let l = Layering::new(&t);
+        assert_eq!(l.num_layers(), 1);
+        assert_eq!(l.paths().len(), 1);
+        assert_eq!(l.leaf_of(VertexId(1)), VertexId(11));
+    }
+
+    #[test]
+    fn binary_tree_has_log_layers() {
+        // 63 vertices, 32 leaves: the edges above the root's children have
+        // Strahler number levels - 1 = 5 (the root has no edge above it).
+        let (_, t) = binary_tree(6);
+        let l = Layering::new(&t);
+        assert_eq!(l.num_layers(), 5);
+        // Claim 4.7: at most log2(#leaves) + 1 layers.
+        assert!(l.num_layers() <= 32f64.log2() as u32 + 1);
+    }
+
+    #[test]
+    fn layers_are_monotone_up_root_paths() {
+        let (_, t) = binary_tree(5);
+        let l = Layering::new(&t);
+        for v in t.tree_edge_children() {
+            if let Some(p) = t.parent(v) {
+                if p != t.root() {
+                    assert!(
+                        l.layer(p) >= l.layer(v),
+                        "layer decreased from {v} to parent {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The paper defines layers by repeated contraction of
+    /// leaf-to-junction paths; we compute them via Strahler numbers.
+    /// This test implements the *literal contraction semantics* and
+    /// checks equality on random trees.
+    fn contraction_layers(tree: &RootedTree) -> Vec<u32> {
+        let n = tree.n();
+        let root = tree.root();
+        let mut layer = vec![0u32; n];
+        let mut removed = vec![false; n];
+        let mut current = 0u32;
+        loop {
+            // Child counts in the current contracted tree.
+            let mut child_count = vec![0usize; n];
+            for v in tree.order().iter().copied() {
+                if v != root && !removed[v.index()] {
+                    child_count[tree.parent(v).expect("non-root").index()] += 1;
+                }
+            }
+            let leaves: Vec<VertexId> = tree
+                .order()
+                .iter()
+                .copied()
+                .filter(|&v| v != root && !removed[v.index()] && child_count[v.index()] == 0)
+                .collect();
+            if leaves.is_empty() {
+                break;
+            }
+            current += 1;
+            let is_junction: Vec<bool> =
+                (0..n).map(|v| child_count[v] > 1).collect();
+            for leaf in leaves {
+                // Walk from the leaf to its first junction ancestor (or
+                // the root), marking the traversed edges.
+                let mut cur = leaf;
+                loop {
+                    layer[cur.index()] = current;
+                    removed[cur.index()] = true;
+                    let p = tree.parent(cur).expect("non-root");
+                    if p == root || is_junction[p.index()] {
+                        break;
+                    }
+                    cur = p;
+                }
+            }
+        }
+        layer
+    }
+
+    #[test]
+    fn strahler_matches_literal_contraction() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..12 {
+            // Random tree: parent(v) drawn from 0..v.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(5..60);
+            let edges: Vec<(u32, u32, u64)> =
+                (1..n as u32).map(|v| (rng.gen_range(0..v), v, 1)).collect();
+            let g = decss_graphs::Graph::from_edges(n, edges).unwrap();
+            let ids: Vec<decss_graphs::EdgeId> = g.edge_ids().collect();
+            let tree = RootedTree::new(&g, VertexId(0), &ids);
+
+            let fast = Layering::new(&tree);
+            let literal = contraction_layers(&tree);
+            for v in tree.tree_edge_children() {
+                assert_eq!(
+                    fast.layer(v),
+                    literal[v.index()],
+                    "seed {seed}: layer mismatch at edge above {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_partition_tree_edges() {
+        let (_, t) = figure_tree();
+        let l = Layering::new(&t);
+        let total: usize = l.paths().iter().map(|p| p.edges.len()).sum();
+        assert_eq!(total, t.num_tree_edges());
+        // Edges within a path are consecutive child-parent pairs.
+        for p in l.paths() {
+            for w in p.edges.windows(2) {
+                assert_eq!(t.parent(w[0]), Some(w[1]));
+            }
+            assert_eq!(*p.edges.first().unwrap(), p.leaf);
+        }
+    }
+}

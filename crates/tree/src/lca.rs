@@ -1,0 +1,183 @@
+//! Lowest common ancestors and LCA *labels*.
+//!
+//! The paper (following Censor-Hillel & Dory and Alstrup et al.) assigns
+//! each vertex an `O(log n)`-bit label from which any two adjacent
+//! vertices can compute their LCA's label locally; the distributed
+//! assignment costs `O(D + √n log* n)` rounds (Lemma 4.2), which the
+//! round ledger charges once during setup. Logically we expose the
+//! equivalent oracle: [`LcaLabel`] — a compact `(pre, post, depth)`
+//! triple supporting ancestor tests (Observation 1) — plus binary-lifting
+//! LCA queries.
+
+use crate::euler::EulerTour;
+use crate::rooted::RootedTree;
+use decss_graphs::VertexId;
+
+/// The `O(log n)`-bit label of a vertex: enough to decide ancestry
+/// between any two labelled vertices (Observation 1 in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LcaLabel {
+    /// Pre-order index.
+    pub pre: u32,
+    /// Post-order index.
+    pub post: u32,
+    /// Depth in the tree.
+    pub depth: u32,
+}
+
+impl LcaLabel {
+    /// Whether the vertex labelled `self` is an ancestor (inclusive) of
+    /// the vertex labelled `other`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &LcaLabel) -> bool {
+        self.pre <= other.pre && other.post <= self.post
+    }
+}
+
+/// Centralized LCA oracle with per-vertex labels.
+#[derive(Clone, Debug)]
+pub struct LcaOracle {
+    euler: EulerTour,
+    depth: Vec<u32>,
+    /// `up[k][v]` = 2^k-th ancestor of `v` (root maps to itself).
+    up: Vec<Vec<u32>>,
+}
+
+impl LcaOracle {
+    /// Builds the oracle in `O(n log n)`.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.n();
+        let euler = EulerTour::new(tree);
+        let depth: Vec<u32> = (0..n).map(|v| tree.depth(VertexId(v as u32))).collect();
+        let levels = (usize::BITS - n.leading_zeros()).max(1) as usize;
+        let mut up = vec![vec![0u32; n]; levels];
+        for v in 0..n {
+            up[0][v] = tree
+                .parent(VertexId(v as u32))
+                .unwrap_or(tree.root())
+                .0;
+        }
+        for k in 1..levels {
+            for v in 0..n {
+                up[k][v] = up[k - 1][up[k - 1][v] as usize];
+            }
+        }
+        LcaOracle { euler, depth, up }
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: VertexId) -> LcaLabel {
+        LcaLabel {
+            pre: self.euler.pre(v),
+            post: self.euler.post(v),
+            depth: self.depth[v.index()],
+        }
+    }
+
+    /// Whether `a` is an ancestor of `d` (inclusive).
+    #[inline]
+    pub fn is_ancestor(&self, a: VertexId, d: VertexId) -> bool {
+        self.euler.is_ancestor(a, d)
+    }
+
+    /// Whether `a` is a proper ancestor of `d`.
+    #[inline]
+    pub fn is_proper_ancestor(&self, a: VertexId, d: VertexId) -> bool {
+        self.euler.is_proper_ancestor(a, d)
+    }
+
+    /// Depth of `v`.
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// The underlying Euler tour.
+    pub fn euler(&self) -> &EulerTour {
+        &self.euler
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        if self.is_ancestor(u, v) {
+            return u;
+        }
+        if self.is_ancestor(v, u) {
+            return v;
+        }
+        // Lift u until its parent is an ancestor of v.
+        let mut cur = u;
+        for k in (0..self.up.len()).rev() {
+            let cand = VertexId(self.up[k][cur.index()]);
+            if !self.is_ancestor(cand, v) {
+                cur = cand;
+            }
+        }
+        VertexId(self.up[0][cur.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::figure_tree;
+    use decss_graphs::{gen, EdgeId};
+
+    #[test]
+    fn lca_on_figure_tree() {
+        let (_, t) = figure_tree();
+        let oracle = LcaOracle::new(&t);
+        assert_eq!(oracle.lca(VertexId(4), VertexId(5)), VertexId(2));
+        assert_eq!(oracle.lca(VertexId(7), VertexId(8)), VertexId(6));
+        assert_eq!(oracle.lca(VertexId(4), VertexId(8)), VertexId(2));
+        assert_eq!(oracle.lca(VertexId(4), VertexId(3)), VertexId(3));
+        assert_eq!(oracle.lca(VertexId(0), VertexId(8)), VertexId(0));
+        assert_eq!(oracle.lca(VertexId(5), VertexId(5)), VertexId(5));
+    }
+
+    #[test]
+    fn lca_matches_naive_on_random_tree() {
+        let g = gen::gnp_two_ec(40, 0.1, 100, 9);
+        let t = RootedTree::mst(&g);
+        let oracle = LcaOracle::new(&t);
+        let naive_lca = |mut a: VertexId, mut b: VertexId| {
+            while a != b {
+                if t.depth(a) >= t.depth(b) {
+                    a = t.parent(a).unwrap();
+                } else {
+                    b = t.parent(b).unwrap();
+                }
+            }
+            a
+        };
+        for a in 0..40u32 {
+            for b in (a..40).step_by(3) {
+                let (a, b) = (VertexId(a), VertexId(b));
+                assert_eq!(oracle.lca(a, b), naive_lca(a, b), "lca({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_decide_ancestry() {
+        let (_, t) = figure_tree();
+        let oracle = LcaOracle::new(&t);
+        let l2 = oracle.label(VertexId(2));
+        let l4 = oracle.label(VertexId(4));
+        let l5 = oracle.label(VertexId(5));
+        assert!(l2.is_ancestor_of(&l4));
+        assert!(l2.is_ancestor_of(&l5));
+        assert!(!l4.is_ancestor_of(&l5));
+        assert!(l4.is_ancestor_of(&l4));
+    }
+
+    #[test]
+    fn lca_on_path_tree() {
+        let g = gen::path(32);
+        let ids: Vec<EdgeId> = g.edge_ids().collect();
+        let t = RootedTree::new(&g, VertexId(0), &ids);
+        let oracle = LcaOracle::new(&t);
+        assert_eq!(oracle.lca(VertexId(31), VertexId(7)), VertexId(7));
+        assert_eq!(oracle.depth(VertexId(31)), 31);
+    }
+}

@@ -1,0 +1,463 @@
+//! The segment decomposition of the tree (Section 4.2.1, after
+//! Ghaffari–Parter's FT-MST decomposition).
+//!
+//! The tree is broken into `O(√n)` edge-disjoint segments of diameter
+//! `O(√n)`. Each segment `S` has a root `r_S` (an ancestor of the whole
+//! segment), a unique descendant `d_S`, a **highway** — the tree path
+//! `r_S → d_S` — and hanging subtrees attached to highway vertices. Only
+//! `r_S` and `d_S` may be shared with other segments. The **skeleton
+//! tree** has a vertex per `r_S`/`d_S` and an edge per highway.
+//!
+//! Construction: let `s = ⌈√n⌉` and `P = {v : |subtree(v)| ≥ s}`. `P` is
+//! ancestor-closed, has at most `n/s ≤ s` leaves, and hence `O(√n)`
+//! branching vertices. Decompose `P` into maximal paths between
+//! *break vertices* (the root, leaves of `P`, and branching vertices of
+//! `P`), chop each path into pieces of at most `s` edges — these pieces
+//! are the highways — and hang every subtree that left `P` from the
+//! piece in which its attachment vertex is a non-root vertex.
+
+use crate::euler::EulerTour;
+use crate::rooted::RootedTree;
+use decss_graphs::VertexId;
+
+/// Identifier of a segment (dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SegmentId(pub u32);
+
+/// One segment of the decomposition.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// `r_S`: the segment root, an ancestor of every vertex in the
+    /// segment.
+    pub root: VertexId,
+    /// `d_S`: the unique descendant; `r_S == d_S` only for the degenerate
+    /// single-segment decomposition of a tiny tree.
+    pub descendant: VertexId,
+    /// Highway edges (child endpoints), bottom-up: from `d_S` up to the
+    /// child of `r_S`.
+    pub highway: Vec<VertexId>,
+    /// All tree edges of the segment (child endpoints), highway included.
+    pub edges: Vec<VertexId>,
+    /// Exact diameter of the segment's subtree (in hops).
+    pub diameter: u32,
+}
+
+/// The segment decomposition of a rooted tree.
+#[derive(Clone, Debug)]
+pub struct SegmentDecomposition {
+    segments: Vec<Segment>,
+    /// Segment of the edge above `v`; `u32::MAX` for the root vertex.
+    seg_of_edge: Vec<u32>,
+    max_diameter: u32,
+}
+
+impl SegmentDecomposition {
+    /// Computes the decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-vertex tree.
+    pub fn new(tree: &RootedTree, euler: &EulerTour) -> Self {
+        let n = tree.n();
+        assert!(n >= 2, "segment decomposition needs at least one tree edge");
+        let s = (n as f64).sqrt().ceil() as u32;
+        let in_p = |v: VertexId| euler.subtree_size(v) >= s;
+
+        // P-children and break vertices.
+        let root = tree.root();
+        let mut p_children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in tree.order().iter().copied() {
+            if v != root && in_p(v) {
+                p_children[tree.parent(v).expect("non-root").index()].push(v);
+            }
+        }
+        let is_break = |v: VertexId| v == root || p_children[v.index()].len() != 1;
+
+        // Highways: walk each break-to-break chain, chopping into pieces
+        // of at most `s` edges. Pieces are recorded top-down.
+        struct Piece {
+            root: VertexId,
+            chain: Vec<VertexId>, // child endpoints, top-down
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        // `piece_above[v]` = piece containing the edge above v (P edges only).
+        let mut piece_above: Vec<Option<usize>> = vec![None; n];
+        for v in tree.order().iter().copied() {
+            if !(in_p(v) && is_break(v)) {
+                continue;
+            }
+            for &start in &p_children[v.index()] {
+                // Chain of P vertices from `start` down to the next break.
+                let mut chain = vec![start];
+                let mut cur = start;
+                while !is_break(cur) {
+                    cur = p_children[cur.index()][0];
+                    chain.push(cur);
+                }
+                // Chop into pieces of at most `s` edges.
+                let mut top = v;
+                for chunk in chain.chunks(s as usize) {
+                    let idx = pieces.len();
+                    for &x in chunk {
+                        piece_above[x.index()] = Some(idx);
+                    }
+                    pieces.push(Piece { root: top, chain: chunk.to_vec() });
+                    top = *chunk.last().expect("chunks are non-empty");
+                }
+            }
+        }
+        if pieces.is_empty() {
+            // Degenerate: P = {root}. One segment holds the whole tree.
+            pieces.push(Piece { root, chain: Vec::new() });
+        }
+
+        // Where do subtrees hanging off a P vertex go? To the piece in
+        // which the vertex is *not* the piece root — i.e. the piece of
+        // the edge above it — except the tree root, which hangs its
+        // leftovers on its first piece.
+        let hang_target = |x: VertexId| -> usize {
+            match piece_above[x.index()] {
+                Some(p) => p,
+                None => {
+                    debug_assert_eq!(x, root);
+                    0
+                }
+            }
+        };
+
+        // Assign every tree edge to a segment.
+        let mut seg_of_edge = vec![u32::MAX; n];
+        for (idx, piece) in pieces.iter().enumerate() {
+            for &x in &piece.chain {
+                seg_of_edge[x.index()] = idx as u32;
+            }
+        }
+        // Hanging subtrees: any non-P vertex whose parent is in P roots a
+        // hanging subtree; all its edges go to the attachment's target.
+        // Process in BFS order so parents are labelled first.
+        for v in tree.order().iter().copied() {
+            if v == root || in_p(v) {
+                continue;
+            }
+            let p = tree.parent(v).expect("non-root");
+            seg_of_edge[v.index()] = if in_p(p) {
+                hang_target(p) as u32
+            } else {
+                seg_of_edge[p.index()]
+            };
+        }
+
+        // Materialize segments.
+        let mut segments: Vec<Segment> = pieces
+            .iter()
+            .map(|piece| {
+                let descendant = piece.chain.last().copied().unwrap_or(piece.root);
+                let mut highway = piece.chain.clone();
+                highway.reverse(); // bottom-up
+                Segment {
+                    root: piece.root,
+                    descendant,
+                    highway,
+                    edges: Vec::new(),
+                    diameter: 0,
+                }
+            })
+            .collect();
+        for v in tree.order().iter().copied() {
+            if v == root {
+                continue;
+            }
+            let seg = seg_of_edge[v.index()];
+            debug_assert_ne!(seg, u32::MAX, "edge above {v} unassigned");
+            segments[seg as usize].edges.push(v);
+        }
+        let mut max_diameter = 0;
+        for seg in &mut segments {
+            seg.diameter = segment_diameter(tree, seg);
+            max_diameter = max_diameter.max(seg.diameter);
+        }
+        SegmentDecomposition { segments, seg_of_edge, max_diameter }
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the decomposition is empty (never; kept for API hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Segment of the tree edge above `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the root (it has no edge above it).
+    pub fn segment_of_edge(&self, v: VertexId) -> SegmentId {
+        let s = self.seg_of_edge[v.index()];
+        assert_ne!(s, u32::MAX, "the root has no edge above it");
+        SegmentId(s)
+    }
+
+    /// The segment with the given id.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.0 as usize]
+    }
+
+    /// Largest segment diameter (feeds the round-cost formulas).
+    pub fn max_diameter(&self) -> u32 {
+        self.max_diameter
+    }
+
+    /// The skeleton edges: one `(r_S, d_S)` pair per non-degenerate
+    /// segment.
+    pub fn skeleton_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.segments
+            .iter()
+            .filter(|s| s.root != s.descendant)
+            .map(|s| (s.root, s.descendant))
+    }
+
+    /// The skeleton tree (Section 4.2.1): a vertex per distinct
+    /// `r_S`/`d_S` and an edge per highway. Every vertex learns this
+    /// whole structure in the distributed construction (Claim 4.3) — it
+    /// has `O(√n)` vertices, so `O(√n)` words suffice.
+    pub fn skeleton(&self) -> SkeletonTree {
+        let mut vertices: Vec<VertexId> = self
+            .segments
+            .iter()
+            .flat_map(|s| [s.root, s.descendant])
+            .collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        let edges: Vec<(VertexId, VertexId, SegmentId)> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.root != s.descendant)
+            .map(|(i, s)| (s.root, s.descendant, SegmentId(i as u32)))
+            .collect();
+        SkeletonTree { vertices, edges }
+    }
+}
+
+/// The virtual skeleton tree of a segment decomposition: `O(√n)`
+/// vertices (the segment roots and descendants), one edge per highway.
+#[derive(Clone, Debug)]
+pub struct SkeletonTree {
+    /// The distinct `r_S` / `d_S` vertices, sorted.
+    pub vertices: Vec<VertexId>,
+    /// `(r_S, d_S, segment)` per highway.
+    pub edges: Vec<(VertexId, VertexId, SegmentId)>,
+}
+
+impl SkeletonTree {
+    /// Whether the skeleton is a forest rooted at the tree root: every
+    /// vertex except the roots appears as a descendant of exactly one
+    /// edge. (It is a *tree* whenever the decomposition is
+    /// non-degenerate.)
+    pub fn is_consistent(&self) -> bool {
+        let mut seen_as_descendant = std::collections::HashSet::new();
+        for &(_, d, _) in &self.edges {
+            if !seen_as_descendant.insert(d) {
+                return false; // two highways share a descendant
+            }
+        }
+        self.edges.len() < self.vertices.len().max(1)
+    }
+}
+
+/// Exact diameter of a segment's subtree via double BFS over its edges.
+fn segment_diameter(tree: &RootedTree, seg: &Segment) -> u32 {
+    use std::collections::{HashMap, VecDeque};
+    if seg.edges.is_empty() {
+        return 0;
+    }
+    let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for &v in &seg.edges {
+        let p = tree.parent(v).expect("non-root");
+        adj.entry(v).or_default().push(p);
+        adj.entry(p).or_default().push(v);
+    }
+    let bfs = |start: VertexId| -> (VertexId, u32) {
+        let mut dist: HashMap<VertexId, u32> = HashMap::from([(start, 0)]);
+        let mut queue = VecDeque::from([start]);
+        let (mut far, mut far_d) = (start, 0);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            if d > far_d {
+                far = v;
+                far_d = d;
+            }
+            for &w in adj.get(&v).map(|x| x.as_slice()).unwrap_or(&[]) {
+                if !dist.contains_key(&w) {
+                    dist.insert(w, d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        (far, far_d)
+    };
+    let (far, _) = bfs(seg.root);
+    bfs(far).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{binary_tree, figure_tree, path_tree};
+    use decss_graphs::gen;
+
+    fn check_invariants(tree: &RootedTree, euler: &EulerTour, decomp: &SegmentDecomposition) {
+        let n = tree.n();
+        let s = (n as f64).sqrt().ceil() as u32;
+        // Edge-disjoint and complete.
+        let total: usize = decomp.segments().iter().map(|x| x.edges.len()).sum();
+        assert_eq!(total, tree.num_tree_edges(), "edges partitioned");
+        // Count and diameter bounds (constants per the construction).
+        assert!(
+            decomp.len() as u32 <= 4 * s + 2,
+            "too many segments: {} for n = {n}",
+            decomp.len()
+        );
+        assert!(
+            decomp.max_diameter() <= 4 * s + 2,
+            "diameter {} too large for n = {n}",
+            decomp.max_diameter()
+        );
+        for seg in decomp.segments() {
+            // r_S is an ancestor of everything in the segment.
+            for &v in &seg.edges {
+                assert!(euler.is_ancestor(seg.root, v), "{v} not under {}", seg.root);
+            }
+            // The highway really is the path d_S -> r_S.
+            if !seg.highway.is_empty() {
+                assert_eq!(seg.highway[0], seg.descendant);
+                let mut cur = seg.descendant;
+                for &h in &seg.highway {
+                    assert_eq!(h, cur);
+                    cur = tree.parent(cur).expect("non-root");
+                }
+                assert_eq!(cur, seg.root);
+            }
+        }
+        // Interior vertices are private: a vertex that is neither r_S nor
+        // d_S of any segment appears in edges of exactly one segment.
+        use std::collections::{HashMap, HashSet};
+        let mut shared: HashSet<VertexId> = HashSet::new();
+        for seg in decomp.segments() {
+            shared.insert(seg.root);
+            shared.insert(seg.descendant);
+        }
+        let mut seg_of_vertex: HashMap<VertexId, u32> = HashMap::new();
+        for (i, seg) in decomp.segments().iter().enumerate() {
+            for &v in &seg.edges {
+                let p = tree.parent(v).expect("non-root");
+                for x in [v, p] {
+                    if shared.contains(&x) {
+                        continue;
+                    }
+                    if let Some(&prev) = seg_of_vertex.get(&x) {
+                        assert_eq!(prev, i as u32, "interior vertex {x} in two segments");
+                    } else {
+                        seg_of_vertex.insert(x, i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_tree_decomposition() {
+        let (_, t) = figure_tree();
+        let euler = EulerTour::new(&t);
+        let d = SegmentDecomposition::new(&t, &euler);
+        check_invariants(&t, &euler, &d);
+    }
+
+    #[test]
+    fn path_tree_decomposition_has_sqrt_segments() {
+        let (_, t) = path_tree(100);
+        let euler = EulerTour::new(&t);
+        let d = SegmentDecomposition::new(&t, &euler);
+        check_invariants(&t, &euler, &d);
+        // A path of 100 vertices with s = 10 should yield about 10
+        // segments of about 10 edges each.
+        assert!(d.len() >= 8 && d.len() <= 12, "{} segments", d.len());
+    }
+
+    #[test]
+    fn binary_tree_decomposition() {
+        let (_, t) = binary_tree(8); // 255 vertices
+        let euler = EulerTour::new(&t);
+        let d = SegmentDecomposition::new(&t, &euler);
+        check_invariants(&t, &euler, &d);
+        assert!(d.len() > 1);
+    }
+
+    #[test]
+    fn random_trees_decompose_within_bounds() {
+        for seed in 0..6 {
+            let g = gen::gnp_two_ec(200, 0.05, 50, seed);
+            let t = RootedTree::mst(&g);
+            let euler = EulerTour::new(&t);
+            let d = SegmentDecomposition::new(&t, &euler);
+            check_invariants(&t, &euler, &d);
+        }
+    }
+
+    #[test]
+    fn tiny_tree_single_segment() {
+        let (_, t) = path_tree(2);
+        let euler = EulerTour::new(&t);
+        let d = SegmentDecomposition::new(&t, &euler);
+        assert_eq!(
+            d.segments().iter().map(|s| s.edges.len()).sum::<usize>(),
+            1
+        );
+        check_invariants(&t, &euler, &d);
+    }
+
+    #[test]
+    fn skeleton_tree_structure() {
+        for seed in 0..4 {
+            let g = gen::gnp_two_ec(150, 0.05, 40, seed);
+            let t = RootedTree::mst(&g);
+            let euler = EulerTour::new(&t);
+            let d = SegmentDecomposition::new(&t, &euler);
+            let skel = d.skeleton();
+            assert!(skel.is_consistent(), "seed {seed}");
+            // O(sqrt n) size.
+            let s = (g.n() as f64).sqrt().ceil();
+            assert!(skel.vertices.len() as f64 <= 8.0 * s + 4.0);
+            // Every highway's endpoints appear among the vertices, and
+            // r_S is a proper ancestor of d_S.
+            for &(r, dsc, seg) in &skel.edges {
+                assert!(skel.vertices.binary_search(&r).is_ok());
+                assert!(skel.vertices.binary_search(&dsc).is_ok());
+                assert!(euler.is_proper_ancestor(r, dsc));
+                assert_eq!(d.segment(seg).root, r);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_of_edge_is_consistent() {
+        let (_, t) = binary_tree(6);
+        let euler = EulerTour::new(&t);
+        let d = SegmentDecomposition::new(&t, &euler);
+        for (i, seg) in d.segments().iter().enumerate() {
+            for &v in &seg.edges {
+                assert_eq!(d.segment_of_edge(v), SegmentId(i as u32));
+            }
+        }
+        assert!(!d.is_empty());
+        assert!(d.skeleton_edges().count() <= d.len());
+    }
+}

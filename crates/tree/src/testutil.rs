@@ -1,0 +1,51 @@
+//! Shared test fixtures for the tree crate.
+
+use crate::rooted::RootedTree;
+use decss_graphs::{EdgeId, Graph, VertexId};
+
+/// A small tree shaped like the paper's Figure 1 (left): a stem with a
+/// junction at vertex 2 carrying a two-edge leg (3-4), a single-edge leg
+/// (5), and a second junction (6) with two single-edge legs (7, 8).
+///
+/// Expected layering (Strahler): edges above 3,4,5,7,8 are layer 1;
+/// edges above 2,6 — wait, edge above 6 is layer 2 (junction 6 has two
+/// layer-1 legs); edges above 1,2 are layer 2? Vertex 2 has children
+/// layers [1 (leg 3-4), 1 (leg 5), 2 (edge above 6)] → max 2 unique →
+/// edge above 2 is layer 2, continuing through vertex 1 to the root.
+pub(crate) fn figure_tree() -> (Graph, RootedTree) {
+    let edges = [
+        (0, 1, 1),
+        (1, 2, 1),
+        (2, 3, 1),
+        (3, 4, 1),
+        (2, 5, 1),
+        (2, 6, 1),
+        (6, 7, 1),
+        (6, 8, 1),
+    ];
+    let g = Graph::from_edges(9, edges).unwrap();
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    let t = RootedTree::new(&g, VertexId(0), &ids);
+    (g, t)
+}
+
+/// A pure path rooted at one end: 0-1-2-...-(n-1).
+pub(crate) fn path_tree(n: usize) -> (Graph, RootedTree) {
+    let g = decss_graphs::gen::path(n);
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    let t = RootedTree::new(&g, VertexId(0), &ids);
+    (g, t)
+}
+
+/// A complete binary tree with `levels` levels (root at vertex 0).
+pub(crate) fn binary_tree(levels: u32) -> (Graph, RootedTree) {
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        edges.push(((v - 1) / 2, v, 1));
+    }
+    let g = Graph::from_edges(n, edges).unwrap();
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    let t = RootedTree::new(&g, VertexId(0), &ids);
+    (g, t)
+}

@@ -1,0 +1,56 @@
+//! Failure drill: kill every single link of the computed 2-ECSS in turn
+//! and verify the network stays connected — then do the same to the MST
+//! and watch it fall apart.
+//!
+//! ```sh
+//! cargo run --example failure_drill
+//! ```
+
+use decss::core::{approximate_two_ecss, TwoEcssConfig};
+use decss::graphs::{algo, gen, EdgeId};
+
+fn survives_all_single_failures(g: &decss::graphs::Graph, edges: &[EdgeId]) -> (usize, usize) {
+    let mut survived = 0;
+    for drop in edges {
+        let rest = edges.iter().copied().filter(|e| e != drop);
+        if algo::is_connected_subgraph(g, rest) {
+            survived += 1;
+        }
+    }
+    (survived, edges.len())
+}
+
+fn main() {
+    let network = gen::gnp_two_ec(150, 0.05, 100, 3);
+    println!(
+        "network: {} nodes, {} links, diameter {}",
+        network.n(),
+        network.m(),
+        algo::diameter(&network)
+    );
+
+    let result =
+        approximate_two_ecss(&network, &TwoEcssConfig::default()).expect("2EC input");
+
+    let (ok_2ecss, total_2ecss) = survives_all_single_failures(&network, &result.edges);
+    println!(
+        "\n2-ECSS ({} edges, weight {}): survives {ok_2ecss}/{total_2ecss} single-link failures",
+        result.edges.len(),
+        result.total_weight()
+    );
+    assert_eq!(ok_2ecss, total_2ecss, "a 2-ECSS must survive them all");
+
+    let (ok_mst, total_mst) = survives_all_single_failures(&network, &result.mst_edges);
+    println!(
+        "MST alone ({} edges, weight {}): survives {ok_mst}/{total_mst} single-link failures",
+        result.mst_edges.len(),
+        result.mst_weight
+    );
+    assert_eq!(ok_mst, 0, "every tree edge is a bridge");
+
+    println!(
+        "\nredundancy premium: +{} weight (+{:.1}%) for full single-failure resilience",
+        result.augmentation_weight,
+        100.0 * result.augmentation_weight as f64 / result.mst_weight as f64
+    );
+}

@@ -1,0 +1,44 @@
+//! Theorem 1.2 in action: on well-behaved topologies the shortcut-based
+//! algorithm's cost parameter is the diameter, not `D + √n`.
+//!
+//! ```sh
+//! cargo run --example planar_advantage
+//! ```
+
+use decss::graphs::{algo, gen};
+use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
+
+fn report(name: &str, g: &decss::graphs::Graph) {
+    let d = algo::diameter(g);
+    let res = shortcut_two_ecss(g, &ShortcutConfig::default()).expect("2EC input");
+    println!(
+        "{name:<22} n={:<5} D={:<4} sqrt(n)={:<6.1} measured SC={:<5} SC/D={:<6.2} rounds={}",
+        g.n(),
+        d,
+        (g.n() as f64).sqrt(),
+        res.measured_sc,
+        res.measured_sc as f64 / d.max(1) as f64,
+        res.ledger.total_rounds()
+    );
+}
+
+fn main() {
+    println!("shortcut complexity by topology (Theorem 1.2):\n");
+    for n in [100usize, 256, 400] {
+        report("outerplanar disk", &gen::outerplanar_disk(n, 1.0, 50, 1));
+        report("grid (planar)", &{
+            let side = (n as f64).sqrt() as usize;
+            gen::grid(side, side, 50, 1)
+        });
+        report("caterpillar", &gen::caterpillar_two_ec(n / 2, 2, 50, 1));
+        report("broom (bad case)", &gen::broom_two_ec(n, 50, 1));
+        println!();
+    }
+    println!(
+        "reading: on every family the *fragment* partitions the algorithm uses\n\
+         keep SC near the diameter — on well-behaved topologies that diameter is\n\
+         tiny, which is the paper's Õ(D) regime. The worst-case Ω(√n) behaviour\n\
+         needs adversarial partitions on the Das Sarma shape; run\n\
+         `cargo run -p decss-bench --bin experiments -- e5` to see that side."
+    );
+}

@@ -1,0 +1,46 @@
+//! The unweighted special case (Section 3.6.1): augmenting a spanning
+//! tree with the fewest extra links, via the simple MIS + petals
+//! algorithm, compared against the exact optimum.
+//!
+//! ```sh
+//! cargo run --example unweighted_tap
+//! ```
+
+use decss::baselines;
+use decss::core::algorithm::approximate_tap_unweighted;
+use decss::graphs::{algo, gen, EdgeId};
+use decss::tree::RootedTree;
+
+fn main() {
+    println!("unweighted tree augmentation: MIS + petals (Section 3.6.1)\n");
+    for seed in 0..5 {
+        // A branching random tree (edge ids 0..n-1) with unit-cost chords.
+        let g = gen::tree_plus_chords(14, 6, 1, seed).unweighted();
+        let tree_ids: Vec<EdgeId> = (0..13).map(EdgeId).collect();
+        let tree = RootedTree::new(&g, decss::graphs::VertexId(0), &tree_ids);
+        let candidates = g.m() - (g.n() - 1);
+        if candidates > baselines::exact_tap::MAX_CANDIDATES {
+            continue;
+        }
+        let res = approximate_tap_unweighted(&g, &tree).expect("2EC input");
+        let (_, exact) = baselines::exact_tap(&g, &tree).expect("feasible");
+        let tree_edges: Vec<EdgeId> =
+            g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+        let all: Vec<EdgeId> = tree_edges
+            .iter()
+            .copied()
+            .chain(res.augmentation.iter().copied())
+            .collect();
+        assert!(algo::two_edge_connected_in(&g, all));
+        println!(
+            "seed {seed}: n={:<3} candidates={:<3} ours={:<3} exact={:<3} ratio={:.2} (bound 4) anchors={}",
+            g.n(),
+            candidates,
+            res.augmentation.len(),
+            exact,
+            res.augmentation.len() as f64 / exact as f64,
+            res.stats.anchors
+        );
+    }
+    println!("\nevery output verified 2-edge-connected; ratio stays well under the bound.");
+}

@@ -1,0 +1,164 @@
+//! The `decss` command-line tool: run the paper's algorithms on a graph
+//! file (see `decss_graphs::io` for the format) or on a generated
+//! instance, and print the chosen subgraph plus diagnostics.
+//!
+//! ```text
+//! decss solve  --input net.graph [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon 0.25]
+//! decss gen    --family grid --n 100 --seed 7 [--max-weight 64]    # writes the format to stdout
+//! decss verify --input net.graph --edges 0,3,7,...                 # check a 2-ECSS
+//! ```
+
+use decss::baselines;
+use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
+use decss::graphs::{algo, gen, io, EdgeId, Graph};
+use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  decss solve  --input FILE [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon E]");
+            eprintln!("  decss gen    --family NAME --n N [--seed S] [--max-weight W]");
+            eprintln!("  decss verify --input FILE --edges ID[,ID...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn load(args: &[String]) -> Result<Graph, String> {
+    let path = flag(args, "--input").ok_or("--input FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::parse_graph(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("solve") => solve(&args[1..]),
+        Some("gen") => generate(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        _ => Err("expected a subcommand: solve | gen | verify".into()),
+    }
+}
+
+fn solve(args: &[String]) -> Result<(), String> {
+    let g = load(args)?;
+    let algorithm = flag(args, "--algorithm").unwrap_or("improved");
+    let epsilon: f64 = flag(args, "--epsilon")
+        .map(|s| s.parse().map_err(|_| format!("bad --epsilon {s}")))
+        .transpose()?
+        .unwrap_or(0.25);
+
+    let print_solution = |edges: &[EdgeId], label: &str, rounds: Option<u64>| {
+        let weight = g.weight_of(edges.iter().copied());
+        let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
+        println!("algorithm: {label}");
+        println!("edges: {}", edges.iter().map(|e| e.0.to_string()).collect::<Vec<_>>().join(","));
+        println!("weight: {weight}");
+        if let Some(r) = rounds {
+            println!("simulated-rounds: {r}");
+        }
+        println!("valid-2ecss: {valid}");
+    };
+
+    match algorithm {
+        "improved" | "basic" => {
+            let variant = if algorithm == "improved" { Variant::Improved } else { Variant::Basic };
+            let config = TwoEcssConfig { tap: TapConfig { epsilon, variant } };
+            let res = approximate_two_ecss(&g, &config).map_err(|e| e.to_string())?;
+            print_solution(&res.edges, algorithm, Some(res.ledger.total_rounds()));
+            println!("certified-ratio: {:.3}", res.certified_ratio());
+            println!("guarantee: {:.3}", config.tap.two_ecss_guarantee());
+        }
+        "shortcut" => {
+            let res =
+                shortcut_two_ecss(&g, &ShortcutConfig::default()).map_err(|e| e.to_string())?;
+            print_solution(&res.edges, "shortcut (Theorem 1.2)", Some(res.ledger.total_rounds()));
+            println!("measured-sc: {}", res.measured_sc);
+        }
+        "greedy" => {
+            let tree = decss::tree::RootedTree::mst(&g);
+            let (aug, _) =
+                baselines::greedy_tap(&g, &tree).ok_or("graph is not 2-edge-connected")?;
+            let mut edges: Vec<EdgeId> =
+                g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+            edges.extend(aug);
+            edges.sort_unstable();
+            print_solution(&edges, "greedy baseline", None);
+        }
+        "unweighted" => {
+            let tree = decss::tree::RootedTree::mst(&g);
+            let res = decss::core::algorithm::approximate_tap_unweighted(&g, &tree)
+                .map_err(|e| e.to_string())?;
+            let mut edges: Vec<EdgeId> =
+                g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+            edges.extend(res.augmentation.iter().copied());
+            edges.sort_unstable();
+            print_solution(&edges, "unweighted (Section 3.6.1)", Some(res.ledger.total_rounds()));
+        }
+        other => return Err(format!("unknown --algorithm {other}")),
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let family = flag(args, "--family").ok_or("--family NAME is required")?;
+    let n: usize = flag(args, "--n")
+        .ok_or("--n N is required")?
+        .parse()
+        .map_err(|_| "bad --n")?;
+    let seed: u64 = flag(args, "--seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+    let w: u64 = flag(args, "--max-weight").unwrap_or("64").parse().map_err(|_| "bad --max-weight")?;
+    let g = match family {
+        "broom" => gen::broom_two_ec(n, w, seed),
+        "hard-sqrt" => gen::hard_sqrt_two_ec(n, w, seed),
+        "tree-chords" => gen::tree_plus_chords(n, n / 2, w, seed),
+        other => {
+            let fam = gen::Family::ALL
+                .into_iter()
+                .find(|f| f.label() == other)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown --family {other}; options: {}, broom, hard-sqrt, tree-chords",
+                        gen::Family::ALL.map(|f| f.label()).join(", ")
+                    )
+                })?;
+            gen::instance(fam, n, w, seed)
+        }
+    };
+    print!("{}", io::format_graph(&g));
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let g = load(args)?;
+    let list = flag(args, "--edges").ok_or("--edges ID[,ID...] is required")?;
+    let edges: Vec<EdgeId> = list
+        .split(',')
+        .map(|s| s.trim().parse::<u32>().map(EdgeId).map_err(|_| format!("bad edge id {s}")))
+        .collect::<Result<_, _>>()?;
+    for &e in &edges {
+        if e.index() >= g.m() {
+            return Err(format!("edge id {e} out of range (m = {})", g.m()));
+        }
+    }
+    let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
+    println!("edges: {}", edges.len());
+    println!("weight: {}", g.weight_of(edges.iter().copied()));
+    println!("valid-2ecss: {valid}");
+    if !valid {
+        return Err("the given edge set is not a spanning 2-edge-connected subgraph".into());
+    }
+    Ok(())
+}

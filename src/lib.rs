@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+//! `decss` — distributed approximation of minimum-weight 2-edge-connected
+//! spanning subgraphs.
+//!
+//! This is the facade crate of the workspace reproducing **Dory &
+//! Ghaffari, "Improved Distributed Approximations for Minimum-Weight
+//! Two-Edge-Connected Spanning Subgraph" (PODC 2019)**. It re-exports
+//! the sub-crates:
+//!
+//! * [`graphs`] — weighted graphs, generators, verification oracles,
+//! * [`congest`] — the CONGEST round simulator and message-level
+//!   protocols,
+//! * [`tree`] — LCA labels, heavy-light decomposition, the layering and
+//!   segment decompositions, aggregate engines,
+//! * [`core`] — the paper's deterministic `(5+ε)`-approximation
+//!   (Theorem 1.1), its `(4+ε)` TAP engine, and the unweighted variant,
+//! * [`shortcuts`] — the low-congestion-shortcut framework and the
+//!   `O(log n)`-approximation in `Õ(SC(G)+D)` rounds (Theorem 1.2),
+//! * [`baselines`] — exact solvers and classical baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use decss::graphs::gen;
+//! use decss::core::{approximate_two_ecss, TwoEcssConfig};
+//!
+//! let network = gen::sparse_two_ec(64, 48, 100, 1);
+//! let result = approximate_two_ecss(&network, &TwoEcssConfig::default())?;
+//! assert!(decss::graphs::algo::two_edge_connected_in(
+//!     &network,
+//!     result.edges.iter().copied(),
+//! ));
+//! println!(
+//!     "2-ECSS weight {} (certified within {:.2}x of optimal), {} CONGEST rounds",
+//!     result.total_weight(),
+//!     result.certified_ratio(),
+//!     result.ledger.total_rounds()
+//! );
+//! # Ok::<(), decss::core::TapError>(())
+//! ```
+
+pub use decss_baselines as baselines;
+pub use decss_congest as congest;
+pub use decss_core as core;
+pub use decss_graphs as graphs;
+pub use decss_shortcuts as shortcuts;
+pub use decss_tree as tree;

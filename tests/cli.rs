@@ -1,0 +1,82 @@
+//! End-to-end tests of the `decss` CLI binary.
+
+use std::process::Command;
+
+fn decss(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_decss"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tempfile(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("decss-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write");
+    path
+}
+
+#[test]
+fn gen_solve_verify_roundtrip() {
+    let (graph_text, _, ok) = decss(&["gen", "--family", "grid", "--n", "25", "--seed", "3"]);
+    assert!(ok, "gen failed");
+    assert!(graph_text.starts_with("p 25 "));
+    let path = tempfile("grid.graph", &graph_text);
+    let path = path.to_str().expect("utf8 path");
+
+    for algorithm in ["improved", "basic", "shortcut", "greedy", "unweighted"] {
+        let (out, err, ok) =
+            decss(&["solve", "--input", path, "--algorithm", algorithm]);
+        assert!(ok, "solve {algorithm} failed: {err}");
+        assert!(out.contains("valid-2ecss: true"), "{algorithm}: {out}");
+        // Feed the reported edges back into verify.
+        let edges_line = out
+            .lines()
+            .find(|l| l.starts_with("edges: "))
+            .expect("edges line")
+            .trim_start_matches("edges: ")
+            .to_string();
+        let (vout, verr, vok) =
+            decss(&["verify", "--input", path, "--edges", &edges_line]);
+        assert!(vok, "verify after {algorithm} failed: {verr}");
+        assert!(vout.contains("valid-2ecss: true"));
+    }
+}
+
+#[test]
+fn verify_rejects_a_tree() {
+    let (graph_text, _, _) = decss(&["gen", "--family", "cycle", "--n", "16"]);
+    // "cycle" is not a family label; expect failure with a helpful message.
+    assert!(graph_text.is_empty());
+    let (_, err, ok) = decss(&["gen", "--family", "cycle", "--n", "16"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --family"));
+
+    // Generate a real instance, then verify a non-spanning subset.
+    let (text, _, ok) = decss(&["gen", "--family", "sparse-random", "--n", "12", "--seed", "1"]);
+    assert!(ok);
+    let path = tempfile("sparse.graph", &text);
+    let path = path.to_str().expect("utf8 path");
+    let (_, err, ok) = decss(&["verify", "--input", path, "--edges", "0,1,2"]);
+    assert!(!ok);
+    assert!(err.contains("not a spanning 2-edge-connected subgraph"));
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (_, err, ok) = decss(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (_, err, ok) = decss(&["solve"]);
+    assert!(!ok);
+    assert!(err.contains("--input"));
+    let (_, err, ok) = decss(&["solve", "--input", "/nonexistent/x.graph"]);
+    assert!(!ok);
+    assert!(err.contains("reading"));
+}

@@ -1,0 +1,109 @@
+//! Failure-injection tests: every verifier must *reject* corrupted
+//! outputs. A test suite that only checks the happy path can pass with
+//! a broken checker; these tests break things on purpose.
+
+use decss::core::{approximate_two_ecss, TwoEcssConfig};
+use decss::graphs::{algo, gen, EdgeId};
+
+#[test]
+fn edge_drops_are_judged_exactly_like_brute_force() {
+    // Drop every single output edge in turn: the fast oracle's verdict
+    // must match the brute-force definition every time (an MST edge *may*
+    // be redundant once the augmentation richly covers it — the point is
+    // that the verifier is never fooled either way), and at least one
+    // drop must actually break the subgraph.
+    let g = gen::sparse_two_ec(40, 30, 40, 5);
+    let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+    assert!(algo::two_edge_connected_in(&g, res.edges.iter().copied()));
+    let mut saw_break = false;
+    for drop in &res.edges {
+        let rest: Vec<EdgeId> =
+            res.edges.iter().copied().filter(|e| e != drop).collect();
+        let fast = algo::two_edge_connected_in(&g, rest.iter().copied());
+        let brute = algo::is_connected_subgraph(&g, rest.iter().copied())
+            && rest.iter().all(|&d| {
+                algo::is_connected_subgraph(&g, rest.iter().copied().filter(|&e| e != d))
+            });
+        assert_eq!(fast, brute, "verifier disagrees with brute force at {drop}");
+        saw_break |= !fast;
+    }
+    assert!(saw_break, "no single drop ever broke the output");
+}
+
+#[test]
+fn minimality_probe_augmentation_edges_are_load_bearing_somewhere() {
+    // The reverse-delete phase prunes aggressively: on the instances
+    // below, at least one augmentation edge must be essential (dropping
+    // it breaks 2-edge-connectivity). (Not every edge need be essential
+    // — the cover-bound guarantee allows slack — but if *none* were, the
+    // phase would be vacuous.)
+    let mut saw_essential = false;
+    for seed in 0..5 {
+        let g = gen::sparse_two_ec(30, 20, 40, seed);
+        let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+        for drop in &res.augmentation {
+            let rest: Vec<EdgeId> =
+                res.edges.iter().copied().filter(|e| e != drop).collect();
+            if !algo::two_edge_connected_in(&g, rest.iter().copied()) {
+                saw_essential = true;
+            }
+        }
+    }
+    assert!(saw_essential, "no augmentation edge was ever essential");
+}
+
+#[test]
+fn bridge_oracle_rejects_single_edge_corruptions() {
+    // Take a valid 2-ECSS and swap one chosen edge for an arbitrary
+    // unchosen one; the oracle must notice whenever the result is broken,
+    // and the brute-force connectivity check must agree either way.
+    let g = gen::grid(5, 5, 20, 8);
+    let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+    let unchosen: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|e| !res.edges.contains(e))
+        .collect();
+    for (i, drop) in res.edges.iter().enumerate().step_by(3) {
+        let replacement = unchosen[i % unchosen.len()];
+        let mut mutated = res.edges.clone();
+        mutated.retain(|e| e != drop);
+        mutated.push(replacement);
+        let fast = algo::two_edge_connected_in(&g, mutated.iter().copied());
+        // Brute force: connected and every single deletion stays connected.
+        let brute = algo::is_connected_subgraph(&g, mutated.iter().copied())
+            && mutated.iter().all(|&d| {
+                algo::is_connected_subgraph(
+                    &g,
+                    mutated.iter().copied().filter(|&e| e != d),
+                )
+            });
+        assert_eq!(fast, brute, "oracle disagrees with brute force after swap");
+    }
+}
+
+#[test]
+fn verifiers_reject_truncated_covers() {
+    use decss::core::verify;
+    use decss::core::VirtualGraph;
+    use decss::tree::{LcaOracle, RootedTree};
+    let g = gen::sparse_two_ec(30, 24, 20, 1);
+    let tree = RootedTree::mst(&g);
+    let lca = LcaOracle::new(&tree);
+    let vg = VirtualGraph::new(&g, &tree, &lca);
+    let engine = vg.engine(&tree, &lca);
+    let full = vec![true; vg.len()];
+    assert!(verify::covers_all_tree_edges(&tree, &engine, &full));
+    // Kill the covers of one specific tree edge: find a tree edge and
+    // deactivate everything covering it.
+    let victim = tree
+        .tree_edge_children()
+        .next()
+        .expect("non-trivial tree");
+    let mut truncated = full.clone();
+    for i in 0..vg.len() {
+        if engine.covers(i, victim) {
+            truncated[i] = false;
+        }
+    }
+    assert!(!verify::covers_all_tree_edges(&tree, &engine, &truncated));
+}

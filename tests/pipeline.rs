@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: both algorithms end-to-end on every
+//! family, guarantee checks against exact optima, and determinism.
+
+use decss::baselines;
+use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
+use decss::graphs::{algo, gen};
+use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
+
+#[test]
+fn both_algorithms_are_valid_on_every_family() {
+    for family in gen::Family::ALL {
+        let g = gen::instance(family, 48, 40, 21);
+        let first = approximate_two_ecss(&g, &TwoEcssConfig::default())
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert!(
+            algo::two_edge_connected_in(&g, first.edges.iter().copied()),
+            "{family}: first algorithm output invalid"
+        );
+        let second = shortcut_two_ecss(&g, &ShortcutConfig::default())
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert!(
+            algo::two_edge_connected_in(&g, second.edges.iter().copied()),
+            "{family}: second algorithm output invalid"
+        );
+        // Both share the same MST substrate.
+        assert_eq!(first.mst_weight, second.mst_weight, "{family}");
+    }
+}
+
+#[test]
+fn improved_guarantee_holds_against_exact_optimum() {
+    // Theorem 1.1: weight <= (5 + eps) * OPT. Verified on every tiny
+    // instance where the exact solver is feasible.
+    let config = TwoEcssConfig {
+        tap: TapConfig { epsilon: 0.25, variant: Variant::Improved },
+    };
+    for seed in 0..12 {
+        let g = gen::sparse_two_ec(8, 3, 16, seed);
+        if g.m() > baselines::exact_ecss::MAX_EDGES {
+            continue;
+        }
+        let res = approximate_two_ecss(&g, &config).expect("2EC");
+        let (_, opt) = baselines::exact_two_ecss(&g).expect("2EC");
+        assert!(
+            res.total_weight() as f64 <= 5.25 * opt as f64 + 1e-9,
+            "seed {seed}: {} > 5.25 * {opt}",
+            res.total_weight()
+        );
+        assert!(res.total_weight() >= opt, "seed {seed}: beat the optimum?!");
+    }
+}
+
+#[test]
+fn basic_guarantee_holds_against_exact_optimum() {
+    let config = TwoEcssConfig {
+        tap: TapConfig { epsilon: 0.5, variant: Variant::Basic },
+    };
+    for seed in 0..8 {
+        let g = gen::sparse_two_ec(8, 3, 16, seed);
+        if g.m() > baselines::exact_ecss::MAX_EDGES {
+            continue;
+        }
+        let res = approximate_two_ecss(&g, &config).expect("2EC");
+        let (_, opt) = baselines::exact_two_ecss(&g).expect("2EC");
+        assert!(
+            res.total_weight() as f64 <= 9.5 * opt as f64 + 1e-9,
+            "seed {seed}: {} > 9.5 * {opt}",
+            res.total_weight()
+        );
+    }
+}
+
+#[test]
+fn tap_guarantee_holds_against_exact_tap() {
+    for seed in 0..8 {
+        let g = gen::tree_plus_chords(12, 6, 20, seed);
+        let tree_ids: Vec<decss::graphs::EdgeId> =
+            (0..11).map(decss::graphs::EdgeId).collect();
+        let tree = decss::tree::RootedTree::new(&g, decss::graphs::VertexId(0), &tree_ids);
+        let candidates = g.m() - 11;
+        if candidates > baselines::exact_tap::MAX_CANDIDATES {
+            continue;
+        }
+        let res = decss::core::approximate_tap(&g, &tree, &TapConfig::default()).expect("2EC");
+        let (_, opt) = baselines::exact_tap(&g, &tree).expect("feasible");
+        assert!(
+            res.weight as f64 <= 4.25 * opt as f64 + 1e-9,
+            "seed {seed}: TAP {} > 4.25 * {opt}",
+            res.weight
+        );
+        assert!(res.weight >= opt);
+    }
+}
+
+#[test]
+fn outputs_are_deterministic() {
+    let g = gen::sparse_two_ec(64, 48, 50, 9);
+    let a = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+    let b = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+    assert_eq!(a.edges, b.edges);
+    assert_eq!(a.ledger.total_rounds(), b.ledger.total_rounds());
+    // The shortcut algorithm is randomized but seeded.
+    let s1 = shortcut_two_ecss(&g, &ShortcutConfig::default()).expect("2EC");
+    let s2 = shortcut_two_ecss(&g, &ShortcutConfig::default()).expect("2EC");
+    assert_eq!(s1.edges, s2.edges);
+}
+
+#[test]
+fn round_counts_beat_tree_height_on_path_like_instances() {
+    // The whole point of the paper vs Censor-Hillel & Dory [4]: rounds ~
+    // (D + sqrt n) polylog, not the MST height h (which [4] pays and
+    // which is ~n here by construction: the light edges form a
+    // Hamiltonian path, while chords keep the *communication* diameter
+    // moderate).
+    let n: u32 = 512;
+    let mut b = decss::graphs::GraphBuilder::new(n as usize);
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1, 1).unwrap(); // MST path
+    }
+    b.add_edge(n - 1, 0, 1000).unwrap(); // closing the cycle, heavy
+    for k in 1..8 {
+        b.add_edge(k * n / 8, (k * n / 8 + n / 2) % n, 900).unwrap(); // shortcuts
+    }
+    let g = b.build().unwrap();
+    assert!(algo::is_two_edge_connected(&g));
+
+    let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
+    let tree = decss::tree::RootedTree::mst(&g);
+    let height = g.vertices().map(|v| tree.depth(v)).max().unwrap() as u64;
+    assert!(height >= n as u64 - 1, "MST is not the path");
+
+    // An h-based algorithm pays at least h * log^2(n) over its sweeps;
+    // we must come in well under that.
+    let log2 = (n as f64).log2();
+    let budget = (height as f64 * log2 * log2) as u64;
+    assert!(
+        res.ledger.total_rounds() < budget,
+        "rounds {} not below the height-based budget {}",
+        res.ledger.total_rounds(),
+        budget
+    );
+}

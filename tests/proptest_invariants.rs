@@ -1,0 +1,168 @@
+//! Property-based integration tests over random instances: the paper's
+//! invariants must hold for *every* generated graph, not just the unit
+//! tests' seeds.
+
+use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
+use decss::graphs::{algo, gen, EdgeId, VertexId};
+use decss::tree::{EulerTour, Layering, LcaOracle, RootedTree, SegmentDecomposition};
+use proptest::prelude::*;
+
+fn small_instance() -> impl Strategy<Value = decss::graphs::Graph> {
+    (8usize..40, 0usize..30, 0u64..1_000).prop_map(|(n, extra, seed)| {
+        gen::sparse_two_ec(n, extra, 32, seed)
+    })
+}
+
+fn branching_instance() -> impl Strategy<Value = decss::graphs::Graph> {
+    (8usize..32, 0usize..16, 0u64..1_000).prop_map(|(n, extra, seed)| {
+        gen::tree_plus_chords(n, extra, 32, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: the improved algorithm always outputs a
+    /// spanning 2-edge-connected subgraph, and its dual-positive cover
+    /// counts respect the <=2 bound.
+    #[test]
+    fn improved_output_is_always_valid(g in small_instance()) {
+        let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).unwrap();
+        prop_assert!(algo::two_edge_connected_in(&g, res.edges.iter().copied()));
+        prop_assert!(res.stats.max_r_cover <= 2);
+        prop_assert!(res.total_weight() >= res.mst_weight);
+        prop_assert!(res.certified_ratio() >= 1.0 - 1e-9);
+    }
+
+    /// Same for the basic variant with its <=4 bound.
+    #[test]
+    fn basic_output_is_always_valid(g in branching_instance()) {
+        let config = TwoEcssConfig {
+            tap: TapConfig { epsilon: 0.5, variant: Variant::Basic },
+        };
+        let res = approximate_two_ecss(&g, &config).unwrap();
+        prop_assert!(algo::two_edge_connected_in(&g, res.edges.iter().copied()));
+        prop_assert!(res.stats.max_r_cover <= 4);
+    }
+
+    /// Layering invariants (Claims 4.7/4.8 premises): at most
+    /// log2(#leaves)+1 layers, monotone along root paths, paths
+    /// partition the tree edges.
+    #[test]
+    fn layering_invariants(g in branching_instance()) {
+        let tree = RootedTree::mst(&g);
+        let layering = Layering::new(&tree);
+        let leaves = tree
+            .tree_edge_children()
+            .filter(|&v| tree.children(v).is_empty())
+            .count()
+            .max(1);
+        prop_assert!(layering.num_layers() as f64 <= (leaves as f64).log2() + 1.0 + 1e-9);
+        for v in tree.tree_edge_children() {
+            if let Some(p) = tree.parent(v) {
+                if p != tree.root() {
+                    prop_assert!(layering.layer(p) >= layering.layer(v));
+                }
+            }
+        }
+        let total: usize = layering.paths().iter().map(|p| p.edges.len()).sum();
+        prop_assert_eq!(total, tree.num_tree_edges());
+    }
+
+    /// Segment invariants: edges partitioned, O(sqrt n) segments of
+    /// O(sqrt n) diameter, segment roots are ancestors.
+    #[test]
+    fn segment_invariants(g in small_instance()) {
+        let tree = RootedTree::mst(&g);
+        let euler = EulerTour::new(&tree);
+        let segs = SegmentDecomposition::new(&tree, &euler);
+        let s = (g.n() as f64).sqrt().ceil();
+        prop_assert!(segs.len() as f64 <= 4.0 * s + 2.0);
+        prop_assert!((segs.max_diameter() as f64) <= 4.0 * s + 2.0);
+        let total: usize = segs.segments().iter().map(|x| x.edges.len()).sum();
+        prop_assert_eq!(total, tree.num_tree_edges());
+        for seg in segs.segments() {
+            for &v in &seg.edges {
+                prop_assert!(euler.is_ancestor(seg.root, v));
+            }
+        }
+    }
+
+    /// LCA oracle agrees with the naive parent-walk on arbitrary pairs.
+    #[test]
+    fn lca_oracle_correct(g in small_instance(), a in 0u32..40, b in 0u32..40) {
+        let tree = RootedTree::mst(&g);
+        let n = g.n() as u32;
+        let (a, b) = (VertexId(a % n), VertexId(b % n));
+        let oracle = LcaOracle::new(&tree);
+        let naive = {
+            let (mut x, mut y) = (a, b);
+            while x != y {
+                if tree.depth(x) >= tree.depth(y) {
+                    x = tree.parent(x).unwrap();
+                } else {
+                    y = tree.parent(y).unwrap();
+                }
+            }
+            x
+        };
+        prop_assert_eq!(oracle.lca(a, b), naive);
+    }
+
+    /// The MST oracle is optimal: no single edge swap improves it.
+    #[test]
+    fn mst_has_no_improving_swap(g in small_instance()) {
+        let mst = algo::minimum_spanning_tree(&g).unwrap();
+        let tree = RootedTree::new(&g, VertexId(0), &mst);
+        let lca = LcaOracle::new(&tree);
+        for (id, e) in g.edges() {
+            if tree.is_tree_edge(id) {
+                continue;
+            }
+            // Every tree edge on the cycle closed by `id` must be at most
+            // as heavy (cut optimality).
+            let w = lca.lca(e.u, e.v);
+            for endpoint in [e.u, e.v] {
+                let mut cur = endpoint;
+                while cur != w {
+                    let te = tree.parent_edge(cur).unwrap();
+                    prop_assert!(
+                        g.weight(te) <= g.weight(id),
+                        "swap {te} for {id} improves the MST"
+                    );
+                    cur = tree.parent(cur).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Bridge finding agrees with brute force (delete an edge, check
+    /// connectivity) on small graphs.
+    #[test]
+    fn bridges_match_brute_force(n in 4usize..16, extra in 0usize..8, seed in 0u64..500) {
+        let g = gen::sparse_two_ec(n, extra, 8, seed);
+        // Remove a random prefix of edges to create bridge-ful graphs.
+        let keep: Vec<EdgeId> = g.edge_ids().skip(seed as usize % 3).collect();
+        let keep_mask: Vec<bool> = g
+            .edge_ids()
+            .map(|e| keep.contains(&e))
+            .collect();
+        let fast = decss::graphs::algo::bridges_in_subgraph(&g, &keep_mask);
+        for &e in &keep {
+            let without = keep.iter().copied().filter(|&x| x != e);
+            let comps_before = components(&g, keep.iter().copied());
+            let comps_after = components(&g, without);
+            let is_bridge = comps_after > comps_before;
+            prop_assert_eq!(fast.contains(&e), is_bridge, "edge {}", e);
+        }
+    }
+}
+
+fn components(g: &decss::graphs::Graph, edges: impl IntoIterator<Item = EdgeId>) -> usize {
+    let mut uf = decss::graphs::algo::UnionFind::new(g.n());
+    for id in edges {
+        let e = g.edge(id);
+        uf.union(e.u.index(), e.v.index());
+    }
+    uf.components()
+}
