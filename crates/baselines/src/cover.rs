@@ -43,11 +43,7 @@ impl Bits {
 
     /// Number of bits set in `other` but not in `self`.
     pub fn missing_from(&self, other: &Bits) -> u32 {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| (b & !a).count_ones())
-            .sum()
+        self.0.iter().zip(&other.0).map(|(a, b)| (b & !a).count_ones()).sum()
     }
 }
 
@@ -139,7 +135,8 @@ mod tests {
         let g = gen::cycle(6, 9, 0);
         let tree = RootedTree::mst(&g);
         let inst = TapInstance::new(&g, &tree);
-        assert_eq!(inst.candidates.len(), 1); // one non-tree edge in a cycle
+        // one non-tree edge in a cycle
+        assert_eq!(inst.candidates.len(), 1);
         // The single chord covers every tree edge of the cycle's path.
         assert!(inst.cover[0].superset_of(&inst.required));
         assert_eq!(inst.first_uncovered(&Bits::zero(6)), Some(1));

@@ -74,7 +74,14 @@ fn branch(
         let mut next = covered.clone();
         next.or_assign(&inst.cover[i]);
         chosen.push(i);
-        branch(inst, &next, weight_so_far + inst.weights[i], chosen, best_weight, best_set);
+        branch(
+            inst,
+            &next,
+            weight_so_far + inst.weights[i],
+            chosen,
+            best_weight,
+            best_set,
+        );
         chosen.pop();
     }
 }
@@ -91,8 +98,7 @@ mod tests {
         let (edges, w) = exact_tap(&g, &tree).unwrap();
         assert_eq!(edges.len(), 1);
         // The only non-tree edge is the heaviest cycle edge.
-        let non_tree: Vec<EdgeId> =
-            g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
+        let non_tree: Vec<EdgeId> = g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
         assert_eq!(edges, non_tree);
         assert_eq!(w, g.weight(non_tree[0]));
     }
@@ -129,16 +135,10 @@ mod tests {
     #[test]
     fn infeasible_returns_none() {
         // A path plus one chord leaves the far edges uncoverable.
-        let g = decss_graphs::Graph::from_edges(
-            4,
-            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)],
-        )
-        .unwrap();
-        let tree = RootedTree::new(
-            &g,
-            decss_graphs::VertexId(0),
-            &[EdgeId(0), EdgeId(1), EdgeId(2)],
-        );
+        let g = decss_graphs::Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)])
+            .unwrap();
+        let tree =
+            RootedTree::new(&g, decss_graphs::VertexId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         assert_eq!(exact_tap(&g, &tree), None);
     }
 }

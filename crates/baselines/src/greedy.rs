@@ -87,16 +87,10 @@ mod tests {
 
     #[test]
     fn infeasible_returns_none() {
-        let g = decss_graphs::Graph::from_edges(
-            4,
-            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)],
-        )
-        .unwrap();
-        let tree = RootedTree::new(
-            &g,
-            decss_graphs::VertexId(0),
-            &[EdgeId(0), EdgeId(1), EdgeId(2)],
-        );
+        let g = decss_graphs::Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)])
+            .unwrap();
+        let tree =
+            RootedTree::new(&g, decss_graphs::VertexId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         assert_eq!(greedy_tap(&g, &tree), None);
     }
 }

@@ -14,9 +14,7 @@ pub fn cheapest_cover_tap(g: &Graph, tree: &RootedTree) -> Option<(Vec<EdgeId>, 
     let inst = TapInstance::new(g, tree);
     let mut chosen = vec![false; inst.candidates.len()];
     for v in tree.tree_edge_children() {
-        let best = inst
-            .covering(v)
-            .min_by_key(|&i| (inst.weights[i], i))?;
+        let best = inst.covering(v).min_by_key(|&i| (inst.weights[i], i))?;
         chosen[best] = true;
     }
     let edges: Vec<EdgeId> = (0..inst.candidates.len())
@@ -65,11 +63,7 @@ mod tests {
     #[test]
     fn trap_blows_up_the_heuristic() {
         let g = heuristic_trap(8);
-        let tree = RootedTree::new(
-            &g,
-            VertexId(0),
-            &g.edge_ids().take(8).collect::<Vec<_>>(),
-        );
+        let tree = RootedTree::new(&g, VertexId(0), &g.edge_ids().take(8).collect::<Vec<_>>());
         let (_, heur) = cheapest_cover_tap(&g, &tree).unwrap();
         let (_, exact) = crate::exact_tap(&g, &tree).unwrap();
         // The heuristic pays ~k while the optimum pays 2.

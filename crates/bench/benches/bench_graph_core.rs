@@ -1,0 +1,117 @@
+//! Wall-clock baseline for the CSR graph substrate: whole-graph adjacency
+//! scans, BFS, and MST on 10k–100k-vertex instances. Besides the console
+//! report, the run dumps every measurement to `BENCH_graph_core.json`
+//! (override the path with `DECSS_BENCH_JSON`) so future PRs can diff
+//! the substrate's performance mechanically.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use decss_graphs::{algo, gen, Graph, VertexId};
+
+const SIZES: [usize; 3] = [10_000, 30_000, 100_000];
+
+fn instance(n: usize) -> Graph {
+    // Random spanning tree + n/2 chords + the cycle closure: ~1.5n edges,
+    // 2-edge-connected, irregular degrees — a fair adjacency workload.
+    gen::sparse_two_ec(n, n / 2, 64, 0xD0D0 + n as u64)
+}
+
+/// Sums `(edge id, neighbour)` over every port of every vertex: the pure
+/// "walk the adjacency structure" cost every layer above pays.
+fn adjacency_scan(g: &Graph) -> u64 {
+    let mut acc = 0u64;
+    for v in g.vertices() {
+        for &(e, w) in g.neighbors(v) {
+            acc = acc.wrapping_add(e.0 as u64 ^ w.0 as u64);
+        }
+    }
+    acc
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_core/adjacency_scan");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| adjacency_scan(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_core/bfs");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::bfs_tree(g, VertexId(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_core/mst");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| algo::minimum_spanning_tree(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_core/csr_build");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = instance(n);
+        let edges: Vec<(u32, u32, u64)> =
+            g.edges().map(|(_, e)| (e.u.0, e.v.0, e.weight)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| Graph::from_edges(black_box(g.n()), edges.iter().copied()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn dump_json(c: &Criterion) {
+    // Default into the workspace root (cargo bench runs with the package
+    // directory as cwd), so the baseline file lands next to ROADMAP.md.
+    let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_graph_core.json").to_string()
+    });
+    let mut out = String::from(
+        "{\n  \"suite\": \"graph_core\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
+    );
+    for (i, m) in c.measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
+            escape(&m.id),
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.iters,
+            if i + 1 == c.measurements.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).expect("writing bench JSON");
+    println!("wrote {} measurements to {path}", c.measurements.len());
+}
+
+criterion_group!(benches, bench_scan, bench_bfs, bench_mst, bench_build);
+
+// Custom main instead of criterion_main!: after the run it additionally
+// dumps the measurements to BENCH_graph_core.json.
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    dump_json(&c);
+}

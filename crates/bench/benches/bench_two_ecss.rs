@@ -13,9 +13,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| approximate_two_ecss(g, &TwoEcssConfig::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("basic", n), &g, |b, g| {
-            let config = TwoEcssConfig {
-                tap: TapConfig { epsilon: 0.25, variant: Variant::Basic },
-            };
+            let config =
+                TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant: Variant::Basic } };
             b.iter(|| approximate_two_ecss(g, &config).unwrap())
         });
     }

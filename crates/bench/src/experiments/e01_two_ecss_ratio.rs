@@ -14,7 +14,14 @@ use decss_graphs::gen::{self, Family};
 /// Runs the experiment and prints Table 1.
 pub fn run(scale: Scale) {
     let mut t = Table::new(&[
-        "family", "n", "m", "weight", "lower-bnd", "cert-ratio", "greedy-w", "vs-greedy",
+        "family",
+        "n",
+        "m",
+        "weight",
+        "lower-bnd",
+        "cert-ratio",
+        "greedy-w",
+        "vs-greedy",
     ]);
     let families = [
         Family::SparseRandom,

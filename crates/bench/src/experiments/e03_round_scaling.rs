@@ -13,7 +13,13 @@ use decss_graphs::{algo, gen};
 /// Runs the experiment and prints the Figure A series.
 pub fn run(scale: Scale) {
     let mut t = Table::new(&[
-        "n", "m", "D", "rounds", "(D+sqrt n)log^2 n", "normalized", "fwd-iters",
+        "n",
+        "m",
+        "D",
+        "rounds",
+        "(D+sqrt n)log^2 n",
+        "normalized",
+        "fwd-iters",
     ]);
     for &n in scale.scaling_sizes() {
         let g = gen::sparse_two_ec(n, n, 64, 7);

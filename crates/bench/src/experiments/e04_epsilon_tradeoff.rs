@@ -13,11 +13,10 @@ pub fn run(scale: Scale) {
         Scale::Full => 192,
     };
     let g = gen::sparse_two_ec(n, n, 64, 3);
-    let mut t = Table::new(&["epsilon", "rounds", "fwd-iters", "weight", "cert-ratio", "guarantee"]);
+    let mut t =
+        Table::new(&["epsilon", "rounds", "fwd-iters", "weight", "cert-ratio", "guarantee"]);
     for &eps in &[1.0, 0.5, 0.25, 0.1, 0.05] {
-        let config = TwoEcssConfig {
-            tap: TapConfig { epsilon: eps, variant: Variant::Improved },
-        };
+        let config = TwoEcssConfig { tap: TapConfig { epsilon: eps, variant: Variant::Improved } };
         let res = approximate_two_ecss(&g, &config).expect("2EC");
         t.row(vec![
             format!("{eps}"),

@@ -15,7 +15,15 @@ pub fn run(scale: Scale) {
         Scale::Full => &[64, 144, 256, 400],
     };
     let mut t = Table::new(&[
-        "family", "n", "D", "sqrt-n", "SC", "SC/D", "rounds", "weight", "fallbacks",
+        "family",
+        "n",
+        "D",
+        "sqrt-n",
+        "SC",
+        "SC/D",
+        "rounds",
+        "weight",
+        "fallbacks",
     ]);
     let mk = |label: &'static str, n: usize| -> (String, decss_graphs::Graph) {
         let g = match label {
@@ -70,7 +78,8 @@ pub fn run(scale: Scale) {
     use decss_graphs::VertexId;
     use decss_shortcuts::shortcut::best_shortcut;
     use decss_shortcuts::Partition;
-    let mut tb = Table::new(&["family", "n", "D", "sqrt-n", "parts", "alpha", "beta", "SC", "SC/D"]);
+    let mut tb =
+        Table::new(&["family", "n", "D", "sqrt-n", "parts", "alpha", "beta", "SC", "SC/D"]);
     for label in ["hard-sqrt", "outerplanar", "hypercube"] {
         for &n in sizes {
             let (label, g) = mk(label, n);
@@ -101,17 +110,12 @@ pub fn run(scale: Scale) {
 /// An adversarial connected partition: for the Das Sarma shape, the √n
 /// long paths themselves; otherwise √n contiguous chunks carved from a
 /// DFS order (connected by construction).
-fn adversarial_partition(
-    g: &decss_graphs::Graph,
-    label: &str,
-) -> Vec<Vec<decss_graphs::VertexId>> {
+fn adversarial_partition(g: &decss_graphs::Graph, label: &str) -> Vec<Vec<decss_graphs::VertexId>> {
     use decss_graphs::VertexId;
     if label == "hard-sqrt" {
         // Path i occupies ids [i*p, (i+1)*p); tree vertices are left out.
         let fallback = ((g.n() as f64).sqrt() as usize).max(2);
-        let p = (1..=g.n())
-            .find(|&k| k * k + 2 * k - 1 == g.n())
-            .unwrap_or(fallback);
+        let p = (1..=g.n()).find(|&k| k * k + 2 * k - 1 == g.n()).unwrap_or(fallback);
         return (0..p)
             .map(|i| (0..p).map(|j| VertexId((i * p + j) as u32)).collect())
             .collect();

@@ -11,7 +11,14 @@ use decss_graphs::gen::{self, Family};
 /// Runs the experiment and prints Table 6.
 pub fn run(scale: Scale) {
     let mut t = Table::new(&[
-        "family", "n", "w(T)", "w(B)", "total", "mst-LB", "dual-LB", "aug-share",
+        "family",
+        "n",
+        "w(T)",
+        "w(B)",
+        "total",
+        "mst-LB",
+        "dual-LB",
+        "aug-share",
     ]);
     for family in [Family::SparseRandom, Family::Grid, Family::OuterplanarDisk] {
         for &n in scale.ratio_sizes() {

@@ -9,7 +9,13 @@ use decss_tree::{EulerTour, Layering, RootedTree, SegmentDecomposition};
 /// Runs the experiment and prints Table 7.
 pub fn run(scale: Scale) {
     let mut t = Table::new(&[
-        "family", "n", "layers", "log2 n", "segments", "sqrt n", "max-seg-diam",
+        "family",
+        "n",
+        "layers",
+        "log2 n",
+        "segments",
+        "sqrt n",
+        "max-seg-diam",
     ]);
     for family in [
         Family::SparseRandom,

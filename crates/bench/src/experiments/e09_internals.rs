@@ -9,9 +9,7 @@ use decss_graphs::gen;
 
 /// Runs the experiment and prints Table 8.
 pub fn run(scale: Scale) {
-    let mut t = Table::new(&[
-        "variant", "n", "seed", "max-R-cover", "bound", "anchors", "cleaned",
-    ]);
+    let mut t = Table::new(&["variant", "n", "seed", "max-R-cover", "bound", "anchors", "cleaned"]);
     let sizes: &[usize] = match scale {
         Scale::Quick => &[48],
         Scale::Full => &[48, 96, 192],
@@ -20,9 +18,7 @@ pub fn run(scale: Scale) {
         for &n in sizes {
             for seed in 0..scale.seeds() {
                 let g = gen::sparse_two_ec(n, n, 48, seed);
-                let config = TwoEcssConfig {
-                    tap: TapConfig { epsilon: 0.25, variant },
-                };
+                let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant } };
                 let res = approximate_two_ecss(&g, &config).expect("2EC");
                 t.row(vec![
                     format!("{variant:?}"),
@@ -54,7 +50,13 @@ pub fn run(scale: Scale) {
         let mut ledger = decss_congest::RoundLedger::new();
         let eps_prime = TapConfig::default().epsilon_prime();
         let fwd = decss_core::forward::forward_phase(
-            &tree, &layering, &engine, &weights, eps_prime, &params, &mut ledger,
+            &tree,
+            &layering,
+            &engine,
+            &weights,
+            eps_prime,
+            &params,
+            &mut ledger,
         );
         let violation = decss_core::forward::max_dual_violation(&engine, &weights, &fwd.y);
         td.row(vec![

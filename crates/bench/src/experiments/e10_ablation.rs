@@ -13,7 +13,13 @@ use decss_tree::RootedTree;
 /// Runs the experiment and prints Table 9.
 pub fn run(scale: Scale) {
     let mut t = Table::new(&[
-        "n", "improved", "basic", "greedy", "shortcut", "cheapest", "impr/greedy",
+        "n",
+        "improved",
+        "basic",
+        "greedy",
+        "shortcut",
+        "cheapest",
+        "impr/greedy",
     ]);
     for &n in scale.ratio_sizes() {
         let g = gen::sparse_two_ec(n, n, 64, 11);
@@ -33,8 +39,7 @@ pub fn run(scale: Scale) {
         let shortcut = shortcut_two_ecss(&g, &ShortcutConfig::default())
             .expect("2EC")
             .total_weight();
-        let cheapest =
-            mst_w + decss_baselines::cheapest_cover_tap(&g, &tree).expect("feasible").1;
+        let cheapest = mst_w + decss_baselines::cheapest_cover_tap(&g, &tree).expect("feasible").1;
 
         t.row(vec![
             n.to_string(),

@@ -15,9 +15,7 @@ pub fn run(scale: Scale) {
         Scale::Quick => &[36],
         Scale::Full => &[36, 100, 196],
     };
-    let mut t = Table::new(&[
-        "n", "primitive", "simulated", "ledger", "sim/ledger",
-    ]);
+    let mut t = Table::new(&["n", "primitive", "simulated", "ledger", "sim/ledger"]);
     for &n in sizes {
         let g = gen::gnp_two_ec(n, 3.0 / n as f64, 32, 3);
         let tree = RootedTree::mst(&g);

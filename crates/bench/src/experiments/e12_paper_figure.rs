@@ -46,11 +46,7 @@ pub fn run(_scale: Scale) {
     all.push((2, 6, 1)); // e2: covers edges above 3..6, reaches the leaf
     all.push((2, 4, 1)); // a dominated cover of t
     let g2 = Graph::from_edges(7, all).expect("valid");
-    let tree2 = RootedTree::new(
-        &g2,
-        VertexId(0),
-        &(0..6).map(EdgeId).collect::<Vec<_>>(),
-    );
+    let tree2 = RootedTree::new(&g2, VertexId(0), &(0..6).map(EdgeId).collect::<Vec<_>>());
     let lca = LcaOracle::new(&tree2);
     let layering2 = Layering::new(&tree2);
     let vg = VirtualGraph::new(&g2, &tree2, &lca);

@@ -19,7 +19,14 @@ pub fn run(scale: Scale) {
         Scale::Full => &[100, 256, 400],
     };
     let mut t = Table::new(&[
-        "family", "n", "level", "parts", "thr-alpha", "thr-beta", "tree-alpha", "tree-beta",
+        "family",
+        "n",
+        "level",
+        "parts",
+        "thr-alpha",
+        "thr-beta",
+        "tree-alpha",
+        "tree-beta",
         "winner",
     ]);
     for label in ["outerplanar", "grid", "lollipop", "hard-sqrt"] {
@@ -46,7 +53,11 @@ pub fn run(scale: Scale) {
             let partition = hierarchy.level_partition(&g, level);
             let thr = threshold_bfs(&g, &bfs, &partition);
             let tr = tree_restricted(&g, &bfs, &partition);
-            let winner = if thr.cost() <= tr.cost() { "threshold" } else { "tree-restricted" };
+            let winner = if thr.cost() <= tr.cost() {
+                "threshold"
+            } else {
+                "tree-restricted"
+            };
             t.row(vec![
                 label.into(),
                 g.n().to_string(),

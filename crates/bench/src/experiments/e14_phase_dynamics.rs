@@ -17,7 +17,8 @@ pub fn run(scale: Scale) {
     let g = gen::sparse_two_ec(n, n, 48, 13);
     let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
 
-    let mut tf = Table::new(&["epoch(layer)", "|R_k|", "iterations", "arcs tightened", "dual mass"]);
+    let mut tf =
+        Table::new(&["epoch(layer)", "|R_k|", "iterations", "arcs tightened", "dual mass"]);
     for e in &res.trace.forward {
         tf.row(vec![
             e.layer.to_string(),

@@ -2,5 +2,5 @@
 //! EXPERIMENTS.md (`cargo run -p decss-bench --bin experiments -- all`)
 //! and hosts the Criterion wall-clock benches.
 
-pub mod table;
 pub mod experiments;
+pub mod table;

@@ -104,9 +104,7 @@ impl CostParams {
     /// a global convergecast+broadcast pipelined over all segments, and
     /// a final local combination.
     pub fn aggregate(&self) -> u64 {
-        2 * self.max_segment_diameter as u64
-            + 2 * self.bfs_depth as u64
-            + self.num_segments as u64
+        2 * self.max_segment_diameter as u64 + 2 * self.bfs_depth as u64 + self.num_segments as u64
     }
 
     /// Cost of learning `O(log n)` words about each segment globally
@@ -165,7 +163,12 @@ mod tests {
 
     #[test]
     fn cost_formulas_scale_with_parameters() {
-        let p = CostParams { n: 100, bfs_depth: 10, num_segments: 10, max_segment_diameter: 12 };
+        let p = CostParams {
+            n: 100,
+            bfs_depth: 10,
+            num_segments: 10,
+            max_segment_diameter: 12,
+        };
         assert_eq!(p.d_plus_sqrt_n(), 20);
         assert_eq!(p.aggregate(), 24 + 20 + 10);
         assert_eq!(p.per_segment_broadcast(), 30);

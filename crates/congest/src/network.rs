@@ -87,10 +87,7 @@ impl<'g, N: NodeLogic> Network<'g, N> {
 
     /// Iterates over all node states.
     pub fn nodes(&self) -> impl Iterator<Item = (VertexId, &N)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (VertexId(i as u32), n))
+        self.nodes.iter().enumerate().map(|(i, n)| (VertexId(i as u32), n))
     }
 
     /// Runs rounds until quiescence or `max_rounds`.
@@ -128,7 +125,7 @@ impl<'g, N: NodeLogic> Network<'g, N> {
             let mut ctx = RoundCtx {
                 me,
                 round,
-                ports: self.graph.incident(me),
+                ports: self.graph.neighbors(me),
                 inbox: &inboxes[v],
                 outbox: &mut outbox,
             };

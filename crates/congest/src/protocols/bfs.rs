@@ -4,8 +4,8 @@
 //! parent and forwards the wave. Takes `depth + O(1)` rounds.
 
 use crate::message::Message;
-use crate::network::{Network, NodeLogic, RoundCtx};
 use crate::metrics::SimReport;
+use crate::network::{Network, NodeLogic, RoundCtx};
 use decss_graphs::algo::BfsTree;
 use decss_graphs::{EdgeId, Graph, VertexId};
 
@@ -85,7 +85,11 @@ mod tests {
         let (tree, report) = distributed_bfs(&g, VertexId(0));
         assert_eq!(tree.depth(), 32);
         // Wave: depth rounds of propagation + constant overhead.
-        assert!(report.rounds >= 32 && report.rounds <= 36, "rounds = {}", report.rounds);
+        assert!(
+            report.rounds >= 32 && report.rounds <= 36,
+            "rounds = {}",
+            report.rounds
+        );
     }
 
     #[test]

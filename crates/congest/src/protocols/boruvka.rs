@@ -87,7 +87,7 @@ impl NodeLogic for BoruvkaNode {
         if local < hello_at {
             // Comp-id min-flooding over selected edges.
             let mut improved = false;
-            for &(_, _, ref msg) in ctx.inbox {
+            for (_, _, msg) in ctx.inbox {
                 if msg.tag == TAG_COMP && msg.words[0] < self.comp {
                     self.comp = msg.words[0];
                     improved = true;
@@ -134,7 +134,7 @@ impl NodeLogic for BoruvkaNode {
         if local < decide_at {
             // MWOE min-flooding over selected edges.
             let mut improved = false;
-            for &(_, _, ref msg) in ctx.inbox {
+            for (_, _, msg) in ctx.inbox {
                 if msg.tag == TAG_CAND {
                     let cand = Cand { weight: msg.words[0], edge: EdgeId(msg.words[1] as u32) };
                     if self.best.is_none_or(|b| cand < b) {
@@ -202,7 +202,7 @@ pub fn distributed_mst(g: &Graph) -> (Vec<EdgeId>, SimReport) {
     );
     let n = g.n() as u64;
     let mut net = Network::new(g, |v| {
-        let ports = g.incident(v);
+        let ports = g.neighbors(v);
         BoruvkaNode {
             n,
             comp: v.0 as u64,

@@ -91,7 +91,7 @@ impl NodeLogic for BcastNode {
             return;
         }
         if self.value.is_none() {
-            if let Some(&(_, _, ref msg)) = ctx.inbox.first() {
+            if let Some((_, _, msg)) = ctx.inbox.first() {
                 let v = msg.words[0];
                 self.value = Some(v);
                 for &(e, c) in &self.children.clone() {

@@ -53,7 +53,7 @@ struct CcNode {
 
 impl NodeLogic for CcNode {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
-        for &(_, _, ref msg) in ctx.inbox {
+        for (_, _, msg) in ctx.inbox {
             debug_assert_eq!(msg.tag, TAG_UP);
             self.acc = self.op.combine(self.acc, msg.words[0]);
             self.pending_children -= 1;
@@ -70,12 +70,7 @@ impl NodeLogic for CcNode {
 /// Aggregates `values[v]` over all vertices to the overlay root with `op`.
 ///
 /// Returns the aggregate and the metrics.
-pub fn convergecast(
-    g: &Graph,
-    overlay: &TreeOverlay,
-    values: &[u64],
-    op: Agg,
-) -> (u64, SimReport) {
+pub fn convergecast(g: &Graph, overlay: &TreeOverlay, values: &[u64], op: Agg) -> (u64, SimReport) {
     assert_eq!(values.len(), g.n(), "one value per vertex");
     let mut net = Network::new(g, |v| CcNode {
         parent: overlay.parent[v.index()],

@@ -23,7 +23,7 @@ struct DownNode {
 
 impl NodeLogic for DownNode {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
-        for &(_, _, ref msg) in ctx.inbox {
+        for (_, _, msg) in ctx.inbox {
             debug_assert_eq!(msg.tag, TAG_DOWN);
             self.received.push(msg.words[0]);
             self.queue.push_back(msg.words[0]);
@@ -56,7 +56,11 @@ pub fn downcast_items(
         } else {
             Default::default()
         },
-        received: if v == overlay.root { items.to_vec() } else { Vec::new() },
+        received: if v == overlay.root {
+            items.to_vec()
+        } else {
+            Vec::new()
+        },
     });
     let report = net.run((2 * g.n() + 2 * items.len() + 8) as u64);
     let received = net.nodes().map(|(_, n)| n.received.clone()).collect();
@@ -84,8 +88,7 @@ mod tests {
     fn downcast_is_pipelined() {
         // On a path of length L with k items: about L + k rounds, not L*k.
         let g = gen::path(40);
-        let overlay =
-            TreeOverlay::from_edges(&g, VertexId(0), &g.edge_ids().collect::<Vec<_>>());
+        let overlay = TreeOverlay::from_edges(&g, VertexId(0), &g.edge_ids().collect::<Vec<_>>());
         let items: Vec<u64> = (0..25).collect();
         let (received, report) = downcast_items(&g, &overlay, &items);
         assert!(received.iter().all(|seq| seq.len() == 25));

@@ -36,8 +36,8 @@ impl NodeLogic for ExchangeNode {
             debug_assert_eq!(msg.tag, TAG_CHUNK);
             let entry = self.received.entry(from).or_default();
             let mut words = msg.words.as_slice();
-            if !self.expected.contains_key(&from) {
-                self.expected.insert(from, words[0] as usize);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.expected.entry(from) {
+                e.insert(words[0] as usize);
                 words = &words[1..];
             }
             entry.extend_from_slice(words);
@@ -85,7 +85,7 @@ pub fn exchange_labels(
         .nodes()
         .map(|(v, n)| {
             // Every neighbour must have delivered its complete label.
-            for &(_, w) in g.incident(v) {
+            for &(_, w) in g.neighbors(v) {
                 let got = n.received.get(&w).map(|r| r.len()).unwrap_or(0);
                 assert_eq!(
                     got,
@@ -113,12 +113,8 @@ mod tests {
             .collect();
         let (received, report) = exchange_labels(&g, &labels);
         for v in g.vertices() {
-            for &(_, w) in g.incident(v) {
-                assert_eq!(
-                    received[v.index()][&w],
-                    labels[w.index()],
-                    "label of {w} at {v}"
-                );
+            for &(_, w) in g.neighbors(v) {
+                assert_eq!(received[v.index()][&w], labels[w.index()], "label of {w} at {v}");
             }
         }
         assert!(report.max_edge_load <= DEFAULT_BANDWIDTH as u64);
@@ -145,11 +141,7 @@ mod tests {
         // (top, bottom, top_depth, bottom_depth) per entry — computed
         // here with plain tree walks (this crate cannot depend on
         // decss-tree), 4 words per entry as in Definition 5.3.
-        let overlay = crate::protocols::broadcast::TreeOverlay::from_edges(
-            &g,
-            VertexId(0),
-            &mst,
-        );
+        let overlay = crate::protocols::broadcast::TreeOverlay::from_edges(&g, VertexId(0), &mst);
         let n = g.n();
         let mut depth = vec![0u32; n];
         let mut order = vec![VertexId(0)];

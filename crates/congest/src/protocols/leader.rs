@@ -21,7 +21,7 @@ struct LeaderNode {
 impl NodeLogic for LeaderNode {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
         let mut improved = false;
-        for &(_, _, ref msg) in ctx.inbox {
+        for (_, _, msg) in ctx.inbox {
             debug_assert_eq!(msg.tag, TAG_MIN);
             if msg.words[0] < self.best {
                 self.best = msg.words[0];

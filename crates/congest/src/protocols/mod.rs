@@ -7,10 +7,10 @@
 
 pub mod bfs;
 pub mod boruvka;
-pub mod leader;
 pub mod broadcast;
 pub mod convergecast;
 pub mod downcast;
 pub mod label_exchange;
+pub mod leader;
 pub mod pipeline;
 pub mod segment_scan;

@@ -22,7 +22,7 @@ struct PipeNode {
 
 impl NodeLogic for PipeNode {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
-        for &(_, _, ref msg) in ctx.inbox {
+        for (_, _, msg) in ctx.inbox {
             debug_assert_eq!(msg.tag, TAG_ITEM);
             if self.is_root {
                 self.collected.push(msg.words[0]);
@@ -65,7 +65,11 @@ pub fn collect_items(
             } else {
                 items[v.index()].iter().copied().collect()
             },
-            collected: if is_root { items[v.index()].clone() } else { Vec::new() },
+            collected: if is_root {
+                items[v.index()].clone()
+            } else {
+                Vec::new()
+            },
             is_root,
         }
     });
@@ -89,7 +93,8 @@ mod tests {
     fn collects_everything() {
         let g = gen::grid(4, 4, 10, 1);
         let overlay = overlay_of(&g);
-        let items: Vec<Vec<u64>> = (0..g.n()).map(|v| vec![v as u64 * 10, v as u64 * 10 + 1]).collect();
+        let items: Vec<Vec<u64>> =
+            (0..g.n()).map(|v| vec![v as u64 * 10, v as u64 * 10 + 1]).collect();
         let mut expected: Vec<u64> = items.iter().flatten().copied().collect();
         expected.sort_unstable();
         let (got, _) = collect_items(&g, &overlay, &items);
@@ -101,8 +106,7 @@ mod tests {
         // On a path of length L with k items at the far end, rounds must
         // be about L + k, not L * k.
         let g = gen::path(30);
-        let overlay =
-            TreeOverlay::from_edges(&g, VertexId(0), &g.edge_ids().collect::<Vec<_>>());
+        let overlay = TreeOverlay::from_edges(&g, VertexId(0), &g.edge_ids().collect::<Vec<_>>());
         let k = 20usize;
         let mut items: Vec<Vec<u64>> = vec![Vec::new(); g.n()];
         items[29] = (0..k as u64).collect();

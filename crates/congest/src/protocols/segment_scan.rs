@@ -104,10 +104,7 @@ pub fn segment_convergecast(
             _ => None,
         };
         let my_seg = my_parent.map(|(_, _, s)| s);
-        let pending_same = children[vi]
-            .iter()
-            .filter(|&&(_, s)| Some(s) == my_seg)
-            .count();
+        let pending_same = children[vi].iter().filter(|&&(_, s)| Some(s) == my_seg).count();
         SegNode {
             parent: my_parent,
             own_value: values[vi],
@@ -151,14 +148,8 @@ mod tests {
             seg[v] = 1;
         }
         let values: Vec<u64> = (0..9).map(|v| v as u64).collect();
-        let (results, report) = segment_convergecast(
-            &g,
-            &bfs.parent,
-            &bfs.parent_edge,
-            &seg,
-            &values,
-            Agg::Sum,
-        );
+        let (results, report) =
+            segment_convergecast(&g, &bfs.parent, &bfs.parent_edge, &seg, &values, Agg::Sum);
         assert_eq!(results[&0], 1 + 2 + 3 + 4);
         assert_eq!(results[&1], 5 + 6 + 7 + 8);
         // Parallelism: rounds ~ segment depth (4), not path length (8).
@@ -172,14 +163,8 @@ mod tests {
             let g = gen::gnp_two_ec(60, 0.06, 30, seed);
             let (parent, parent_edge, seg_of, max_diam) = mst_segments(&g);
             let values: Vec<u64> = (0..g.n() as u64).map(|i| i * 3 % 17).collect();
-            let (results, report) = segment_convergecast(
-                &g,
-                &parent,
-                &parent_edge,
-                &seg_of,
-                &values,
-                Agg::Sum,
-            );
+            let (results, report) =
+                segment_convergecast(&g, &parent, &parent_edge, &seg_of, &values, Agg::Sum);
             // Naive per-segment sums.
             let mut expect: HashMap<u32, u64> = HashMap::new();
             for v in 0..g.n() {
@@ -203,9 +188,10 @@ mod tests {
     mod decss_tree_free {
         use super::*;
 
-        pub fn mst_segments(
-            g: &Graph,
-        ) -> (Vec<Option<VertexId>>, Vec<Option<EdgeId>>, Vec<u32>, u32) {
+        /// `(parent, parent_edge, seg_of, max_diameter)` of a segment chunking.
+        pub type Segmentation = (Vec<Option<VertexId>>, Vec<Option<EdgeId>>, Vec<u32>, u32);
+
+        pub fn mst_segments(g: &Graph) -> Segmentation {
             let mst = algo::minimum_spanning_tree(g).unwrap();
             let overlay =
                 crate::protocols::broadcast::TreeOverlay::from_edges(g, VertexId(0), &mst);

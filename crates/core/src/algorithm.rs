@@ -253,10 +253,7 @@ pub fn approximate_tap_unweighted(g: &Graph, tree: &RootedTree) -> Result<TapRes
 /// # Errors
 ///
 /// Same as [`approximate_tap`].
-pub fn approximate_two_ecss(
-    g: &Graph,
-    config: &TwoEcssConfig,
-) -> Result<TwoEcssResult, TapError> {
+pub fn approximate_two_ecss(g: &Graph, config: &TwoEcssConfig) -> Result<TwoEcssResult, TapError> {
     if !algo::is_two_edge_connected(g) {
         return Err(TapError::NotTwoEdgeConnected);
     }
@@ -325,9 +322,7 @@ mod tests {
     #[test]
     fn basic_variant_also_valid() {
         let g = gen::sparse_two_ec(30, 24, 40, 2);
-        let config = TwoEcssConfig {
-            tap: TapConfig { epsilon: 0.5, variant: Variant::Basic },
-        };
+        let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.5, variant: Variant::Basic } };
         let res = approximate_two_ecss(&g, &config).unwrap();
         assert!(algo::two_edge_connected_in(&g, res.edges.iter().copied()));
         assert!(res.stats.max_r_cover <= 4);

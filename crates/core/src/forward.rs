@@ -180,10 +180,7 @@ pub fn forward_phase(
                 }
             }
 
-            let remaining = rk
-                .iter()
-                .enumerate()
-                .any(|(vi, &r)| r && !covered[vi]);
+            let remaining = rk.iter().enumerate().any(|(vi, &r)| r && !covered[vi]);
             if !remaining {
                 break;
             }
@@ -192,21 +189,19 @@ pub fn forward_phase(
                 "epoch {k} did not converge within {max_iters} iterations"
             );
         }
-        epoch_trace.arcs_added =
-            in_a.iter().filter(|&&b| b).count() as u32 - arcs_before;
-        epoch_trace.dual_mass = rk
-            .iter()
-            .enumerate()
-            .filter(|&(_, &r)| r)
-            .map(|(vi, _)| y[vi])
-            .sum();
+        epoch_trace.arcs_added = in_a.iter().filter(|&&b| b).count() as u32 - arcs_before;
+        epoch_trace.dual_mass =
+            rk.iter().enumerate().filter(|&(_, &r)| r).map(|(vi, _)| y[vi]).sum();
         trace.push(epoch_trace);
     }
 
     // Every tree edge must now be covered.
     for vi in 0..n {
         if vi != root.index() {
-            assert!(covered[vi], "tree edge above v{vi} left uncovered by the forward phase");
+            assert!(
+                covered[vi],
+                "tree edge above v{vi} left uncovered by the forward phase"
+            );
         }
     }
 

@@ -32,11 +32,7 @@ pub fn cleaning_pass(
     #[cfg(debug_assertions)]
     for vi in 0..n {
         let v = VertexId(vi as u32);
-        if v != root
-            && fwd.r_edge[vi]
-            && ctx.layering.layer(v) == k
-            && fwd.epoch_covered[vi] == k
-        {
+        if v != root && fwd.r_edge[vi] && ctx.layering.layer(v) == k && fwd.epoch_covered[vi] == k {
             assert!(
                 counts[vi] <= 3,
                 "epoch {k}: R edge above v{vi} covered {} > 3 times before cleaning",
@@ -52,8 +48,7 @@ pub fn cleaning_pass(
             continue;
         }
         // t ∈ R_k: layer-k edge first covered in its own epoch.
-        let is_rk =
-            fwd.r_edge[vi] && ctx.layering.layer(v) == k && fwd.epoch_covered[vi] == k;
+        let is_rk = fwd.r_edge[vi] && ctx.layering.layer(v) == k && fwd.epoch_covered[vi] == k;
         if !is_rk || counts[vi] < 3 {
             continue;
         }
@@ -108,9 +103,8 @@ mod tests {
                 let engine = vg.engine(&tree, &lca);
                 let weights = vg.weights_f64();
                 let mut ledger = RoundLedger::new();
-                let fwd = forward_phase(
-                    &tree, &layering, &engine, &weights, 0.25, &params, &mut ledger,
-                );
+                let fwd =
+                    forward_phase(&tree, &layering, &engine, &weights, 0.25, &params, &mut ledger);
                 let ctx = MisContext {
                     tree: &tree,
                     lca: &lca,
@@ -118,8 +112,7 @@ mod tests {
                     segments: &segments,
                     engine: &engine,
                 };
-                let rev =
-                    reverse_delete(&ctx, &fwd, Variant::Improved, &params, &mut ledger);
+                let rev = reverse_delete(&ctx, &fwd, Variant::Improved, &params, &mut ledger);
                 let counts = engine.covering_count(&rev.in_b);
                 for v in tree.tree_edge_children() {
                     assert!(

@@ -76,7 +76,11 @@ impl MisContext<'_> {
             return false;
         }
         // Order by depth: `lo` is the deeper edge.
-        let (lo, hi) = if self.lca.depth(t1) > self.lca.depth(t2) { (t1, t2) } else { (t2, t1) };
+        let (lo, hi) = if self.lca.depth(t1) > self.lca.depth(t2) {
+            (t1, t2)
+        } else {
+            (t2, t1)
+        };
         if !self.lca.is_proper_ancestor(hi, lo) {
             // Not on one root-leaf path: never adjacent (arcs are
             // ancestor-to-descendant).
@@ -139,7 +143,13 @@ impl MisContext<'_> {
                 continue;
             };
             mis.push(t);
-            anchors.push(Anchor { edge: t, kind: AnchorKind::Global, layer, higher: h, lower: l });
+            anchors.push(Anchor {
+                edge: t,
+                kind: AnchorKind::Global,
+                layer,
+                higher: h,
+                lower: l,
+            });
         }
         anchors
     }
@@ -256,8 +266,7 @@ mod tests {
             for layer in 1..=f.layering.num_layers() {
                 let petals =
                     PetalTable::compute(&engine, &f.lca, &f.layering, f.tree.root(), layer, &x);
-                let is_eligible =
-                    |v: VertexId| !covered[v.index()];
+                let is_eligible = |v: VertexId| !covered[v.index()];
                 let globals = ctx.global_mis(layer, &petals, &is_eligible);
                 for a in &globals {
                     y_active[a.higher as usize] = true;
@@ -286,9 +295,8 @@ mod tests {
             // layers too: no arc covers two anchors).
             for (i, a) in all_anchors.iter().enumerate() {
                 for b in all_anchors.iter().skip(i + 1) {
-                    let conflict = (0..f.vg.len()).any(|e| {
-                        engine.covers(e, a.edge) && engine.covers(e, b.edge)
-                    });
+                    let conflict = (0..f.vg.len())
+                        .any(|e| engine.covers(e, a.edge) && engine.covers(e, b.edge));
                     assert!(
                         !conflict,
                         "seed {seed}: anchors {} and {} share a covering arc",

@@ -140,8 +140,7 @@ mod tests {
             let engine = vg.engine(&tree, &lca);
             let x = vec![true; vg.len()];
             for layer in 1..=layering.num_layers() {
-                let petals =
-                    PetalTable::compute(&engine, &lca, &layering, tree.root(), layer, &x);
+                let petals = PetalTable::compute(&engine, &lca, &layering, tree.root(), layer, &x);
                 for t in tree.tree_edge_children() {
                     if layering.layer(t) != layer {
                         continue;
@@ -162,10 +161,7 @@ mod tests {
                                 continue;
                             }
                             let ok = petal_set.iter().any(|&p| engine.covers(p as usize, tp));
-                            assert!(
-                                ok,
-                                "seed {seed}: petals of {t} miss neighbour {tp} (arc {e})"
-                            );
+                            assert!(ok, "seed {seed}: petals of {t} miss neighbour {tp} (arc {e})");
                         }
                     }
                 }

@@ -77,26 +77,17 @@ pub fn reverse_delete(
         for i in k..=num_layers {
             // Skip layers with no H_i edges.
             let has_work = (0..n).any(|vi| {
-                f_mask[vi]
-                    && !covered_by_y[vi]
-                    && ctx.layering.layer(VertexId(vi as u32)) == i
+                f_mask[vi] && !covered_by_y[vi] && ctx.layering.layer(VertexId(vi as u32)) == i
             });
             if !has_work {
                 continue;
             }
 
             rounds::charge_petals(ledger, params);
-            let petals = PetalTable::compute(
-                ctx.engine,
-                ctx.lca,
-                ctx.layering,
-                ctx.tree.root(),
-                i,
-                &x,
-            );
+            let petals =
+                PetalTable::compute(ctx.engine, ctx.lca, ctx.layering, ctx.tree.root(), i, &x);
 
-            let eligible =
-                |v: VertexId| f_mask[v.index()] && !covered_by_y[v.index()];
+            let eligible = |v: VertexId| f_mask[v.index()] && !covered_by_y[v.index()];
 
             rounds::charge_global_mis(ledger, params);
             let globals = ctx.global_mis(i, &petals, &eligible);
@@ -107,8 +98,7 @@ pub fn reverse_delete(
             // Coverage including the freshly added global petals, for the
             // local scans (part of the same O(D + sqrt n) iteration).
             let cov_counts = ctx.engine.covering_count(&y_active);
-            let covered_now =
-                |v: VertexId| covered_by_y[v.index()] || cov_counts[v.index()] > 0;
+            let covered_now = |v: VertexId| covered_by_y[v.index()] || cov_counts[v.index()] > 0;
 
             rounds::charge_local_mis(ledger, params);
             let locals = ctx.local_mis(i, &petals, &eligible, &covered_now);
@@ -141,8 +131,9 @@ pub fn reverse_delete(
             use crate::mis::AnchorKind;
             for (ai, a) in epoch_anchors.iter().enumerate() {
                 for b in epoch_anchors.iter().skip(ai + 1) {
-                    let conflict = (0..m)
-                        .any(|e| x[e] && ctx.engine.covers(e, a.edge) && ctx.engine.covers(e, b.edge));
+                    let conflict = (0..m).any(|e| {
+                        x[e] && ctx.engine.covers(e, a.edge) && ctx.engine.covers(e, b.edge)
+                    });
                     if !conflict {
                         continue;
                     }
@@ -158,7 +149,10 @@ pub fn reverse_delete(
                         lo.edge,
                         hi.edge
                     );
-                    assert_eq!(lo.layer, hi.layer, "epoch {k}: conflicting anchors in different layers");
+                    assert_eq!(
+                        lo.layer, hi.layer,
+                        "epoch {k}: conflicting anchors in different layers"
+                    );
                 }
             }
         }
@@ -177,10 +171,7 @@ pub fn reverse_delete(
             let counts = ctx.engine.covering_count(&y_active);
             for vi in 0..n {
                 if f_mask[vi] {
-                    assert!(
-                        counts[vi] > 0,
-                        "epoch {k}: F edge above v{vi} left uncovered by Y"
-                    );
+                    assert!(counts[vi] > 0, "epoch {k}: F edge above v{vi} left uncovered by Y");
                 }
             }
         }
@@ -207,7 +198,12 @@ mod tests {
     use decss_graphs::gen;
     use decss_tree::{EulerTour, Layering, LcaOracle, RootedTree, SegmentDecomposition};
 
-    fn pipeline(n: usize, extra: usize, seed: u64, variant: Variant) -> (Vec<u32>, Vec<bool>, usize) {
+    fn pipeline(
+        n: usize,
+        extra: usize,
+        seed: u64,
+        variant: Variant,
+    ) -> (Vec<u32>, Vec<bool>, usize) {
         let g = gen::sparse_two_ec(n, extra, 30, seed);
         let tree = RootedTree::mst(&g);
         let lca = LcaOracle::new(&tree);
@@ -219,8 +215,7 @@ mod tests {
         let engine = vg.engine(&tree, &lca);
         let weights = vg.weights_f64();
         let mut ledger = RoundLedger::new();
-        let fwd =
-            forward_phase(&tree, &layering, &engine, &weights, 0.125, &params, &mut ledger);
+        let fwd = forward_phase(&tree, &layering, &engine, &weights, 0.125, &params, &mut ledger);
         let ctx = MisContext {
             tree: &tree,
             lca: &lca,
@@ -279,9 +274,8 @@ mod tests {
             let engine = vg.engine(&tree, &lca);
             let weights = vg.weights_f64();
             let mut ledger = RoundLedger::new();
-            let fwd = forward_phase(
-                &tree, &layering, &engine, &weights, 0.125, &params, &mut ledger,
-            );
+            let fwd =
+                forward_phase(&tree, &layering, &engine, &weights, 0.125, &params, &mut ledger);
             let ctx = MisContext {
                 tree: &tree,
                 lca: &lca,

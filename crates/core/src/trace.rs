@@ -63,9 +63,26 @@ mod tests {
     #[test]
     fn trace_accumulators() {
         let mut t = TapTrace::default();
-        t.forward.push(ForwardEpochTrace { layer: 1, r_edges: 5, iterations: 2, arcs_added: 3, dual_mass: 1.5 });
-        t.forward.push(ForwardEpochTrace { layer: 2, r_edges: 2, iterations: 1, arcs_added: 1, dual_mass: 0.5 });
-        t.reverse.push(ReverseIterationTrace { epoch: 2, layer: 2, global_anchors: 1, local_anchors: 2 });
+        t.forward.push(ForwardEpochTrace {
+            layer: 1,
+            r_edges: 5,
+            iterations: 2,
+            arcs_added: 3,
+            dual_mass: 1.5,
+        });
+        t.forward.push(ForwardEpochTrace {
+            layer: 2,
+            r_edges: 2,
+            iterations: 1,
+            arcs_added: 1,
+            dual_mass: 0.5,
+        });
+        t.reverse.push(ReverseIterationTrace {
+            epoch: 2,
+            layer: 2,
+            global_anchors: 1,
+            local_anchors: 2,
+        });
         assert!((t.total_dual_mass() - 2.0).abs() < 1e-12);
         assert_eq!(t.total_anchors(), 3);
     }

@@ -44,9 +44,9 @@ pub fn is_valid_two_ecss(
 mod tests {
     use super::*;
     use decss_graphs::gen;
+    use decss_graphs::VertexId;
     use decss_tree::aggregates::{CoverArc, CoverEngine};
     use decss_tree::LcaOracle;
-    use decss_graphs::VertexId;
 
     #[test]
     fn cover_check_detects_gaps() {
@@ -54,11 +54,8 @@ mod tests {
         let ids: Vec<EdgeId> = g.edge_ids().collect();
         let tree = RootedTree::new(&g, VertexId(0), &ids);
         let lca = LcaOracle::new(&tree);
-        let engine = CoverEngine::new(
-            &tree,
-            &lca,
-            vec![CoverArc { anc: VertexId(0), desc: VertexId(2) }],
-        );
+        let engine =
+            CoverEngine::new(&tree, &lca, vec![CoverArc { anc: VertexId(0), desc: VertexId(2) }]);
         // The arc covers edges above 1 and 2 but not above 3.
         assert!(!covers_all_tree_edges(&tree, &engine, &[true]));
         let counts = cover_counts(&engine, &[true]);
@@ -70,10 +67,7 @@ mod tests {
     fn two_ecss_validation() {
         let g = gen::cycle(5, 3, 0);
         let mst = algo::minimum_spanning_tree(&g).unwrap();
-        let non_tree: Vec<EdgeId> = g
-            .edge_ids()
-            .filter(|id| !mst.contains(id))
-            .collect();
+        let non_tree: Vec<EdgeId> = g.edge_ids().filter(|id| !mst.contains(id)).collect();
         assert!(is_valid_two_ecss(&g, mst.iter().copied(), non_tree));
         assert!(!is_valid_two_ecss(&g, mst.iter().copied(), []));
     }

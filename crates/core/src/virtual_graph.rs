@@ -171,8 +171,7 @@ mod tests {
         // the non-tree edges of G.
         let all: Vec<usize> = (0..vg.len()).collect();
         let mapped = vg.to_graph_edges(all);
-        let expected: Vec<EdgeId> =
-            g.edge_ids().filter(|&id| !tree.is_tree_edge(id)).collect();
+        let expected: Vec<EdgeId> = g.edge_ids().filter(|&id| !tree.is_tree_edge(id)).collect();
         assert_eq!(mapped, expected);
     }
 
@@ -183,11 +182,7 @@ mod tests {
             [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 9), (1, 3, 7)],
         )
         .unwrap();
-        let tree = RootedTree::new(
-            &g,
-            VertexId(0),
-            &[EdgeId(0), EdgeId(1), EdgeId(2)],
-        );
+        let tree = RootedTree::new(&g, VertexId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         let lca = LcaOracle::new(&tree);
         let vg = VirtualGraph::new(&g, &tree, &lca);
         for ve in vg.edges() {

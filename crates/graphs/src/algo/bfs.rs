@@ -44,7 +44,7 @@ pub fn bfs_tree(g: &Graph, root: VertexId) -> BfsTree {
     let mut queue = VecDeque::from([root]);
     while let Some(v) = queue.pop_front() {
         let d = dist[v.index()].expect("queued vertices have distances");
-        for &(eid, w) in g.incident(v) {
+        for &(eid, w) in g.neighbors(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
                 parent[w.index()] = Some(v);

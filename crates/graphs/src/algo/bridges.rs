@@ -35,7 +35,7 @@ pub fn bridges_in_subgraph(g: &Graph, keep: &[bool]) -> Vec<EdgeId> {
         while !stack.is_empty() {
             let top = stack.len() - 1;
             let (v, cursor, entry) = stack[top];
-            let incident = g.incident(v);
+            let incident = g.neighbors(v);
             if cursor < incident.len() {
                 stack[top].1 += 1;
                 let (eid, w) = incident[cursor];
@@ -89,10 +89,7 @@ pub fn two_edge_connected_in(g: &Graph, edges: impl IntoIterator<Item = EdgeId>)
     for id in edges {
         keep[id.index()] = true;
     }
-    if !super::connectivity::is_connected_subgraph(
-        g,
-        g.edge_ids().filter(|id| keep[id.index()]),
-    ) {
+    if !super::connectivity::is_connected_subgraph(g, g.edge_ids().filter(|id| keep[id.index()])) {
         return g.n() == 1;
     }
     bridges_in_subgraph(g, &keep).is_empty()

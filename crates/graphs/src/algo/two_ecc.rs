@@ -122,9 +122,7 @@ mod tests {
                     if !keep[drop.index()] {
                         continue;
                     }
-                    let alive = g
-                        .edge_ids()
-                        .filter(|&e| keep[e.index()] && e != drop);
+                    let alive = g.edge_ids().filter(|&e| keep[e.index()] && e != drop);
                     let labels = crate::algo::component_labels(&g, alive);
                     if labels[u.index()] != labels[v.index()] {
                         robust = false;
@@ -135,11 +133,7 @@ mod tests {
                 let labels =
                     crate::algo::component_labels(&g, g.edge_ids().filter(|&e| keep[e.index()]));
                 let connected = labels[u.index()] == labels[v.index()];
-                assert_eq!(
-                    c.same(u, v),
-                    robust && connected,
-                    "pair {u},{v}"
-                );
+                assert_eq!(c.same(u, v), robust && connected, "pair {u},{v}");
             }
         }
     }

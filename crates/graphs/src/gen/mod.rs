@@ -16,6 +16,6 @@ pub use grid::{grid, torus};
 pub use outerplanar::outerplanar_disk;
 pub use random::{gnp_two_ec, random_weights, sparse_two_ec, tree_plus_chords};
 pub use special::{
-    broom_two_ec, caterpillar_two_ec, chorded_cycle, complete, cycle, hard_sqrt_two_ec,
-    hypercube, ladder, lollipop_two_ec, path,
+    broom_two_ec, caterpillar_two_ec, chorded_cycle, complete, cycle, hard_sqrt_two_ec, hypercube,
+    ladder, lollipop_two_ec, path,
 };

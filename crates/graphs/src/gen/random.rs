@@ -115,7 +115,11 @@ pub fn tree_plus_chords(n: usize, extra: usize, max_weight: Weight, seed: u64) -
         let e = g.edge(bridges[rng.gen_range(0..bridges.len())]);
         let (u, v) = (e.u.0, e.v.0);
         let x = rng.gen_range(0..n as u32);
-        let target = if x == u || x == v { (x + 1) % n as u32 } else { x };
+        let target = if x == u || x == v {
+            (x + 1) % n as u32
+        } else {
+            x
+        };
         let pick = if rng.gen_bool(0.5) { u } else { v };
         if pick != target {
             let w = random_weights(&mut rng, max_weight);
@@ -173,7 +177,7 @@ mod tests {
             let g = tree_plus_chords(30, 5, 20, seed);
             assert!(algo::is_two_edge_connected(&g), "seed {seed}");
             // Tree edges are ids 0..n-1; check some vertex has 2+ children.
-            let mut children = vec![0u32; 30];
+            let mut children = [0u32; 30];
             for id in 0..29u32 {
                 let e = g.edge(crate::EdgeId(id));
                 children[e.u.index().min(e.v.index())] += 1;

@@ -223,7 +223,8 @@ pub fn broom_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
 pub fn hard_sqrt_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
     assert!(n >= 16, "hard instance needs n >= 16");
     let mut rng = StdRng::seed_from_u64(seed);
-    let p = (n as f64).sqrt().floor() as usize; // paths and path length
+    // p = number of paths and path length.
+    let p = (n as f64).sqrt().floor() as usize;
     // Vertices: paths occupy ids [0, p*p); the binary tree over p leaves
     // occupies [p*p, p*p + 2p - 1) (heap layout, 1-based within block).
     let path_v = |i: usize, j: usize| (i * p + j) as u32;

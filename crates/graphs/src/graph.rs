@@ -64,8 +64,15 @@ impl std::error::Error for GraphError {}
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
-    /// adjacency[v] = list of (edge id, other endpoint)
-    adjacency: Vec<Vec<(EdgeId, VertexId)>>,
+    /// CSR offsets: vertex `v`'s ports live at `ports[offsets[v] as usize
+    /// .. offsets[v + 1] as usize]`. Length `n + 1`, `offsets[n] == 2m`.
+    offsets: Vec<u32>,
+    /// One contiguous arena of `(edge id, other endpoint)` ports for all
+    /// vertices, each vertex's run in edge-insertion order. Layers above
+    /// (the round simulator's `ports`, BFS scans, fragment probes) borrow
+    /// slices of this arena directly, so a whole-graph adjacency sweep is
+    /// one linear pass over memory.
+    ports: Vec<(EdgeId, VertexId)>,
 }
 
 impl Graph {
@@ -90,13 +97,35 @@ impl Graph {
         if n == 0 {
             return Err(GraphError::EmptyGraph);
         }
-        let mut adjacency = vec![Vec::new(); n];
+        // u32 offsets must hold 2m; the Vec<Vec<..>> representation this
+        // replaced had no such cap, so make the new limit loud rather
+        // than wrapping in release builds.
+        assert!(
+            edges.len() <= (u32::MAX / 2) as usize,
+            "graph exceeds the CSR edge capacity of 2^31 edges: m = {}",
+            edges.len()
+        );
+        // Counting sort into CSR: degree pass, prefix sum, then a fill
+        // pass in edge-id order so every vertex's ports keep insertion
+        // order (the invariant the simulator's port numbering relies on).
+        let mut offsets = vec![0u32; n + 1];
+        for e in &edges {
+            offsets[e.u.index() + 1] += 1;
+            offsets[e.v.index() + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut ports = vec![(EdgeId(0), VertexId(0)); 2 * edges.len()];
+        let mut cursor = offsets.clone();
         for (i, e) in edges.iter().enumerate() {
             let id = EdgeId(i as u32);
-            adjacency[e.u.index()].push((id, e.v));
-            adjacency[e.v.index()].push((id, e.u));
+            ports[cursor[e.u.index()] as usize] = (id, e.v);
+            cursor[e.u.index()] += 1;
+            ports[cursor[e.v.index()] as usize] = (id, e.u);
+            cursor[e.v.index()] += 1;
         }
-        Ok(Graph { n, edges, adjacency })
+        Ok(Graph { n, edges, offsets, ports })
     }
 
     /// Number of vertices.
@@ -134,10 +163,7 @@ impl Graph {
 
     /// Iterator over `(EdgeId, Edge)` pairs in id order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (EdgeId(i as u32), e))
+        self.edges.iter().enumerate().map(|(i, &e)| (EdgeId(i as u32), e))
     }
 
     /// Iterator over all edge ids.
@@ -145,20 +171,38 @@ impl Graph {
         (0..self.edges.len() as u32).map(EdgeId)
     }
 
-    /// Incident edges of `v` as `(EdgeId, neighbour)` pairs.
+    /// Incident edges of `v` as `(EdgeId, neighbour)` pairs, in edge
+    /// insertion order — a borrowed slice into the graph's flat CSR
+    /// port arena, so it is free to take and cheap to scan.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(EdgeId, VertexId)] {
+        let i = v.index();
+        &self.ports[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Alias for [`Graph::neighbors`] (historical name).
+    #[inline]
     pub fn incident(&self, v: VertexId) -> &[(EdgeId, VertexId)] {
-        &self.adjacency[v.index()]
+        self.neighbors(v)
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The whole CSR port arena: every vertex's `(edge, neighbour)` run
+    /// back to back, vertex by vertex. One linear scan of this slice
+    /// visits each undirected edge exactly twice; use [`Graph::neighbors`]
+    /// for a single vertex's run.
+    #[inline]
+    pub fn port_arena(&self) -> &[(EdgeId, VertexId)] {
+        &self.ports
     }
 
     /// Sum of all edge weights.
@@ -189,11 +233,7 @@ impl Graph {
     ///
     /// Used by the unweighted-TAP experiments.
     pub fn unweighted(&self) -> Graph {
-        let edges = self
-            .edges
-            .iter()
-            .map(|e| Edge { weight: 1, ..*e })
-            .collect();
+        let edges = self.edges.iter().map(|e| Edge { weight: 1, ..*e }).collect();
         Graph::from_parts(self.n, edges).expect("same structure is valid")
     }
 }
@@ -232,7 +272,7 @@ impl<'a> SubgraphView<'a> {
     /// Incident edges of `v` restricted to the view.
     pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
         self.graph
-            .incident(v)
+            .neighbors(v)
             .iter()
             .copied()
             .filter(move |(id, _)| self.mask[id.index()])
@@ -285,7 +325,7 @@ mod tests {
     fn incident_lists_are_consistent() {
         let g = triangle();
         for v in g.vertices() {
-            for &(id, w) in g.incident(v) {
+            for &(id, w) in g.neighbors(v) {
                 let e = g.edge(id);
                 assert!(e.has_endpoint(v));
                 assert_eq!(e.other(v), w);

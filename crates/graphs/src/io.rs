@@ -92,10 +92,8 @@ pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
                 let parse = || -> Option<(u32, u32, u64)> {
                     Some((u.parse().ok()?, v.parse().ok()?, w.parse().ok()?))
                 };
-                let (u, v, w) = parse().ok_or(ParseError::BadEdge {
-                    line: line_no,
-                    content: line.into(),
-                })?;
+                let (u, v, w) =
+                    parse().ok_or(ParseError::BadEdge { line: line_no, content: line.into() })?;
                 builder.add_edge(u, v, w)?;
                 found += 1;
             }

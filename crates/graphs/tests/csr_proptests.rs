@@ -1,0 +1,128 @@
+//! Property tests pinning down the CSR adjacency layer's contract:
+//! `neighbors(v)` must behave exactly like the straightforward
+//! `Vec<Vec<(EdgeId, VertexId)>>` representation it replaced — same
+//! entries, same insertion order, parallel edges included — for every
+//! graph a `GraphBuilder` can produce.
+
+use decss_graphs::{EdgeId, Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// A random multigraph as a raw edge list (parallel edges likely: with
+/// few vertices, many of the random pairs repeat).
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+    (2usize..24, 0usize..120, 0u64..1_000_000).prop_map(|(n, m, seed)| {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let edges = (0..m)
+            .map(|_| {
+                let u = (next() % n as u64) as u32;
+                let mut v = (next() % n as u64) as u32;
+                if v == u {
+                    v = (v + 1) % n as u32;
+                }
+                (u, v, next() % 64 + 1)
+            })
+            .collect();
+        (n, edges)
+    })
+}
+
+/// The pre-CSR reference representation, built the way `Graph::from_parts`
+/// used to build it: push `(id, other)` onto both endpoints in edge order.
+fn reference_adjacency(n: usize, g: &Graph) -> Vec<Vec<(EdgeId, VertexId)>> {
+    let mut adj = vec![Vec::new(); n];
+    for (id, e) in g.edges() {
+        adj[e.u.index()].push((id, e.v));
+        adj[e.v.index()].push((id, e.u));
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `neighbors(v)` matches the nested-Vec reference exactly — entries,
+    /// multiplicity (parallel edges), and insertion order.
+    #[test]
+    fn csr_matches_reference_representation((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        let reference = reference_adjacency(n, &g);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                g.neighbors(v),
+                reference[v.index()].as_slice(),
+                "vertex {}",
+                v
+            );
+            prop_assert_eq!(g.degree(v), reference[v.index()].len());
+            prop_assert_eq!(g.neighbors(v), g.incident(v));
+        }
+    }
+
+    /// Round trip: rebuilding through `GraphBuilder` from the edge list
+    /// reproduces an identical graph (CSR arena included — `Graph: Eq`
+    /// compares offsets and ports).
+    #[test]
+    fn builder_round_trip_is_identity((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        let mut b = GraphBuilder::new(g.n());
+        for (_, e) in g.edges() {
+            b.add_edge(e.u.0, e.v.0, e.weight).unwrap();
+        }
+        let rebuilt = b.build().unwrap();
+        prop_assert_eq!(&g, &rebuilt);
+    }
+
+    /// Arena global invariants: total ports = 2m, each vertex's run is
+    /// exactly its slice of the arena, runs tile the arena in vertex
+    /// order, and every port agrees with the edge table.
+    #[test]
+    fn arena_is_consistent((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        prop_assert_eq!(g.port_arena().len(), 2 * g.m());
+        let mut offset = 0usize;
+        for v in g.vertices() {
+            let run = g.neighbors(v);
+            prop_assert_eq!(run, &g.port_arena()[offset..offset + run.len()]);
+            offset += run.len();
+            for &(id, w) in run {
+                let e = g.edge(id);
+                prop_assert!(e.has_endpoint(v));
+                prop_assert_eq!(e.other(v), w);
+            }
+        }
+        prop_assert_eq!(offset, g.port_arena().len());
+    }
+
+    /// Per-vertex port lists are sorted by edge id — the precise statement
+    /// of "insertion order" for a CSR built from an ordered edge list.
+    #[test]
+    fn ports_are_in_insertion_order((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, edges).unwrap();
+        for v in g.vertices() {
+            let ids: Vec<u32> = g.neighbors(v).iter().map(|&(id, _)| id.0).collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "vertex {}: {:?}", v, ids);
+        }
+    }
+}
+
+/// Parallel edges keep distinct ids and both appear, in order.
+#[test]
+fn parallel_edges_distinct_ports() {
+    let g = Graph::from_edges(2, [(0, 1, 5), (1, 0, 7), (0, 1, 9)]).unwrap();
+    let ports: Vec<(EdgeId, VertexId)> = g.neighbors(VertexId(0)).to_vec();
+    assert_eq!(
+        ports,
+        vec![
+            (EdgeId(0), VertexId(1)),
+            (EdgeId(1), VertexId(1)),
+            (EdgeId(2), VertexId(1)),
+        ]
+    );
+    assert_eq!(g.degree(VertexId(1)), 3);
+}

@@ -45,12 +45,8 @@ impl FragmentHierarchy {
         let mut levels: Vec<Vec<Fragment>> = Vec::new();
         let mut spine_of = vec![(0u32, 0u32); n];
         // Heads of heavy paths are exactly the fragment tops.
-        let mut tops: Vec<VertexId> = tree
-            .order()
-            .iter()
-            .copied()
-            .filter(|&v| hld.head(v) == v)
-            .collect();
+        let mut tops: Vec<VertexId> =
+            tree.order().iter().copied().filter(|&v| hld.head(v) == v).collect();
         // Process tops in BFS order so parents' levels are known.
         tops.sort_by_key(|&v| tree.depth(v));
         for top in tops {
@@ -61,11 +57,7 @@ impl FragmentHierarchy {
             // Walk the heavy path downward.
             let mut spine = vec![top];
             let mut cur = top;
-            while let Some(&next) = tree
-                .children(cur)
-                .iter()
-                .find(|&&c| hld.is_heavy_above(c))
-            {
+            while let Some(&next) = tree.children(cur).iter().find(|&&c| hld.is_heavy_above(c)) {
                 spine.push(next);
                 cur = next;
             }
@@ -85,13 +77,7 @@ impl FragmentHierarchy {
 
     /// The per-level partitions (spines as parts).
     pub fn level_partition(&self, g: &Graph, level: usize) -> Partition {
-        Partition::new(
-            g,
-            self.levels[level]
-                .iter()
-                .map(|f| f.spine.clone())
-                .collect(),
-        )
+        Partition::new(g, self.levels[level].iter().map(|f| f.spine.clone()).collect())
     }
 }
 
@@ -113,11 +99,7 @@ mod tests {
     fn spines_partition_all_vertices() {
         let g = gen::gnp_two_ec(60, 0.08, 30, 4);
         let (tree, h) = build(&g);
-        let total: usize = h
-            .levels
-            .iter()
-            .flat_map(|l| l.iter().map(|f| f.spine.len()))
-            .sum();
+        let total: usize = h.levels.iter().flat_map(|l| l.iter().map(|f| f.spine.len())).sum();
         assert_eq!(total, tree.n());
     }
 

@@ -31,7 +31,11 @@ impl Partition {
         }
         let me = Partition { parts, part_of };
         for (i, part) in me.parts.iter().enumerate() {
-            assert!(me.part_is_connected(g, i), "part {i} ({} vertices) is disconnected", part.len());
+            assert!(
+                me.part_is_connected(g, i),
+                "part {i} ({} vertices) is disconnected",
+                part.len()
+            );
         }
         me
     }
@@ -41,7 +45,7 @@ impl Partition {
         let mut seen = std::collections::HashSet::from([part[0]]);
         let mut queue = std::collections::VecDeque::from([part[0]]);
         while let Some(v) = queue.pop_front() {
-            for &(_, w) in g.incident(v) {
+            for &(_, w) in g.neighbors(v) {
                 if self.part_of[w.index()] == i as u32 && seen.insert(w) {
                     queue.push_back(w);
                 }

@@ -73,11 +73,7 @@ pub fn marked_cover_counts(
 
 /// For each tree edge (child vertex), how many edges of `set` cover it:
 /// `Σ_{x ∈ subtree} inc(x) − 2 · Σ_{x ∈ subtree} lca_count(x)`.
-pub fn path_load(
-    tools: &ScTools<'_>,
-    set: &[EdgeId],
-    ledger: &mut RoundLedger,
-) -> Vec<u32> {
+pub fn path_load(tools: &ScTools<'_>, set: &[EdgeId], ledger: &mut RoundLedger) -> Vec<u32> {
     let n = tools.tree.n();
     let mut inc = vec![0u64; n];
     let mut lca_cnt = vec![0u64; n];
@@ -162,9 +158,7 @@ mod tests {
         for (i, &id) in candidates.iter().enumerate() {
             let expected = tree
                 .tree_edge_children()
-                .filter(|&v| {
-                    marked[v.index()] && naive_covered(&g, &tree, &lca, &[id], v)
-                })
+                .filter(|&v| marked[v.index()] && naive_covered(&g, &tree, &lca, &[id], v))
                 .count() as u32;
             assert_eq!(counts[i], expected, "candidate {id}");
         }

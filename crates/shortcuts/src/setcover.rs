@@ -62,10 +62,7 @@ pub fn parallel_greedy_tap(
     let g = tools.graph;
     let tree = tools.tree;
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let candidates: Vec<EdgeId> = g
-        .edge_ids()
-        .filter(|&e| !tree.is_tree_edge(e))
-        .collect();
+    let candidates: Vec<EdgeId> = g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
     let weights: Vec<f64> = candidates.iter().map(|&e| g.weight(e) as f64).collect();
 
     tools.charge_hld_setup(ledger);
@@ -126,21 +123,16 @@ pub fn parallel_greedy_tap(
             let mut progressed = false;
             for _ in 0..config.reps {
                 repetitions += 1;
-                let sample: Vec<usize> = bucket
-                    .iter()
-                    .copied()
-                    .filter(|_| rng.gen_bool(p))
-                    .collect();
+                let sample: Vec<usize> =
+                    bucket.iter().copied().filter(|_| rng.gen_bool(p)).collect();
                 if sample.is_empty() {
                     continue;
                 }
-                let sample_edges: Vec<EdgeId> =
-                    sample.iter().map(|&i| candidates[i]).collect();
+                let sample_edges: Vec<EdgeId> = sample.iter().map(|&i| candidates[i]).collect();
                 let covered = probes::covered_mask(tools, &sample_edges, &mut rng, ledger);
                 ledger.charge("sc.broadcast", 2 * tools.bfs_depth as u64);
-                let newly: u32 = (0..tree.n())
-                    .filter(|&vi| marked[vi] && covered[vi])
-                    .count() as u32;
+                let newly: u32 =
+                    (0..tree.n()).filter(|&vi| marked[vi] && covered[vi]).count() as u32;
                 let sample_weight: f64 = sample.iter().map(|&i| weights[i]).sum();
                 // Goodness test: Δ/100 new covers per unit weight.
                 if (newly as f64) >= delta / 100.0 * sample_weight {
@@ -224,10 +216,7 @@ mod tests {
             let res = parallel_greedy_tap(&tools, &config, &mut ledger).unwrap();
             let tree_edges = g.edge_ids().filter(|&e| tree.is_tree_edge(e));
             let all: Vec<EdgeId> = tree_edges.chain(res.chosen.iter().copied()).collect();
-            assert!(
-                algo::two_edge_connected_in(&g, all),
-                "seed {seed}: incomplete cover"
-            );
+            assert!(algo::two_edge_connected_in(&g, all), "seed {seed}: incomplete cover");
             assert!(res.repetitions > 0);
             assert!(ledger.total_rounds() > 0);
         }
@@ -240,12 +229,7 @@ mod tests {
             let tree = RootedTree::mst(&g);
             let tools = ScTools::new(&g, &tree);
             let mut ledger = RoundLedger::new();
-            let res = parallel_greedy_tap(
-                &tools,
-                &SetCoverConfig::default(),
-                &mut ledger,
-            )
-            .unwrap();
+            let res = parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger).unwrap();
             let (_, exact) = decss_baselines::exact_tap(&g, &tree).unwrap();
             // O(log n) with the 100-slack constant of the goodness test:
             // generous but meaningful bound for the test.
@@ -290,16 +274,10 @@ mod tests {
 
     #[test]
     fn infeasible_graph_returns_none() {
-        let g = decss_graphs::Graph::from_edges(
-            4,
-            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)],
-        )
-        .unwrap();
-        let tree = RootedTree::new(
-            &g,
-            decss_graphs::VertexId(0),
-            &[EdgeId(0), EdgeId(1), EdgeId(2)],
-        );
+        let g = decss_graphs::Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 5)])
+            .unwrap();
+        let tree =
+            RootedTree::new(&g, decss_graphs::VertexId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         let tools = ScTools::new(&g, &tree);
         let mut ledger = RoundLedger::new();
         assert!(parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger).is_none());

@@ -179,7 +179,7 @@ fn part_radius(g: &Graph, partition: &Partition, part: &[VertexId], hi: &[EdgeId
     let mut radius = 0;
     while let Some(v) = queue.pop_front() {
         let d = dist[&v];
-        for &(e, w) in g.incident(v) {
+        for &(e, w) in g.neighbors(v) {
             if usable(e) && !dist.contains_key(&w) {
                 dist.insert(w, d + 1);
                 queue.push_back(w);
@@ -260,10 +260,6 @@ mod tests {
         let p = Partition::new(&g, parts.into_values().collect());
         let q = best_shortcut(&g, &bfs, &p);
         let d = algo::diameter(&g);
-        assert!(
-            q.cost() <= (4 * d as u64 + 8) * 4,
-            "cost {} vs D {d}",
-            q.cost()
-        );
+        assert!(q.cost() <= (4 * d as u64 + 8) * 4, "cost {} vs D {d}", q.cost());
     }
 }

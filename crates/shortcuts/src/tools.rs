@@ -70,12 +70,7 @@ impl<'a> ScTools<'a> {
 
     /// Descendants' aggregate (Theorem 5.1): for every vertex `u`, the
     /// aggregate of `values[v]` over `v` in the subtree of `u`.
-    pub fn descendants_sum(
-        &self,
-        values: &[u64],
-        op: Agg,
-        ledger: &mut RoundLedger,
-    ) -> Vec<u64> {
+    pub fn descendants_sum(&self, values: &[u64], op: Agg, ledger: &mut RoundLedger) -> Vec<u64> {
         assert_eq!(values.len(), self.tree.n());
         ledger.charge("sc.descendants-sum", self.pass_cost());
         let mut out = values.to_vec();
@@ -105,8 +100,7 @@ impl<'a> ScTools<'a> {
     /// Label-only LCA (Theorem 5.3): computed from the two vertices'
     /// light-edge lists and depths, as adjacent endpoints do it.
     pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
-        self.hld
-            .lca_from_lists(u, self.tree.depth(u), v, self.tree.depth(v))
+        self.hld.lca_from_lists(u, self.tree.depth(u), v, self.tree.depth(v))
     }
 
     /// Charges the one-time cost of distributing the heavy-light labels

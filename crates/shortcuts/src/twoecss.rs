@@ -75,8 +75,8 @@ pub fn shortcut_two_ecss(
     // MST cost (Kutten–Peleg; actually O(SC) with shortcuts, charge the
     // cheaper of the two shapes).
     ledger.charge("sc.mst", tools.pass_cost());
-    let cover = parallel_greedy_tap(&tools, &config.setcover, &mut ledger)
-        .ok_or(NotTwoEdgeConnected)?;
+    let cover =
+        parallel_greedy_tap(&tools, &config.setcover, &mut ledger).ok_or(NotTwoEdgeConnected)?;
 
     let mst_edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
     let mst_weight = g.weight_of(mst_edges.iter().copied());

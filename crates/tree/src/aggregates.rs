@@ -81,7 +81,16 @@ impl CoverEngine {
                 up[k][v] = up[k - 1][up[k - 1][v] as usize];
             }
         }
-        CoverEngine { arcs, edges_by_depth, arcs_by_anc_depth, up, depth, pre, post, n }
+        CoverEngine {
+            arcs,
+            edges_by_depth,
+            arcs_by_anc_depth,
+            up,
+            depth,
+            pre,
+            post,
+            n,
+        }
     }
 
     /// The engine's arcs.
@@ -159,8 +168,7 @@ impl CoverEngine {
                     break;
                 }
             }
-            let best =
-                seg.range_min(self.pre[v.index()] as usize, self.post[v.index()] as usize);
+            let best = seg.range_min(self.pre[v.index()] as usize, self.post[v.index()] as usize);
             out[v.index()] = best;
         }
         out
@@ -225,9 +233,7 @@ impl CoverEngine {
         // lift[k][v] = min key over the 2^k edges starting at the edge
         // above v and going up.
         let mut lift = vec![vec![u64::MAX; self.n]; levels];
-        for v in 0..self.n {
-            lift[0][v] = keys[v];
-        }
+        lift[0].copy_from_slice(keys);
         for k in 1..levels {
             for v in 0..self.n {
                 let mid = self.up[k - 1][v] as usize;
@@ -504,11 +510,7 @@ mod tests {
     fn non_ancestor_arcs_rejected() {
         let (_, t) = figure_tree();
         let lca = LcaOracle::new(&t);
-        let _ = CoverEngine::new(
-            &t,
-            &lca,
-            vec![CoverArc { anc: VertexId(4), desc: VertexId(5) }],
-        );
+        let _ = CoverEngine::new(&t, &lca, vec![CoverArc { anc: VertexId(4), desc: VertexId(5) }]);
     }
 
     mod properties {

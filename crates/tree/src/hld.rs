@@ -51,8 +51,7 @@ impl HeavyLight {
                 // child can satisfy `2|T_c| >= |T_v|` (two would force
                 // `2(|T_v| - 1) >= 2 |T_v|`), and a light edge still at
                 // least halves the subtree size, so light depth <= log2 n.
-                heavy_above[c.index()] =
-                    2 * euler.subtree_size(c) >= euler.subtree_size(v);
+                heavy_above[c.index()] = 2 * euler.subtree_size(c) >= euler.subtree_size(v);
             }
         }
         let mut head = vec![VertexId(0); n];
@@ -110,13 +109,7 @@ impl HeavyLight {
     /// compare the light-edge lists to find the first position where they
     /// diverge; the LCA is the shallower of the two vertices entering the
     /// diverging paths (or of `u`/`v` themselves if a list is exhausted).
-    pub fn lca_from_lists(
-        &self,
-        u: VertexId,
-        u_depth: u32,
-        v: VertexId,
-        v_depth: u32,
-    ) -> VertexId {
+    pub fn lca_from_lists(&self, u: VertexId, u_depth: u32, v: VertexId, v_depth: u32) -> VertexId {
         let lu = &self.light_edges[u.index()];
         let lv = &self.light_edges[v.index()];
         let mut shared = 0usize;
@@ -184,11 +177,7 @@ mod tests {
         let euler = EulerTour::new(&t);
         let hld = HeavyLight::new(&t, &euler);
         for v in t.order().iter().copied() {
-            let heavy_children = t
-                .children(v)
-                .iter()
-                .filter(|&&c| hld.is_heavy_above(c))
-                .count();
+            let heavy_children = t.children(v).iter().filter(|&&c| hld.is_heavy_above(c)).count();
             assert!(heavy_children <= 1, "vertex {v}");
         }
     }

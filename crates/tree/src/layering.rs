@@ -79,7 +79,11 @@ impl Layering {
                     second = l;
                 }
             }
-            layer[v.index()] = if kids.len() >= 2 && best == second { best + 1 } else { best };
+            layer[v.index()] = if kids.len() >= 2 && best == second {
+                best + 1
+            } else {
+                best
+            };
         }
 
         // leaf(t) and path identification: the path of layer i containing
@@ -232,10 +236,7 @@ mod tests {
         for v in t.tree_edge_children() {
             if let Some(p) = t.parent(v) {
                 if p != t.root() {
-                    assert!(
-                        l.layer(p) >= l.layer(v),
-                        "layer decreased from {v} to parent {p}"
-                    );
+                    assert!(l.layer(p) >= l.layer(v), "layer decreased from {v} to parent {p}");
                 }
             }
         }
@@ -269,8 +270,7 @@ mod tests {
                 break;
             }
             current += 1;
-            let is_junction: Vec<bool> =
-                (0..n).map(|v| child_count[v] > 1).collect();
+            let is_junction: Vec<bool> = (0..n).map(|v| child_count[v] > 1).collect();
             for leaf in leaves {
                 // Walk from the leaf to its first junction ancestor (or
                 // the root), marking the traversed edges.

@@ -52,10 +52,7 @@ impl LcaOracle {
         let levels = (usize::BITS - n.leading_zeros()).max(1) as usize;
         let mut up = vec![vec![0u32; n]; levels];
         for v in 0..n {
-            up[0][v] = tree
-                .parent(VertexId(v as u32))
-                .unwrap_or(tree.root())
-                .0;
+            up[0][v] = tree.parent(VertexId(v as u32)).unwrap_or(tree.root()).0;
         }
         for k in 1..levels {
             for v in 0..n {

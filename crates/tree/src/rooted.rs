@@ -69,7 +69,15 @@ impl RootedTree {
             }
         }
         assert_eq!(order.len(), n, "tree edges do not span the graph");
-        RootedTree { root, parent, parent_edge, children, depth, order, is_tree_edge }
+        RootedTree {
+            root,
+            parent,
+            parent_edge,
+            children,
+            depth,
+            order,
+            is_tree_edge,
+        }
     }
 
     /// Builds the rooted minimum spanning tree of `g` (Kruskal with edge

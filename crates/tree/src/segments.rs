@@ -229,11 +229,8 @@ impl SegmentDecomposition {
     /// whole structure in the distributed construction (Claim 4.3) — it
     /// has `O(√n)` vertices, so `O(√n)` words suffice.
     pub fn skeleton(&self) -> SkeletonTree {
-        let mut vertices: Vec<VertexId> = self
-            .segments
-            .iter()
-            .flat_map(|s| [s.root, s.descendant])
-            .collect();
+        let mut vertices: Vec<VertexId> =
+            self.segments.iter().flat_map(|s| [s.root, s.descendant]).collect();
         vertices.sort_unstable();
         vertices.dedup();
         let edges: Vec<(VertexId, VertexId, SegmentId)> = self
@@ -296,8 +293,8 @@ fn segment_diameter(tree: &RootedTree, seg: &Segment) -> u32 {
                 far_d = d;
             }
             for &w in adj.get(&v).map(|x| x.as_slice()).unwrap_or(&[]) {
-                if !dist.contains_key(&w) {
-                    dist.insert(w, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(d + 1);
                     queue.push_back(w);
                 }
             }
@@ -417,10 +414,7 @@ mod tests {
         let (_, t) = path_tree(2);
         let euler = EulerTour::new(&t);
         let d = SegmentDecomposition::new(&t, &euler);
-        assert_eq!(
-            d.segments().iter().map(|s| s.edges.len()).sum::<usize>(),
-            1
-        );
+        assert_eq!(d.segments().iter().map(|s| s.edges.len()).sum::<usize>(), 1);
         check_invariants(&t, &euler, &d);
     }
 

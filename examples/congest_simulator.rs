@@ -23,13 +23,20 @@ fn main() {
 
     // 2. BFS tree from the leader.
     let (tree, r) = bfs::distributed_bfs(&g, boss);
-    println!("BFS tree (depth {})    -> spans: {}  [{r}]", tree.depth(), tree.spans_all());
+    println!(
+        "BFS tree (depth {})    -> spans: {}  [{r}]",
+        tree.depth(),
+        tree.spans_all()
+    );
 
     // 3. Broadcast + convergecast over the MST.
     let mst = algo::minimum_spanning_tree(&g).expect("connected");
     let overlay = broadcast::TreeOverlay::from_edges(&g, boss, &mst);
     let (values, r) = broadcast::broadcast(&g, &overlay, 7);
-    println!("broadcast(7)          -> everyone got 7: {}  [{r}]", values.iter().all(|&v| v == 7));
+    println!(
+        "broadcast(7)          -> everyone got 7: {}  [{r}]",
+        values.iter().all(|&v| v == 7)
+    );
     let degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
     let (total, r) = convergecast::convergecast(&g, &overlay, &degrees, convergecast::Agg::Sum);
     println!("convergecast(sum deg) -> {total} (= 2m = {})  [{r}]", 2 * g.m());
@@ -41,10 +48,7 @@ fn main() {
 
     // 5. Distributed Borůvka MST.
     let (dist_mst, r) = boruvka::distributed_mst(&g);
-    println!(
-        "Boruvka MST           -> matches Kruskal: {}  [{r}]",
-        dist_mst == mst
-    );
+    println!("Boruvka MST           -> matches Kruskal: {}  [{r}]", dist_mst == mst);
 
     println!(
         "\nevery protocol respected the per-edge bandwidth budget of {} words/round.",

@@ -29,8 +29,7 @@ fn main() {
         algo::diameter(&network)
     );
 
-    let result =
-        approximate_two_ecss(&network, &TwoEcssConfig::default()).expect("2EC input");
+    let result = approximate_two_ecss(&network, &TwoEcssConfig::default()).expect("2EC input");
 
     let (ok_2ecss, total_2ecss) = survives_all_single_failures(&network, &result.edges);
     println!(

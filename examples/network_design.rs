@@ -16,10 +16,7 @@ use decss::core::{approximate_two_ecss, TwoEcssConfig};
 use decss::graphs::{algo, gen, EdgeId};
 use decss::tree::RootedTree;
 
-fn count_disconnecting_failures(
-    g: &decss::graphs::Graph,
-    chosen: &[EdgeId],
-) -> usize {
+fn count_disconnecting_failures(g: &decss::graphs::Graph, chosen: &[EdgeId]) -> usize {
     // How many single-link failures disconnect the chosen subgraph?
     let mut bad = 0;
     for drop in chosen {
@@ -43,10 +40,7 @@ fn main() {
 
     // (a) MST only.
     let tree = RootedTree::mst(&topology);
-    let mst: Vec<EdgeId> = topology
-        .edge_ids()
-        .filter(|&e| tree.is_tree_edge(e))
-        .collect();
+    let mst: Vec<EdgeId> = topology.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
     let mst_cost = topology.weight_of(mst.iter().copied());
     println!(
         "\nMST only: cost {mst_cost}, disconnecting single failures: {}/{}",
@@ -55,8 +49,7 @@ fn main() {
     );
 
     // (b) the paper's algorithm.
-    let result =
-        approximate_two_ecss(&topology, &TwoEcssConfig::default()).expect("grid is 2EC");
+    let result = approximate_two_ecss(&topology, &TwoEcssConfig::default()).expect("grid is 2EC");
     println!(
         "paper (5+eps): cost {} (+{:.1}% over MST), disconnecting failures: {}",
         result.total_weight(),
@@ -65,8 +58,7 @@ fn main() {
     );
 
     // (c) greedy baseline.
-    let (greedy_aug, greedy_cost) =
-        baselines::greedy_tap(&topology, &tree).expect("grid is 2EC");
+    let (greedy_aug, greedy_cost) = baselines::greedy_tap(&topology, &tree).expect("grid is 2EC");
     let mut greedy_edges = mst.clone();
     greedy_edges.extend(greedy_aug);
     println!(

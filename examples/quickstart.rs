@@ -19,9 +19,7 @@ fn main() {
         algo::diameter(&network)
     );
 
-    let config = TwoEcssConfig {
-        tap: TapConfig { epsilon: 0.25, variant: Variant::Improved },
-    };
+    let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant: Variant::Improved } };
     let result = approximate_two_ecss(&network, &config).expect("input is 2-edge-connected");
 
     println!(

@@ -24,8 +24,7 @@ fn main() {
         }
         let res = approximate_tap_unweighted(&g, &tree).expect("2EC input");
         let (_, exact) = baselines::exact_tap(&g, &tree).expect("feasible");
-        let tree_edges: Vec<EdgeId> =
-            g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+        let tree_edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
         let all: Vec<EdgeId> = tree_edges
             .iter()
             .copied()

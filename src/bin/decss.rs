@@ -64,7 +64,10 @@ fn solve(args: &[String]) -> Result<(), String> {
         let weight = g.weight_of(edges.iter().copied());
         let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
         println!("algorithm: {label}");
-        println!("edges: {}", edges.iter().map(|e| e.0.to_string()).collect::<Vec<_>>().join(","));
+        println!(
+            "edges: {}",
+            edges.iter().map(|e| e.0.to_string()).collect::<Vec<_>>().join(",")
+        );
         println!("weight: {weight}");
         if let Some(r) = rounds {
             println!("simulated-rounds: {r}");
@@ -74,7 +77,11 @@ fn solve(args: &[String]) -> Result<(), String> {
 
     match algorithm {
         "improved" | "basic" => {
-            let variant = if algorithm == "improved" { Variant::Improved } else { Variant::Basic };
+            let variant = if algorithm == "improved" {
+                Variant::Improved
+            } else {
+                Variant::Basic
+            };
             let config = TwoEcssConfig { tap: TapConfig { epsilon, variant } };
             let res = approximate_two_ecss(&g, &config).map_err(|e| e.to_string())?;
             print_solution(&res.edges, algorithm, Some(res.ledger.total_rounds()));
@@ -91,8 +98,7 @@ fn solve(args: &[String]) -> Result<(), String> {
             let tree = decss::tree::RootedTree::mst(&g);
             let (aug, _) =
                 baselines::greedy_tap(&g, &tree).ok_or("graph is not 2-edge-connected")?;
-            let mut edges: Vec<EdgeId> =
-                g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+            let mut edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
             edges.extend(aug);
             edges.sort_unstable();
             print_solution(&edges, "greedy baseline", None);
@@ -101,8 +107,7 @@ fn solve(args: &[String]) -> Result<(), String> {
             let tree = decss::tree::RootedTree::mst(&g);
             let res = decss::core::algorithm::approximate_tap_unweighted(&g, &tree)
                 .map_err(|e| e.to_string())?;
-            let mut edges: Vec<EdgeId> =
-                g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
+            let mut edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
             edges.extend(res.augmentation.iter().copied());
             edges.sort_unstable();
             print_solution(&edges, "unweighted (Section 3.6.1)", Some(res.ledger.total_rounds()));
@@ -118,22 +123,29 @@ fn generate(args: &[String]) -> Result<(), String> {
         .ok_or("--n N is required")?
         .parse()
         .map_err(|_| "bad --n")?;
-    let seed: u64 = flag(args, "--seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
-    let w: u64 = flag(args, "--max-weight").unwrap_or("64").parse().map_err(|_| "bad --max-weight")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let w: u64 = flag(args, "--max-weight")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "bad --max-weight")?;
     let g = match family {
         "broom" => gen::broom_two_ec(n, w, seed),
         "hard-sqrt" => gen::hard_sqrt_two_ec(n, w, seed),
         "tree-chords" => gen::tree_plus_chords(n, n / 2, w, seed),
         other => {
-            let fam = gen::Family::ALL
-                .into_iter()
-                .find(|f| f.label() == other)
-                .ok_or_else(|| {
-                    format!(
-                        "unknown --family {other}; options: {}, broom, hard-sqrt, tree-chords",
-                        gen::Family::ALL.map(|f| f.label()).join(", ")
-                    )
-                })?;
+            let fam =
+                gen::Family::ALL
+                    .into_iter()
+                    .find(|f| f.label() == other)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown --family {other}; options: {}, broom, hard-sqrt, tree-chords",
+                            gen::Family::ALL.map(|f| f.label()).join(", ")
+                        )
+                    })?;
             gen::instance(fam, n, w, seed)
         }
     };
@@ -146,7 +158,12 @@ fn verify(args: &[String]) -> Result<(), String> {
     let list = flag(args, "--edges").ok_or("--edges ID[,ID...] is required")?;
     let edges: Vec<EdgeId> = list
         .split(',')
-        .map(|s| s.trim().parse::<u32>().map(EdgeId).map_err(|_| format!("bad edge id {s}")))
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(EdgeId)
+                .map_err(|_| format!("bad edge id {s}"))
+        })
         .collect::<Result<_, _>>()?;
     for &e in &edges {
         if e.index() >= g.m() {

@@ -31,8 +31,7 @@ fn gen_solve_verify_roundtrip() {
     let path = path.to_str().expect("utf8 path");
 
     for algorithm in ["improved", "basic", "shortcut", "greedy", "unweighted"] {
-        let (out, err, ok) =
-            decss(&["solve", "--input", path, "--algorithm", algorithm]);
+        let (out, err, ok) = decss(&["solve", "--input", path, "--algorithm", algorithm]);
         assert!(ok, "solve {algorithm} failed: {err}");
         assert!(out.contains("valid-2ecss: true"), "{algorithm}: {out}");
         // Feed the reported edges back into verify.
@@ -42,8 +41,7 @@ fn gen_solve_verify_roundtrip() {
             .expect("edges line")
             .trim_start_matches("edges: ")
             .to_string();
-        let (vout, verr, vok) =
-            decss(&["verify", "--input", path, "--edges", &edges_line]);
+        let (vout, verr, vok) = decss(&["verify", "--input", path, "--edges", &edges_line]);
         assert!(vok, "verify after {algorithm} failed: {verr}");
         assert!(vout.contains("valid-2ecss: true"));
     }

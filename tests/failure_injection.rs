@@ -17,8 +17,7 @@ fn edge_drops_are_judged_exactly_like_brute_force() {
     assert!(algo::two_edge_connected_in(&g, res.edges.iter().copied()));
     let mut saw_break = false;
     for drop in &res.edges {
-        let rest: Vec<EdgeId> =
-            res.edges.iter().copied().filter(|e| e != drop).collect();
+        let rest: Vec<EdgeId> = res.edges.iter().copied().filter(|e| e != drop).collect();
         let fast = algo::two_edge_connected_in(&g, rest.iter().copied());
         let brute = algo::is_connected_subgraph(&g, rest.iter().copied())
             && rest.iter().all(|&d| {
@@ -42,8 +41,7 @@ fn minimality_probe_augmentation_edges_are_load_bearing_somewhere() {
         let g = gen::sparse_two_ec(30, 20, 40, seed);
         let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
         for drop in &res.augmentation {
-            let rest: Vec<EdgeId> =
-                res.edges.iter().copied().filter(|e| e != drop).collect();
+            let rest: Vec<EdgeId> = res.edges.iter().copied().filter(|e| e != drop).collect();
             if !algo::two_edge_connected_in(&g, rest.iter().copied()) {
                 saw_essential = true;
             }
@@ -59,10 +57,7 @@ fn bridge_oracle_rejects_single_edge_corruptions() {
     // and the brute-force connectivity check must agree either way.
     let g = gen::grid(5, 5, 20, 8);
     let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
-    let unchosen: Vec<EdgeId> = g
-        .edge_ids()
-        .filter(|e| !res.edges.contains(e))
-        .collect();
+    let unchosen: Vec<EdgeId> = g.edge_ids().filter(|e| !res.edges.contains(e)).collect();
     for (i, drop) in res.edges.iter().enumerate().step_by(3) {
         let replacement = unchosen[i % unchosen.len()];
         let mut mutated = res.edges.clone();
@@ -72,10 +67,7 @@ fn bridge_oracle_rejects_single_edge_corruptions() {
         // Brute force: connected and every single deletion stays connected.
         let brute = algo::is_connected_subgraph(&g, mutated.iter().copied())
             && mutated.iter().all(|&d| {
-                algo::is_connected_subgraph(
-                    &g,
-                    mutated.iter().copied().filter(|&e| e != d),
-                )
+                algo::is_connected_subgraph(&g, mutated.iter().copied().filter(|&e| e != d))
             });
         assert_eq!(fast, brute, "oracle disagrees with brute force after swap");
     }
@@ -95,10 +87,7 @@ fn verifiers_reject_truncated_covers() {
     assert!(verify::covers_all_tree_edges(&tree, &engine, &full));
     // Kill the covers of one specific tree edge: find a tree edge and
     // deactivate everything covering it.
-    let victim = tree
-        .tree_edge_children()
-        .next()
-        .expect("non-trivial tree");
+    let victim = tree.tree_edge_children().next().expect("non-trivial tree");
     let mut truncated = full.clone();
     for i in 0..vg.len() {
         if engine.covers(i, victim) {

@@ -31,9 +31,7 @@ fn both_algorithms_are_valid_on_every_family() {
 fn improved_guarantee_holds_against_exact_optimum() {
     // Theorem 1.1: weight <= (5 + eps) * OPT. Verified on every tiny
     // instance where the exact solver is feasible.
-    let config = TwoEcssConfig {
-        tap: TapConfig { epsilon: 0.25, variant: Variant::Improved },
-    };
+    let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant: Variant::Improved } };
     for seed in 0..12 {
         let g = gen::sparse_two_ec(8, 3, 16, seed);
         if g.m() > baselines::exact_ecss::MAX_EDGES {
@@ -52,9 +50,7 @@ fn improved_guarantee_holds_against_exact_optimum() {
 
 #[test]
 fn basic_guarantee_holds_against_exact_optimum() {
-    let config = TwoEcssConfig {
-        tap: TapConfig { epsilon: 0.5, variant: Variant::Basic },
-    };
+    let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.5, variant: Variant::Basic } };
     for seed in 0..8 {
         let g = gen::sparse_two_ec(8, 3, 16, seed);
         if g.m() > baselines::exact_ecss::MAX_EDGES {
@@ -74,8 +70,7 @@ fn basic_guarantee_holds_against_exact_optimum() {
 fn tap_guarantee_holds_against_exact_tap() {
     for seed in 0..8 {
         let g = gen::tree_plus_chords(12, 6, 20, seed);
-        let tree_ids: Vec<decss::graphs::EdgeId> =
-            (0..11).map(decss::graphs::EdgeId).collect();
+        let tree_ids: Vec<decss::graphs::EdgeId> = (0..11).map(decss::graphs::EdgeId).collect();
         let tree = decss::tree::RootedTree::new(&g, decss::graphs::VertexId(0), &tree_ids);
         let candidates = g.m() - 11;
         if candidates > baselines::exact_tap::MAX_CANDIDATES {

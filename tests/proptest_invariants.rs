@@ -8,15 +8,13 @@ use decss::tree::{EulerTour, Layering, LcaOracle, RootedTree, SegmentDecompositi
 use proptest::prelude::*;
 
 fn small_instance() -> impl Strategy<Value = decss::graphs::Graph> {
-    (8usize..40, 0usize..30, 0u64..1_000).prop_map(|(n, extra, seed)| {
-        gen::sparse_two_ec(n, extra, 32, seed)
-    })
+    (8usize..40, 0usize..30, 0u64..1_000)
+        .prop_map(|(n, extra, seed)| gen::sparse_two_ec(n, extra, 32, seed))
 }
 
 fn branching_instance() -> impl Strategy<Value = decss::graphs::Graph> {
-    (8usize..32, 0usize..16, 0u64..1_000).prop_map(|(n, extra, seed)| {
-        gen::tree_plus_chords(n, extra, 32, seed)
-    })
+    (8usize..32, 0usize..16, 0u64..1_000)
+        .prop_map(|(n, extra, seed)| gen::tree_plus_chords(n, extra, 32, seed))
 }
 
 proptest! {

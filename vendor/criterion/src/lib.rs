@@ -1,0 +1,263 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! `sample_size` samples of adaptively-chosen iteration counts. The
+//! mean/min/max per-iteration wall time is printed, and every recorded
+//! measurement is appended to [`Criterion::measurements`] so harnesses
+//! can dump machine-readable JSON (see `bench_graph_core`).
+//!
+//! Environment knobs:
+//! * `DECSS_BENCH_SAMPLE_MS` — target milliseconds per sample (default 20);
+//!   set it to `1` in CI smoke runs for fast, low-fidelity passes.
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    /// Rendered `name/parameter` label.
+    pub id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One recorded benchmark result, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/name/param` label.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Total iterations timed.
+    pub iters: u64,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All measurements recorded so far, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let m = run_benchmark(&id.id, 10, &mut f);
+        self.measurements.push(m);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let m = run_benchmark(&label, self.sample_size, &mut f);
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// Hands the closure-under-test to the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("DECSS_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms.max(1))
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) -> Measurement {
+    // Warm-up and calibration: find an iteration count filling the target
+    // sample time, starting from a single timed iteration.
+    let target = target_sample_time();
+    let mut iters: u64 = 1;
+    let mut once = time_once(f, 1);
+    while once < target / 4 && iters < 1 << 20 {
+        iters *= 2;
+        once = time_once(f, iters);
+    }
+
+    let mut total = Duration::ZERO;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    let mut timed_iters = 0u64;
+    for _ in 0..samples {
+        let t = time_once(f, iters);
+        let per_iter = t.as_nanos() as f64 / iters as f64;
+        min_ns = min_ns.min(per_iter);
+        max_ns = max_ns.max(per_iter);
+        total += t;
+        timed_iters += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / timed_iters as f64;
+    println!(
+        "{label:<48} mean {:>12}  (min {}, max {}, {timed_iters} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+    );
+    Measurement {
+        id: label.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        iters: timed_iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_measurements() {
+        std::env::set_var("DECSS_BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[0].id, "g/noop");
+        assert_eq!(c.measurements[1].id, "g/sum/10");
+        assert!(c.measurements.iter().all(|m| m.mean_ns > 0.0));
+    }
+}
