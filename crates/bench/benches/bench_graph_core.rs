@@ -77,41 +77,18 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+criterion_group!(benches, bench_scan, bench_bfs, bench_mst, bench_build);
 
-fn dump_json(c: &Criterion) {
+// Custom main instead of criterion_main!: after the run it additionally
+// dumps the measurements to BENCH_graph_core.json (the shared writer in
+// decss_bench::benchjson keeps the format identical for the perf gate).
+fn main() {
     // Default into the workspace root (cargo bench runs with the package
     // directory as cwd), so the baseline file lands next to ROADMAP.md.
     let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_graph_core.json").to_string()
     });
-    let mut out = String::from(
-        "{\n  \"suite\": \"graph_core\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
-    );
-    for (i, m) in c.measurements.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
-            escape(&m.id),
-            m.mean_ns,
-            m.min_ns,
-            m.max_ns,
-            m.iters,
-            if i + 1 == c.measurements.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(&path, out).expect("writing bench JSON");
-    println!("wrote {} measurements to {path}", c.measurements.len());
-}
-
-criterion_group!(benches, bench_scan, bench_bfs, bench_mst, bench_build);
-
-// Custom main instead of criterion_main!: after the run it additionally
-// dumps the measurements to BENCH_graph_core.json.
-fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
-    dump_json(&c);
+    decss_bench::benchjson::dump("graph_core", &c.measurements, &path);
 }

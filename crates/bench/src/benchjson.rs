@@ -1,0 +1,239 @@
+//! Machine-readable bench results: writing the `BENCH_*.json` files the
+//! criterion harnesses dump, parsing them back, and comparing a fresh
+//! run against a committed baseline (the perf regression gate).
+//!
+//! The JSON format is the fixed shape the harnesses emit — one object
+//! with a `suite` name and a flat `benches` array of
+//! `{id, mean_ns, min_ns, max_ns, iters}` — so the parser here is a
+//! purpose-built scanner, not a general JSON reader (the workspace is
+//! offline and vendors no serde).
+
+use criterion::Measurement;
+use std::fmt::Write as _;
+
+/// One parsed benchmark entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// The `group/name/param` label.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+/// A parsed `BENCH_*.json` file.
+#[derive(Clone, Debug, Default)]
+pub struct BenchFile {
+    /// Suite name (e.g. `graph_core`).
+    pub suite: String,
+    /// All entries, in file order.
+    pub benches: Vec<BenchEntry>,
+}
+
+impl BenchFile {
+    /// Looks up an entry's mean by id.
+    pub fn mean_ns(&self, id: &str) -> Option<f64> {
+        self.benches.iter().find(|b| b.id == id).map(|b| b.mean_ns)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders measurements in the canonical `BENCH_*.json` shape.
+pub fn render(suite: &str, measurements: &[Measurement]) -> String {
+    let mut out = format!(
+        "{{\n  \"suite\": \"{}\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
+        escape(suite)
+    );
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}",
+            escape(&m.id),
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.iters,
+            if i + 1 == measurements.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes measurements to `path` in the canonical shape.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (benches treat that as fatal).
+pub fn dump(suite: &str, measurements: &[Measurement], path: &str) {
+    std::fs::write(path, render(suite, measurements)).expect("writing bench JSON");
+    println!("wrote {} measurements to {path}", measurements.len());
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON-ish line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a JSON-ish line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    rest.parse().ok()
+}
+
+/// Parses a `BENCH_*.json` file produced by [`dump`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed entry line.
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let mut file = BenchFile::default();
+    for line in text.lines() {
+        if file.suite.is_empty() {
+            if let Some(s) = string_field(line, "suite") {
+                file.suite = s;
+                continue;
+            }
+        }
+        if line.contains("\"id\"") {
+            let id =
+                string_field(line, "id").ok_or_else(|| format!("malformed bench entry: {line}"))?;
+            let mean_ns =
+                number_field(line, "mean_ns").ok_or_else(|| format!("entry {id} lacks mean_ns"))?;
+            file.benches.push(BenchEntry { id, mean_ns });
+        }
+    }
+    if file.benches.is_empty() {
+        return Err("no bench entries found".into());
+    }
+    Ok(file)
+}
+
+/// One gate finding: a bench that regressed or disappeared.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The bench id.
+    pub id: String,
+    /// Baseline mean (ns).
+    pub baseline_ns: f64,
+    /// Fresh mean (ns); 0.0 when the bench vanished from the fresh run.
+    pub fresh_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown factor (fresh / baseline), or infinity for a vanished id.
+    pub fn ratio(&self) -> f64 {
+        if self.fresh_ns == 0.0 {
+            f64::INFINITY
+        } else {
+            self.fresh_ns / self.baseline_ns
+        }
+    }
+}
+
+/// Compares a fresh run against the committed baseline: every baseline
+/// id must still exist and must not be more than `tolerance` slower
+/// (0.20 = +20%). New ids in the fresh run are fine (additions).
+pub fn compare(baseline: &BenchFile, fresh: &BenchFile, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for b in &baseline.benches {
+        match fresh.mean_ns(&b.id) {
+            None => {
+                out.push(Regression { id: b.id.clone(), baseline_ns: b.mean_ns, fresh_ns: 0.0 })
+            }
+            Some(f) if f > b.mean_ns * (1.0 + tolerance) => {
+                out.push(Regression { id: b.id.clone(), baseline_ns: b.mean_ns, fresh_ns: f })
+            }
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(id: &str, mean: f64) -> Measurement {
+        Measurement {
+            id: id.into(),
+            mean_ns: mean,
+            min_ns: mean,
+            max_ns: mean,
+            iters: 1,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let ms = [meas("a/1", 10.0), meas("b/2", 2000.5)];
+        let text = render("demo", &ms);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.suite, "demo");
+        assert_eq!(parsed.benches.len(), 2);
+        assert_eq!(parsed.mean_ns("a/1"), Some(10.0));
+        assert_eq!(parsed.mean_ns("b/2"), Some(2000.5));
+        assert_eq!(parsed.mean_ns("missing"), None);
+    }
+
+    #[test]
+    fn escaped_ids_round_trip() {
+        let ms = [meas("weird\"id\\x", 5.0)];
+        let parsed = parse(&render("s", &ms)).unwrap();
+        assert_eq!(parsed.benches[0].id, "weird\"id\\x");
+    }
+
+    #[test]
+    fn parses_the_committed_shape() {
+        let text = concat!(
+            "{\n  \"suite\": \"graph_core\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
+            "    {\"id\": \"graph_core/bfs/10000\", \"mean_ns\": 123456.7, \"min_ns\": 1.0, ",
+            "\"max_ns\": 2.0, \"iters\": 40}\n  ]\n}\n"
+        );
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.suite, "graph_core");
+        assert_eq!(parsed.mean_ns("graph_core/bfs/10000"), Some(123456.7));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("hello world").is_err());
+        assert!(parse("{\"benches\": [{\"id\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_vanished_ids() {
+        let base =
+            parse(&render("s", &[meas("a", 100.0), meas("b", 100.0), meas("c", 100.0)])).unwrap();
+        let fresh = parse(&render(
+            "s",
+            &[meas("a", 115.0), meas("b", 125.0), meas("extra", 1.0)],
+        ))
+        .unwrap();
+        let regs = compare(&base, &fresh, 0.20);
+        let ids: Vec<&str> = regs.iter().map(|r| r.id.as_str()).collect();
+        // a is within +20%; b regressed; c vanished.
+        assert_eq!(ids, ["b", "c"]);
+        assert!((regs[0].ratio() - 1.25).abs() < 1e-9);
+        assert!(regs[1].ratio().is_infinite());
+    }
+}

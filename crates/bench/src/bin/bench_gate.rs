@@ -1,0 +1,102 @@
+//! The perf regression gate: compares fresh `BENCH_*.json` runs against
+//! the committed baselines and fails (exit 1) when any benchmark
+//! regressed by more than the tolerance, or vanished.
+//!
+//! ```text
+//! bench_gate BASELINE FRESH [BASELINE FRESH ...] [--tolerance 0.20]
+//! ```
+//!
+//! Environment:
+//! * `DECSS_BENCH_GATE_SKIP=1` — print a notice and exit 0 (escape hatch
+//!   for noisy shared runners where wall-clock comparisons are
+//!   meaningless).
+//! * `DECSS_BENCH_GATE_TOLERANCE` — overrides the default 0.20 (+20%)
+//!   unless `--tolerance` is given.
+
+use decss_bench::benchjson;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if std::env::var("DECSS_BENCH_GATE_SKIP").is_ok_and(|v| !v.is_empty() && v != "0") {
+        println!("bench_gate: skipped (DECSS_BENCH_GATE_SKIP set)");
+        return ExitCode::SUCCESS;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_gate: error: {msg}");
+            eprintln!("usage: bench_gate BASELINE FRESH [BASELINE FRESH ...] [--tolerance 0.20]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut tolerance: f64 = std::env::var("DECSS_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20);
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().ok_or("--tolerance needs a value")?;
+            tolerance = v.parse().map_err(|_| format!("bad --tolerance {v}"))?;
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() || !files.len().is_multiple_of(2) {
+        return Err("expected one or more BASELINE FRESH file pairs".into());
+    }
+
+    let mut ok = true;
+    for pair in files.chunks(2) {
+        let (base_path, fresh_path) = (pair[0], pair[1]);
+        let load = |p: &str| -> Result<benchjson::BenchFile, String> {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            benchjson::parse(&text).map_err(|e| format!("parsing {p}: {e}"))
+        };
+        let baseline = load(base_path)?;
+        let fresh = load(fresh_path)?;
+        if baseline.suite != fresh.suite {
+            return Err(format!(
+                "suite mismatch: {base_path} is {:?} but {fresh_path} is {:?}",
+                baseline.suite, fresh.suite
+            ));
+        }
+        let regressions = benchjson::compare(&baseline, &fresh, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "bench_gate: {} ok — {} benches within +{:.0}% of {base_path}",
+                fresh.suite,
+                baseline.benches.len(),
+                tolerance * 100.0
+            );
+        } else {
+            ok = false;
+            println!(
+                "bench_gate: {} FAILED — {} regression(s) beyond +{:.0}%:",
+                fresh.suite,
+                regressions.len(),
+                tolerance * 100.0
+            );
+            for r in &regressions {
+                if r.fresh_ns == 0.0 {
+                    println!("  {:<48} missing from fresh run", r.id);
+                } else {
+                    println!(
+                        "  {:<48} {:>12.0} ns -> {:>12.0} ns  ({:.2}x)",
+                        r.id,
+                        r.baseline_ns,
+                        r.fresh_ns,
+                        r.ratio()
+                    );
+                }
+            }
+        }
+    }
+    Ok(ok)
+}

@@ -1,0 +1,440 @@
+//! Round-execution engines: the strategy a [`Network`] uses to drive one
+//! synchronous round across all vertices.
+//!
+//! The CONGEST model is embarrassingly parallel *within* a round — every
+//! node computes from its inbox independently — so besides the
+//! single-threaded reference loop ([`RoundEngine::Sequential`], in
+//! [`crate::network`]) this module provides [`ShardedRounds`]: vertices
+//! are partitioned into contiguous ranges derived from the graph's CSR
+//! offsets (the partition map the flat adjacency arena already defines),
+//! each range is driven by a dedicated worker thread, and per-shard
+//! outboxes are exchanged at a round barrier.
+//!
+//! # Determinism guarantee
+//!
+//! The sharded engine is **bit-identical** to the sequential engine: for
+//! any protocol, both produce the same [`SimReport`], the same per-node
+//! final states, and fire the same bandwidth / incidence assertions.
+//! This holds because
+//!
+//! * shards are contiguous vertex ranges and each worker drives its
+//!   vertices in increasing id order, so concatenating the per-shard
+//!   outboxes in shard order reproduces the sequential send order;
+//! * each recipient's inbox is merged from source shards in shard order
+//!   at the barrier, so inbox contents and *ordering* match the
+//!   sequential engine exactly (protocols may break ties by inbox
+//!   position — BFS parent adoption does);
+//! * bandwidth accounting is per (edge, sending endpoint, round); a
+//!   sender lives in exactly one shard, so per-shard flat accumulators
+//!   are exact, and the report's totals/maxima are order-independent.
+//!
+//! # Steady-state allocation
+//!
+//! All buffers — per-shard inbox double buffers, the shard × shard
+//! outbox bucket matrix, flat per-edge word counters and their
+//! touched-edge scratch lists — are allocated once per run and recycled
+//! every round (`drain`/`clear`, never drop), so rounds allocate nothing
+//! beyond what messages themselves need (and small payloads are stored
+//! inline, see [`crate::message::WordVec`]).
+
+use crate::metrics::SimReport;
+use crate::network::{route_outbox, Delivery, Network, NodeLogic, RoundCtx, SendStats, SendTally};
+use decss_graphs::{EdgeId, VertexId};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
+
+/// The strategy [`Network::run`] uses to execute rounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoundEngine {
+    /// The single-threaded reference implementation ([`Network::step`]).
+    Sequential,
+    /// [`ShardedRounds`]: vertex-range shards on scoped worker threads,
+    /// bit-identical to [`RoundEngine::Sequential`].
+    Sharded {
+        /// Number of vertex-range shards (= worker threads); clamped to
+        /// `1..=n` at run time.
+        shards: usize,
+    },
+}
+
+impl RoundEngine {
+    /// A sharded engine with `shards` workers (at least 1).
+    pub fn sharded(shards: usize) -> Self {
+        RoundEngine::Sharded { shards: shards.max(1) }
+    }
+}
+
+impl std::fmt::Display for RoundEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundEngine::Sequential => write!(f, "seq"),
+            RoundEngine::Sharded { shards } => write!(f, "shards{shards}"),
+        }
+    }
+}
+
+/// A message routed between shards: the recipient plus the delivery
+/// tuple its inbox will receive.
+type Routed = (VertexId, Delivery);
+
+/// Per-round per-shard tallies, published at the compute barrier and
+/// folded into the [`SimReport`] by the coordinator.
+#[derive(Clone, Copy, Default)]
+struct ShardStats {
+    delivered: u64,
+    any_tick: bool,
+    sent_any: bool,
+    messages: u64,
+    words: u64,
+    max_edge_load: u64,
+}
+
+/// Locks a mutex, ignoring poisoning: a worker that trips a protocol
+/// assertion (bandwidth, incidence) unwinds while holding bucket locks;
+/// the run is aborting anyway and the buffers are only drained, so the
+/// poison flag carries no information here.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sharded round executor.
+///
+/// One worker thread per contiguous vertex range runs the compute phase
+/// (drive nodes, validate sends, tally bandwidth, bucket outgoing
+/// messages by destination shard) and, after a barrier, the exchange
+/// phase (merge all buckets addressed to its shard — in source-shard
+/// order, for determinism — into its double-buffered inboxes). The
+/// coordinator thread aggregates shard tallies between barriers and
+/// decides quiescence exactly like the sequential loop.
+pub struct ShardedRounds {
+    shards: usize,
+}
+
+impl ShardedRounds {
+    /// An executor with `shards` worker threads (at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedRounds { shards: shards.max(1) }
+    }
+
+    /// Runs `net` to quiescence or `max_rounds`, exactly like the
+    /// sequential [`Network::run`] (including its panics — worker panics
+    /// such as bandwidth violations are forwarded to the caller with
+    /// their original payload).
+    pub fn run<N: NodeLogic + Send>(&self, net: &mut Network<'_, N>, max_rounds: u64) -> SimReport {
+        let n = net.graph.n();
+        let m = net.graph.m();
+        let shards = self.shards.min(n).max(1);
+        let graph = net.graph;
+        let bandwidth = net.bandwidth;
+
+        // Vertex-range partition: shard s owns `bounds[s]..bounds[s + 1]`.
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+        let mut shard_of = vec![0u32; n];
+        for s in 0..shards {
+            for v in bounds[s]..bounds[s + 1] {
+                shard_of[v] = s as u32;
+            }
+        }
+
+        // Shared coordination state. `buckets[src][dst]` is only ever
+        // locked by worker `src` during compute and worker `dst` during
+        // exchange — phases separated by a barrier — so the mutexes are
+        // uncontended; they exist to let ownership rotate between phases.
+        let buckets: Vec<Vec<Mutex<Vec<Routed>>>> = (0..shards)
+            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let stats: Vec<Mutex<ShardStats>> =
+            (0..shards).map(|_| Mutex::new(ShardStats::default())).collect();
+        let barrier = Barrier::new(shards + 1);
+        let stop = AtomicBool::new(max_rounds == 0);
+        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let record_panic = |payload: Box<dyn Any + Send>| {
+            let mut slot = lock(&panic_slot);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        };
+
+        let mut report = net.report;
+        let mut timed_out = max_rounds == 0;
+        let mut nodes_rest: &mut [N] = &mut net.nodes;
+        let mut pend_rest: &mut [Vec<Delivery>] = &mut net.pending;
+        let mut spare_rest: &mut [Vec<Delivery>] = &mut net.inboxes;
+
+        std::thread::scope(|scope| {
+            for s in 0..shards {
+                let lo = bounds[s];
+                let len = bounds[s + 1] - lo;
+                let (nodes, rest) = nodes_rest.split_at_mut(len);
+                nodes_rest = rest;
+                let (pend, rest) = pend_rest.split_at_mut(len);
+                pend_rest = rest;
+                let (spare, rest) = spare_rest.split_at_mut(len);
+                spare_rest = rest;
+                let (barrier, stop, buckets, stats, shard_of, record_panic) =
+                    (&barrier, &stop, &buckets, &stats, &shard_of, &record_panic);
+
+                scope.spawn(move || {
+                    // Take the network's buffers for the duration of the
+                    // run (returned below, so capacity is recycled and a
+                    // pre-seeded `pending` is honoured).
+                    let mut cur: Vec<Vec<Delivery>> = pend.iter_mut().map(std::mem::take).collect();
+                    let mut next: Vec<Vec<Delivery>> =
+                        spare.iter_mut().map(std::mem::take).collect();
+                    let mut outbox: Vec<Delivery> = Vec::new();
+                    let mut edge_load = vec![0u64; m];
+                    let mut touched: Vec<EdgeId> = Vec::new();
+                    let mut round: u64 = 0;
+
+                    loop {
+                        barrier.wait(); // coordinator published `stop`
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+
+                        // Compute phase: drive this shard's nodes against
+                        // their current inboxes, bucket sends per
+                        // destination shard.
+                        let computed = catch_unwind(AssertUnwindSafe(|| {
+                            let mut st = ShardStats {
+                                delivered: cur.iter().map(|b| b.len() as u64).sum(),
+                                any_tick: nodes.iter().any(|nd| nd.wants_tick()),
+                                ..ShardStats::default()
+                            };
+                            let mut row: Vec<_> = buckets[s].iter().map(lock).collect();
+                            let mut sstats = SendStats::default();
+                            for (i, node) in nodes.iter_mut().enumerate() {
+                                let me = VertexId((lo + i) as u32);
+                                let mut ctx = RoundCtx {
+                                    me,
+                                    round,
+                                    ports: graph.neighbors(me),
+                                    inbox: &cur[i],
+                                    outbox: &mut outbox,
+                                    tally: SendTally::default(),
+                                };
+                                node.on_round(&mut ctx);
+                                let tally = ctx.tally;
+                                if outbox.is_empty() {
+                                    continue;
+                                }
+                                st.sent_any = true;
+                                // Shared validation/accounting (see
+                                // network.rs); only the sink differs —
+                                // bucket by destination shard.
+                                route_outbox(
+                                    graph,
+                                    bandwidth,
+                                    me,
+                                    tally,
+                                    &mut outbox,
+                                    &mut edge_load,
+                                    &mut touched,
+                                    &mut sstats,
+                                    |to, delivery| {
+                                        row[shard_of[to.index()] as usize].push((to, delivery))
+                                    },
+                                );
+                            }
+                            st.messages = sstats.messages;
+                            st.words = sstats.words;
+                            st.max_edge_load = sstats.max_edge_load;
+                            st
+                        }));
+                        match computed {
+                            Ok(st) => *lock(&stats[s]) = st,
+                            Err(payload) => record_panic(payload),
+                        }
+
+                        barrier.wait(); // all buckets complete
+
+                        // Exchange phase: merge buckets addressed to this
+                        // shard, in source-shard order (determinism), and
+                        // flip the double buffer.
+                        let exchanged = catch_unwind(AssertUnwindSafe(|| {
+                            for src in 0..shards {
+                                let mut bucket = lock(&buckets[src][s]);
+                                for (to, delivery) in bucket.drain(..) {
+                                    next[to.index() - lo].push(delivery);
+                                }
+                            }
+                            std::mem::swap(&mut cur, &mut next);
+                            for b in &mut next {
+                                b.clear();
+                            }
+                        }));
+                        if let Err(payload) = exchanged {
+                            record_panic(payload);
+                        }
+                        round += 1;
+
+                        barrier.wait(); // tallies + exchanges visible
+                    }
+
+                    // Hand the (possibly non-empty, e.g. on timeout)
+                    // buffers back to the network.
+                    for (slot, buf) in pend.iter_mut().zip(cur) {
+                        *slot = buf;
+                    }
+                    for (slot, buf) in spare.iter_mut().zip(next) {
+                        *slot = buf;
+                    }
+                });
+            }
+
+            // Coordinator: aggregates tallies and decides quiescence with
+            // exactly the sequential engine's rule.
+            let mut executed: u64 = 0;
+            loop {
+                barrier.wait(); // workers read `stop` right after this
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                barrier.wait(); // compute done, tallies published
+                let mut agg = ShardStats::default();
+                for st in &stats {
+                    let st = lock(st);
+                    agg.delivered += st.delivered;
+                    agg.any_tick |= st.any_tick;
+                    agg.sent_any |= st.sent_any;
+                    agg.messages += st.messages;
+                    agg.words += st.words;
+                    agg.max_edge_load = agg.max_edge_load.max(st.max_edge_load);
+                }
+                barrier.wait(); // exchange done, worker panics recorded
+                if lock(&panic_slot).is_some() {
+                    stop.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                report.messages += agg.messages;
+                report.words += agg.words;
+                report.max_edge_load = report.max_edge_load.max(agg.max_edge_load);
+                if agg.delivered == 0 && !agg.sent_any && !agg.any_tick {
+                    stop.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                report.rounds += 1;
+                executed += 1;
+                if executed == max_rounds {
+                    timed_out = true;
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+        });
+
+        net.report = report;
+        if let Some(payload) = lock(&panic_slot).take() {
+            resume_unwind(payload);
+        }
+        if timed_out {
+            panic!("protocol did not quiesce within {max_rounds} rounds");
+        }
+        report
+    }
+}
+
+/// Entry point used by [`Network::run`] for [`RoundEngine::Sharded`].
+pub(crate) fn run_sharded<N: NodeLogic + Send>(
+    net: &mut Network<'_, N>,
+    shards: usize,
+    max_rounds: u64,
+) -> SimReport {
+    ShardedRounds::new(shards).run(net, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use decss_graphs::gen;
+
+    /// The network-module flood test, replayed shard by shard: report and
+    /// node states must match the sequential engine bit for bit.
+    struct Flood {
+        fired: bool,
+        heard: usize,
+    }
+
+    impl NodeLogic for Flood {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if !self.fired {
+                self.fired = true;
+                ctx.send_all(&Message::signal(1));
+            }
+            self.heard += ctx.inbox.len();
+        }
+    }
+
+    #[test]
+    fn sharded_flood_matches_sequential() {
+        let g = gen::gnp_two_ec(37, 0.12, 9, 3);
+        let mut seq = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+        let seq_report = seq.run(10);
+        for shards in [1, 2, 3, 8, 64] {
+            let mut net = Network::new(&g, |_| Flood { fired: false, heard: 0 })
+                .with_engine(RoundEngine::sharded(shards));
+            let report = net.run(10);
+            assert_eq!(report, seq_report, "{shards} shards");
+            for ((_, a), (_, b)) in net.nodes().zip(seq.nodes()) {
+                assert_eq!(a.heard, b.heard, "{shards} shards");
+            }
+        }
+    }
+
+    /// More shards than vertices: ranges clamp, empty shards are fine.
+    #[test]
+    fn more_shards_than_vertices() {
+        let g = gen::cycle(3, 1, 0);
+        let mut net = Network::new(&g, |_| Flood { fired: false, heard: 0 })
+            .with_engine(RoundEngine::sharded(16));
+        let report = net.run(10);
+        assert_eq!(report.messages, 6);
+    }
+
+    struct Hog;
+    impl NodeLogic for Hog {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round == 0 {
+                let (e, w) = ctx.ports[0];
+                for _ in 0..10 {
+                    ctx.send(e, w, Message::signal(0));
+                }
+            }
+        }
+    }
+
+    /// A worker-thread bandwidth violation must surface to the caller
+    /// with the original panic message.
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    fn sharded_bandwidth_is_enforced() {
+        let g = gen::cycle(6, 1, 0);
+        let mut net = Network::new(&g, |_| Hog).with_engine(RoundEngine::sharded(3));
+        net.run(5);
+    }
+
+    struct Never;
+    impl NodeLogic for Never {
+        fn on_round(&mut self, _: &mut RoundCtx<'_>) {}
+        fn wants_tick(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn sharded_runaway_protocol_is_detected() {
+        let g = gen::cycle(5, 1, 0);
+        let mut net = Network::new(&g, |_| Never).with_engine(RoundEngine::sharded(2));
+        net.run(4);
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(RoundEngine::Sequential.to_string(), "seq");
+        assert_eq!(RoundEngine::sharded(8).to_string(), "shards8");
+        assert_eq!(RoundEngine::sharded(0), RoundEngine::Sharded { shards: 1 });
+    }
+}

@@ -13,6 +13,12 @@
 //!   [`decss_graphs::Graph`], enforcing a per-edge, per-direction,
 //!   per-round bandwidth budget measured in `O(log n)`-bit *words*
 //!   ([`message::Word`]),
+//! * [`engine::RoundEngine`] — the execution strategy behind
+//!   [`Network::run`]: the sequential reference loop or the
+//!   multi-threaded [`engine::ShardedRounds`] executor, which shards
+//!   vertices across scoped worker threads and is bit-identical to the
+//!   sequential engine (same reports, same node states, same
+//!   assertions),
 //! * [`metrics::SimReport`] — rounds, message and word counts, and the
 //!   maximum per-edge congestion observed,
 //! * genuine message-level protocols in [`protocols`]: BFS-tree
@@ -36,13 +42,15 @@
 //! assert!(report.rounds as u32 >= tree.depth());
 //! ```
 
+pub mod engine;
 pub mod ledger;
 pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod protocols;
 
+pub use engine::{RoundEngine, ShardedRounds};
 pub use ledger::RoundLedger;
-pub use message::{Message, Word, DEFAULT_BANDWIDTH};
+pub use message::{Message, Word, WordVec, DEFAULT_BANDWIDTH};
 pub use metrics::SimReport;
 pub use network::{Network, NodeLogic, RoundCtx};

@@ -1,8 +1,21 @@
 //! The synchronous round simulator.
+//!
+//! Two engines execute the same round semantics (see
+//! [`crate::engine::RoundEngine`]): the sequential reference
+//! implementation in this module and the sharded multi-threaded executor
+//! in [`crate::engine`]. Both are allocation-free in steady state —
+//! inboxes are double-buffered and reused, bandwidth accounting uses a
+//! flat per-edge vector with a touched-edge scratch list — and both
+//! produce bit-identical [`SimReport`]s and node states.
 
+use crate::engine::{self, RoundEngine};
 use crate::message::{Message, DEFAULT_BANDWIDTH};
 use crate::metrics::SimReport;
 use decss_graphs::{EdgeId, Graph, VertexId};
+
+/// One in-flight message: `(edge, sender, message)`, indexed by recipient
+/// in the engine's inbox buffers.
+pub(crate) type Delivery = (EdgeId, VertexId, Message);
 
 /// Behaviour of one vertex in a protocol.
 ///
@@ -22,6 +35,102 @@ pub trait NodeLogic {
     }
 }
 
+/// Tallies of the current node's sends, used by the engines to pick the
+/// accounting path: a node whose sends all came from [`RoundCtx::send_all`]
+/// loads every incident edge uniformly, so its bandwidth check is a
+/// single comparison instead of a per-message edge-table walk.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SendTally {
+    /// Total words per edge contributed by uniform bursts.
+    pub(crate) burst_cost: u64,
+    /// Messages enqueued by bursts.
+    pub(crate) burst_msgs: u64,
+    /// Words enqueued by bursts (over all edges).
+    pub(crate) burst_words: u64,
+    /// Messages enqueued by targeted [`RoundCtx::send`] calls; if any,
+    /// the engine falls back to exact per-edge accounting.
+    pub(crate) singles: u64,
+}
+
+/// Per-message-set tallies [`route_outbox`] folds into a report: the
+/// mutable subset of [`SimReport`] a single node's sends can affect.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SendStats {
+    pub(crate) messages: u64,
+    pub(crate) words: u64,
+    pub(crate) max_edge_load: u64,
+}
+
+/// Validates, accounts, and routes one node's drained outbox — the
+/// single implementation both engines share, so bandwidth rules,
+/// assertion wording, and report arithmetic can never diverge between
+/// them. `deliver` is the engine-specific sink: the sequential engine
+/// pushes straight into per-recipient inboxes, the sharded engine into
+/// destination-shard buckets.
+///
+/// Two paths, identical semantics:
+/// * every send came from [`RoundCtx::send_all`] (`tally.singles == 0`):
+///   each incident edge carries exactly `burst_cost` words and incidence
+///   holds by construction, so one budget comparison covers the whole
+///   outbox;
+/// * otherwise: exact per-edge accounting on the flat `edge_load`
+///   vector, with `touched` recording which entries to reset so the next
+///   node starts clean without a per-node map allocation or an O(m) wipe.
+#[allow(clippy::too_many_arguments)] // crate-private plumbing: the engines' scratch buffers are deliberately separate locals
+pub(crate) fn route_outbox(
+    graph: &Graph,
+    bandwidth: usize,
+    me: VertexId,
+    tally: SendTally,
+    outbox: &mut Vec<Delivery>,
+    edge_load: &mut [u64],
+    touched: &mut Vec<EdgeId>,
+    stats: &mut SendStats,
+    mut deliver: impl FnMut(VertexId, Delivery),
+) {
+    if tally.singles == 0 {
+        assert!(
+            tally.burst_cost <= bandwidth as u64,
+            "bandwidth exceeded on {} by {me}: {} > {} words",
+            graph.neighbors(me)[0].0,
+            tally.burst_cost,
+            bandwidth
+        );
+        stats.messages += tally.burst_msgs;
+        stats.words += tally.burst_words;
+        stats.max_edge_load = stats.max_edge_load.max(tally.burst_cost);
+        for (e, to, msg) in outbox.drain(..) {
+            deliver(to, (e, me, msg));
+        }
+    } else {
+        for (e, to, msg) in outbox.drain(..) {
+            let edge = graph.edge(e);
+            assert!(
+                edge.has_endpoint(me) && edge.other(me) == to,
+                "{me} tried to send over non-incident edge {e} to {to}"
+            );
+            let load = &mut edge_load[e.index()];
+            if *load == 0 {
+                touched.push(e);
+            }
+            *load += msg.cost() as u64;
+            assert!(
+                *load <= bandwidth as u64,
+                "bandwidth exceeded on {e} by {me}: {} > {} words",
+                *load,
+                bandwidth
+            );
+            stats.messages += 1;
+            stats.words += msg.cost() as u64;
+            stats.max_edge_load = stats.max_edge_load.max(*load);
+            deliver(to, (e, me, msg));
+        }
+        for e in touched.drain(..) {
+            edge_load[e.index()] = 0;
+        }
+    }
+}
+
 /// Per-round view handed to a node.
 pub struct RoundCtx<'a> {
     /// This node's id.
@@ -31,19 +140,25 @@ pub struct RoundCtx<'a> {
     /// Incident `(edge, neighbour)` ports, as in the underlying graph.
     pub ports: &'a [(EdgeId, VertexId)],
     /// Messages delivered this round as `(edge, sender, message)`.
-    pub inbox: &'a [(EdgeId, VertexId, Message)],
-    outbox: &'a mut Vec<(EdgeId, VertexId, Message)>,
+    pub inbox: &'a [Delivery],
+    pub(crate) outbox: &'a mut Vec<Delivery>,
+    pub(crate) tally: SendTally,
 }
 
 impl RoundCtx<'_> {
     /// Sends `msg` over `edge` to `to` at the end of this round; it is
     /// delivered at the start of the next round.
     pub fn send(&mut self, edge: EdgeId, to: VertexId, msg: Message) {
+        self.tally.singles += 1;
         self.outbox.push((edge, to, msg));
     }
 
     /// Sends `msg` to every neighbour.
     pub fn send_all(&mut self, msg: &Message) {
+        let cost = msg.cost() as u64;
+        self.tally.burst_cost += cost;
+        self.tally.burst_msgs += self.ports.len() as u64;
+        self.tally.burst_words += cost * self.ports.len() as u64;
         for &(e, w) in self.ports {
             self.outbox.push((e, w, msg.clone()));
         }
@@ -53,12 +168,25 @@ impl RoundCtx<'_> {
 /// The simulator: owns the per-vertex node states and runs rounds until
 /// quiescence or a round cap.
 pub struct Network<'g, N> {
-    graph: &'g Graph,
-    nodes: Vec<N>,
-    bandwidth: usize,
-    report: SimReport,
+    pub(crate) graph: &'g Graph,
+    pub(crate) nodes: Vec<N>,
+    pub(crate) bandwidth: usize,
+    pub(crate) engine: RoundEngine,
+    pub(crate) report: SimReport,
     /// In-flight messages addressed per recipient for the next round.
-    pending: Vec<Vec<(EdgeId, VertexId, Message)>>,
+    pub(crate) pending: Vec<Vec<Delivery>>,
+    /// Double buffer: last round's (already consumed) inbox vectors,
+    /// swapped with `pending` at each round start so their capacity is
+    /// reused instead of reallocated.
+    pub(crate) inboxes: Vec<Vec<Delivery>>,
+    /// Per-node send scratch, drained after every `on_round` call.
+    outbox: Vec<Delivery>,
+    /// Flat per-edge word counts for the node currently being driven
+    /// (index = edge id); only the entries listed in `touched` are live.
+    edge_load: Vec<u64>,
+    /// Edges the current node has sent over, used to reset `edge_load`
+    /// without scanning all `m` entries.
+    touched: Vec<EdgeId>,
 }
 
 impl<'g, N: NodeLogic> Network<'g, N> {
@@ -69,14 +197,26 @@ impl<'g, N: NodeLogic> Network<'g, N> {
             graph,
             nodes,
             bandwidth: DEFAULT_BANDWIDTH,
+            engine: RoundEngine::Sequential,
             report: SimReport::default(),
             pending: vec![Vec::new(); graph.n()],
+            inboxes: vec![Vec::new(); graph.n()],
+            outbox: Vec::new(),
+            edge_load: vec![0; graph.m()],
+            touched: Vec::new(),
         }
     }
 
     /// Overrides the per-edge per-direction per-round word budget.
     pub fn with_bandwidth(mut self, words: usize) -> Self {
         self.bandwidth = words;
+        self
+    }
+
+    /// Selects the engine that [`Network::run`] executes rounds on.
+    /// Defaults to [`RoundEngine::Sequential`].
+    pub fn with_engine(mut self, engine: RoundEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -90,72 +230,63 @@ impl<'g, N: NodeLogic> Network<'g, N> {
         self.nodes.iter().enumerate().map(|(i, n)| (VertexId(i as u32), n))
     }
 
-    /// Runs rounds until quiescence or `max_rounds`.
+    /// Executes a single round on the sequential reference engine;
+    /// returns whether the round was quiescent (nothing delivered,
+    /// nothing sent, nobody wants a tick).
     ///
-    /// Returns the metrics of the run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any vertex exceeds the bandwidth budget on an edge, or if
-    /// the protocol fails to quiesce within `max_rounds` (a protocol bug).
-    pub fn run(&mut self, max_rounds: u64) -> SimReport {
-        for round in 0..max_rounds {
-            let quiescent = self.step(round);
-            if quiescent {
-                return self.report;
-            }
-        }
-        panic!("protocol did not quiesce within {max_rounds} rounds");
-    }
-
-    /// Executes a single round; returns whether the round was quiescent
-    /// (nothing delivered, nothing sent, nobody wants a tick).
+    /// [`Network::run`] honours the configured [`RoundEngine`]; `step`
+    /// always drives the reference implementation, which the sharded
+    /// executor is bit-for-bit equivalent to.
     pub fn step(&mut self, round: u64) -> bool {
         let n = self.graph.n();
-        // Take this round's deliveries.
-        let inboxes: Vec<Vec<(EdgeId, VertexId, Message)>> =
-            std::mem::replace(&mut self.pending, vec![Vec::new(); n]);
-        let delivered: u64 = inboxes.iter().map(|b| b.len() as u64).sum();
+        // Double buffer: this round's deliveries were accumulated in
+        // `pending`; the vectors consumed last round become the new
+        // accumulation buffers, keeping their capacity.
+        std::mem::swap(&mut self.pending, &mut self.inboxes);
+        for buf in &mut self.pending {
+            buf.clear();
+        }
+        let delivered: u64 = self.inboxes.iter().map(|b| b.len() as u64).sum();
         let any_tick = self.nodes.iter().any(|nd| nd.wants_tick());
 
-        let mut outbox: Vec<(EdgeId, VertexId, Message)> = Vec::new();
         let mut sent_any = false;
+        let mut stats = SendStats {
+            messages: self.report.messages,
+            words: self.report.words,
+            max_edge_load: self.report.max_edge_load,
+        };
+        let pending = &mut self.pending;
         for v in 0..n {
             let me = VertexId(v as u32);
             let mut ctx = RoundCtx {
                 me,
                 round,
                 ports: self.graph.neighbors(me),
-                inbox: &inboxes[v],
-                outbox: &mut outbox,
+                inbox: &self.inboxes[v],
+                outbox: &mut self.outbox,
+                tally: SendTally::default(),
             };
             self.nodes[v].on_round(&mut ctx);
-            if !outbox.is_empty() {
-                sent_any = true;
-                // Bandwidth accounting: per (edge, direction) words.
-                let mut per_edge: std::collections::HashMap<EdgeId, u64> =
-                    std::collections::HashMap::new();
-                for (e, to, msg) in outbox.drain(..) {
-                    let edge = self.graph.edge(e);
-                    assert!(
-                        edge.has_endpoint(me) && edge.other(me) == to,
-                        "{me} tried to send over non-incident edge {e} to {to}"
-                    );
-                    let load = per_edge.entry(e).or_insert(0);
-                    *load += msg.cost() as u64;
-                    assert!(
-                        *load <= self.bandwidth as u64,
-                        "bandwidth exceeded on {e} by {me}: {} > {} words",
-                        *load,
-                        self.bandwidth
-                    );
-                    self.report.messages += 1;
-                    self.report.words += msg.cost() as u64;
-                    self.report.max_edge_load = self.report.max_edge_load.max(*load);
-                    self.pending[to.index()].push((e, me, msg));
-                }
+            let tally = ctx.tally;
+            if self.outbox.is_empty() {
+                continue;
             }
+            sent_any = true;
+            route_outbox(
+                self.graph,
+                self.bandwidth,
+                me,
+                tally,
+                &mut self.outbox,
+                &mut self.edge_load,
+                &mut self.touched,
+                &mut stats,
+                |to, delivery| pending[to.index()].push(delivery),
+            );
         }
+        self.report.messages = stats.messages;
+        self.report.words = stats.words;
+        self.report.max_edge_load = stats.max_edge_load;
 
         if delivered == 0 && !sent_any && !any_tick {
             true
@@ -173,6 +304,32 @@ impl<'g, N: NodeLogic> Network<'g, N> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+}
+
+impl<'g, N: NodeLogic + Send> Network<'g, N> {
+    /// Runs rounds until quiescence or `max_rounds`, on the configured
+    /// [`RoundEngine`].
+    ///
+    /// Returns the metrics of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex exceeds the bandwidth budget on an edge, or if
+    /// the protocol fails to quiesce within `max_rounds` (a protocol bug).
+    pub fn run(&mut self, max_rounds: u64) -> SimReport {
+        match self.engine {
+            RoundEngine::Sequential => {
+                for round in 0..max_rounds {
+                    let quiescent = self.step(round);
+                    if quiescent {
+                        return self.report;
+                    }
+                }
+                panic!("protocol did not quiesce within {max_rounds} rounds");
+            }
+            RoundEngine::Sharded { shards } => engine::run_sharded(self, shards, max_rounds),
+        }
     }
 }
 
@@ -229,6 +386,33 @@ mod tests {
         let g = gen::cycle(3, 1, 0);
         let mut net = Network::new(&g, |_| Hog);
         net.run(5);
+    }
+
+    /// Budget accounting must reset between nodes and between rounds:
+    /// sending exactly the budget every round on the same edge is legal.
+    struct BudgetEdge;
+    impl NodeLogic for BudgetEdge {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round < 3 {
+                let (e, w) = ctx.ports[0];
+                for _ in 0..DEFAULT_BANDWIDTH {
+                    ctx.send(e, w, Message::signal(0));
+                }
+            }
+        }
+        fn wants_tick(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn budget_resets_per_node_and_per_round() {
+        let g = gen::cycle(3, 1, 0);
+        let mut net = Network::new(&g, |_| BudgetEdge);
+        let report = net.run(10);
+        assert_eq!(report.max_edge_load, DEFAULT_BANDWIDTH as u64);
+        // 3 vertices x 3 rounds x budget messages.
+        assert_eq!(report.messages, 3 * 3 * DEFAULT_BANDWIDTH as u64);
     }
 
     /// Sending over a non-incident edge is a protocol bug.

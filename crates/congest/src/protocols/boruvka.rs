@@ -15,6 +15,7 @@
 //! logical pipeline uses (Kruskal with id tie-breaking) is the one a real
 //! distributed execution computes.
 
+use crate::engine::RoundEngine;
 use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{Network, NodeLogic, RoundCtx};
@@ -79,7 +80,7 @@ impl NodeLogic for BoruvkaNode {
             for entry in &mut self.neighbour_comp {
                 entry.2 = None;
             }
-            let msg = Message::new(TAG_COMP, vec![self.comp]);
+            let msg = Message::new(TAG_COMP, [self.comp]);
             self.send_over_selected(ctx, &msg);
             return;
         }
@@ -94,14 +95,14 @@ impl NodeLogic for BoruvkaNode {
                 }
             }
             if improved {
-                let msg = Message::new(TAG_COMP, vec![self.comp]);
+                let msg = Message::new(TAG_COMP, [self.comp]);
                 self.send_over_selected(ctx, &msg);
             }
             return;
         }
 
         if local == hello_at {
-            ctx.send_all(&Message::new(TAG_HELLO, vec![self.comp]));
+            ctx.send_all(&Message::new(TAG_HELLO, [self.comp]));
             return;
         }
 
@@ -125,7 +126,7 @@ impl NodeLogic for BoruvkaNode {
                 }
             }
             if let Some(b) = self.best {
-                let msg = Message::new(TAG_CAND, vec![b.weight, b.edge.0 as u64]);
+                let msg = Message::new(TAG_CAND, [b.weight, b.edge.0 as u64]);
                 self.send_over_selected(ctx, &msg);
             }
             return;
@@ -145,7 +146,7 @@ impl NodeLogic for BoruvkaNode {
             }
             if improved {
                 let b = self.best.expect("just set");
-                let msg = Message::new(TAG_CAND, vec![b.weight, b.edge.0 as u64]);
+                let msg = Message::new(TAG_CAND, [b.weight, b.edge.0 as u64]);
                 self.send_over_selected(ctx, &msg);
             }
             return;
@@ -196,6 +197,15 @@ impl NodeLogic for BoruvkaNode {
 ///
 /// Panics if the graph is disconnected (the protocol would stall).
 pub fn distributed_mst(g: &Graph) -> (Vec<EdgeId>, SimReport) {
+    distributed_mst_with(g, RoundEngine::Sequential)
+}
+
+/// [`distributed_mst`] on an explicit [`RoundEngine`].
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (the protocol would stall).
+pub fn distributed_mst_with(g: &Graph, engine: RoundEngine) -> (Vec<EdgeId>, SimReport) {
     assert!(
         decss_graphs::algo::is_connected(g),
         "distributed MST needs a connected graph"
@@ -213,7 +223,8 @@ pub fn distributed_mst(g: &Graph) -> (Vec<EdgeId>, SimReport) {
             best: None,
             done: false,
         }
-    });
+    })
+    .with_engine(engine);
     let phases = (g.n() as f64).log2().ceil() as u64 + 2;
     let report = net.run((2 * n + 5) * phases.max(1) + 4);
     let mut edges: Vec<EdgeId> = Vec::new();

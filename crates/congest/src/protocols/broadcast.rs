@@ -1,5 +1,6 @@
 //! Tree topology bookkeeping plus root-to-all broadcast over a tree.
 
+use crate::engine::RoundEngine;
 use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{Network, NodeLogic, RoundCtx};
@@ -86,7 +87,7 @@ impl NodeLogic for BcastNode {
             self.started = true;
             let v = self.value.expect("root has the value");
             for &(e, c) in &self.children.clone() {
-                ctx.send(e, c, Message::new(TAG_BCAST, vec![v]));
+                ctx.send(e, c, Message::new(TAG_BCAST, [v]));
             }
             return;
         }
@@ -95,7 +96,7 @@ impl NodeLogic for BcastNode {
                 let v = msg.words[0];
                 self.value = Some(v);
                 for &(e, c) in &self.children.clone() {
-                    ctx.send(e, c, Message::new(TAG_BCAST, vec![v]));
+                    ctx.send(e, c, Message::new(TAG_BCAST, [v]));
                 }
             }
         }
@@ -107,12 +108,23 @@ impl NodeLogic for BcastNode {
 /// Returns each vertex's received value and the metrics; takes exactly
 /// `depth` propagation rounds.
 pub fn broadcast(g: &Graph, overlay: &TreeOverlay, value: u64) -> (Vec<u64>, SimReport) {
+    broadcast_with(g, overlay, value, RoundEngine::Sequential)
+}
+
+/// [`broadcast`] on an explicit [`RoundEngine`].
+pub fn broadcast_with(
+    g: &Graph,
+    overlay: &TreeOverlay,
+    value: u64,
+    engine: RoundEngine,
+) -> (Vec<u64>, SimReport) {
     let mut net = Network::new(g, |v| BcastNode {
         parent: overlay.parent[v.index()],
         children: overlay.children[v.index()].clone(),
         value: (v == overlay.root).then_some(value),
         started: false,
-    });
+    })
+    .with_engine(engine);
     let report = net.run(2 * g.n() as u64 + 4);
     let values = net
         .nodes()

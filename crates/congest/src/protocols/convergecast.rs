@@ -1,6 +1,7 @@
 //! Convergecast: aggregating one word from every vertex to the overlay
 //! root, combining along the way. Takes `depth + O(1)` rounds.
 
+use crate::engine::RoundEngine;
 use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{Network, NodeLogic, RoundCtx};
@@ -61,7 +62,7 @@ impl NodeLogic for CcNode {
         if !self.sent && self.pending_children == 0 {
             self.sent = true;
             if let Some((e, p)) = self.parent {
-                ctx.send(e, p, Message::new(TAG_UP, vec![self.acc]));
+                ctx.send(e, p, Message::new(TAG_UP, [self.acc]));
             }
         }
     }
@@ -71,6 +72,17 @@ impl NodeLogic for CcNode {
 ///
 /// Returns the aggregate and the metrics.
 pub fn convergecast(g: &Graph, overlay: &TreeOverlay, values: &[u64], op: Agg) -> (u64, SimReport) {
+    convergecast_with(g, overlay, values, op, RoundEngine::Sequential)
+}
+
+/// [`convergecast`] on an explicit [`RoundEngine`].
+pub fn convergecast_with(
+    g: &Graph,
+    overlay: &TreeOverlay,
+    values: &[u64],
+    op: Agg,
+    engine: RoundEngine,
+) -> (u64, SimReport) {
     assert_eq!(values.len(), g.n(), "one value per vertex");
     let mut net = Network::new(g, |v| CcNode {
         parent: overlay.parent[v.index()],
@@ -78,7 +90,8 @@ pub fn convergecast(g: &Graph, overlay: &TreeOverlay, values: &[u64], op: Agg) -
         acc: values[v.index()],
         op,
         sent: false,
-    });
+    })
+    .with_engine(engine);
     let report = net.run(2 * g.n() as u64 + 4);
     (net.node(overlay.root).acc, report)
 }

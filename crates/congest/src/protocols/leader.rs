@@ -6,6 +6,7 @@
 //! the coordinator of a fragment) and as another calibration point for
 //! the `O(D)` broadcast charge.
 
+use crate::engine::RoundEngine;
 use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{Network, NodeLogic, RoundCtx};
@@ -30,7 +31,7 @@ impl NodeLogic for LeaderNode {
         }
         if !self.announced || improved {
             self.announced = true;
-            ctx.send_all(&Message::new(TAG_MIN, vec![self.best]));
+            ctx.send_all(&Message::new(TAG_MIN, [self.best]));
         }
     }
 }
@@ -39,7 +40,13 @@ impl NodeLogic for LeaderNode {
 ///
 /// Returns the leader id and the metrics.
 pub fn elect_leader(g: &Graph) -> (VertexId, SimReport) {
-    let mut net = Network::new(g, |v| LeaderNode { best: v.0 as u64, announced: false });
+    elect_leader_with(g, RoundEngine::Sequential)
+}
+
+/// [`elect_leader`] on an explicit [`RoundEngine`].
+pub fn elect_leader_with(g: &Graph, engine: RoundEngine) -> (VertexId, SimReport) {
+    let mut net =
+        Network::new(g, |v| LeaderNode { best: v.0 as u64, announced: false }).with_engine(engine);
     let report = net.run(2 * g.n() as u64 + 4);
     let leader = net.node(VertexId(0)).best;
     // Everyone must agree.

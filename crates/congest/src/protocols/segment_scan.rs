@@ -12,6 +12,7 @@
 //! segment depth, not the tree height: exactly why the decomposition
 //! buys `O(√n)` instead of `O(h)`.
 
+use crate::engine::RoundEngine;
 use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{Network, NodeLogic, RoundCtx};
@@ -65,7 +66,7 @@ impl NodeLogic for SegNode {
         if !self.sent && self.pending_same == 0 {
             if let Some((e, p, _)) = self.parent {
                 self.sent = true;
-                ctx.send(e, p, Message::new(TAG_SEG, vec![self.acc]));
+                ctx.send(e, p, Message::new(TAG_SEG, [self.acc]));
             }
         }
     }
@@ -87,6 +88,28 @@ pub fn segment_convergecast(
     seg_of_edge: &[u32],
     values: &[u64],
     op: Agg,
+) -> (HashMap<u32, u64>, SimReport) {
+    segment_convergecast_with(
+        g,
+        parent,
+        parent_edge,
+        seg_of_edge,
+        values,
+        op,
+        RoundEngine::Sequential,
+    )
+}
+
+/// [`segment_convergecast`] on an explicit [`RoundEngine`].
+#[allow(clippy::too_many_arguments)]
+pub fn segment_convergecast_with(
+    g: &Graph,
+    parent: &[Option<VertexId>],
+    parent_edge: &[Option<EdgeId>],
+    seg_of_edge: &[u32],
+    values: &[u64],
+    op: Agg,
+    engine: RoundEngine,
 ) -> (HashMap<u32, u64>, SimReport) {
     let n = g.n();
     assert!(parent.len() == n && parent_edge.len() == n && values.len() == n);
@@ -115,7 +138,8 @@ pub fn segment_convergecast(
             sent: false,
             results: HashMap::new(),
         }
-    });
+    })
+    .with_engine(engine);
     let report = net.run(2 * n as u64 + 4);
     let mut results: HashMap<u32, u64> = HashMap::new();
     for (_, node) in net.nodes() {

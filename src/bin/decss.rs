@@ -3,14 +3,17 @@
 //! instance, and print the chosen subgraph plus diagnostics.
 //!
 //! ```text
-//! decss solve  --input net.graph [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon 0.25]
-//! decss gen    --family grid --n 100 --seed 7 [--max-weight 64]    # writes the format to stdout
-//! decss verify --input net.graph --edges 0,3,7,...                 # check a 2-ECSS
+//! decss solve    --input net.graph [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon 0.25]
+//! decss gen      --family grid --n 100 --seed 7 [--max-weight 64]    # writes the format to stdout
+//! decss verify   --input net.graph --edges 0,3,7,...                 # check a 2-ECSS
+//! decss simulate --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
 //! ```
 
 use decss::baselines;
+use decss::congest::protocols::{bfs, boruvka, flood, leader};
+use decss::congest::{RoundEngine, SimReport};
 use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
-use decss::graphs::{algo, gen, io, EdgeId, Graph};
+use decss::graphs::{algo, gen, io, EdgeId, Graph, VertexId};
 use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
 use std::process::ExitCode;
 
@@ -22,9 +25,10 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  decss solve  --input FILE [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon E]");
-            eprintln!("  decss gen    --family NAME --n N [--seed S] [--max-weight W]");
-            eprintln!("  decss verify --input FILE --edges ID[,ID...]");
+            eprintln!("  decss solve    --input FILE [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon E]");
+            eprintln!("  decss gen      --family NAME --n N [--seed S] [--max-weight W]");
+            eprintln!("  decss verify   --input FILE --edges ID[,ID...]");
+            eprintln!("  decss simulate --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
             ExitCode::from(2)
         }
     }
@@ -48,7 +52,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("solve") => solve(&args[1..]),
         Some("gen") => generate(&args[1..]),
         Some("verify") => verify(&args[1..]),
-        _ => Err("expected a subcommand: solve | gen | verify".into()),
+        Some("simulate") => simulate(&args[1..]),
+        _ => Err("expected a subcommand: solve | gen | verify | simulate".into()),
     }
 }
 
@@ -114,6 +119,78 @@ fn solve(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown --algorithm {other}")),
     }
+    Ok(())
+}
+
+/// Runs a message-level protocol on the round simulator and prints the
+/// metrics. `--shards K` selects the multi-threaded sharded engine
+/// (bit-identical results; a pure performance knob on multicore hosts).
+fn simulate(args: &[String]) -> Result<(), String> {
+    let g = load(args)?;
+    let protocol = flag(args, "--protocol").ok_or("--protocol NAME is required")?;
+    let shards: usize = flag(args, "--shards")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    let engine = if shards == 0 {
+        RoundEngine::Sequential
+    } else {
+        RoundEngine::sharded(shards)
+    };
+    let root: u32 = flag(args, "--root")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --root")?;
+    if root as usize >= g.n() {
+        return Err(format!("--root {root} out of range (n = {})", g.n()));
+    }
+    let bursts: u32 = flag(args, "--bursts")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --bursts")?;
+
+    let start = std::time::Instant::now();
+    let (summary, report): (String, SimReport) = match protocol {
+        "flood" => {
+            let (accs, report) = flood::gossip_flood_with(&g, bursts, engine);
+            let digest = accs.iter().fold(0u64, |a, &b| a.rotate_left(1) ^ b);
+            (format!("flood digest: {digest:#018x}"), report)
+        }
+        "bfs" => {
+            let (tree, report) = bfs::distributed_bfs_with(&g, VertexId(root), engine);
+            (format!("bfs depth: {}", tree.depth()), report)
+        }
+        "leader" => {
+            let (leader_v, report) = leader::elect_leader_with(&g, engine);
+            (format!("leader: {leader_v}"), report)
+        }
+        "mst" => {
+            let (edges, report) = boruvka::distributed_mst_with(&g, engine);
+            (
+                format!(
+                    "mst edges: {} (weight {})",
+                    edges.len(),
+                    g.weight_of(edges.iter().copied())
+                ),
+                report,
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown --protocol {other}; options: flood, bfs, leader, mst"
+            ))
+        }
+    };
+    let elapsed = start.elapsed();
+    println!("protocol: {protocol}");
+    println!("engine: {engine}");
+    println!("{summary}");
+    println!("report: {report}");
+    println!("wall-clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    println!(
+        "rounds/sec: {:.0}",
+        report.rounds as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
     Ok(())
 }
 
