@@ -20,11 +20,45 @@ pub struct BenchEntry {
     pub mean_ns: f64,
 }
 
+/// Host metadata recorded in a bench header: wall-clock baselines are
+/// only comparable between runs on similar machines, and the PR 2
+/// cross-machine caveat showed that a silent core-count mismatch makes
+/// gate comparisons meaningless. Older committed baselines predate the
+/// header and parse with `host: None`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostMeta {
+    /// Available parallelism at record time (`nproc`).
+    pub nproc: u32,
+    /// Space-joined `KEY=VALUE` list of `DECSS_*` environment overrides
+    /// active during the run (sampling time, gate knobs, ...), sorted
+    /// by key; empty when none were set.
+    pub decss_env: String,
+}
+
+impl HostMeta {
+    /// Captures the current host: core count plus any `DECSS_*`
+    /// environment overrides in effect.
+    pub fn current() -> Self {
+        let nproc = std::thread::available_parallelism().map_or(1, |p| p.get() as u32);
+        let mut overrides: Vec<String> = std::env::vars()
+            .filter(|(k, _)| k.starts_with("DECSS_"))
+            // Control characters (a newline in an env value) would break
+            // the line-oriented JSON shape; the header is informational,
+            // so flatten them to spaces.
+            .map(|(k, v)| format!("{k}={}", v.replace(|c: char| c.is_control(), " ")))
+            .collect();
+        overrides.sort();
+        HostMeta { nproc, decss_env: overrides.join(" ") }
+    }
+}
+
 /// A parsed `BENCH_*.json` file.
 #[derive(Clone, Debug, Default)]
 pub struct BenchFile {
     /// Suite name (e.g. `graph_core`).
     pub suite: String,
+    /// Host metadata, when the file was recorded with it.
+    pub host: Option<HostMeta>,
     /// All entries, in file order.
     pub benches: Vec<BenchEntry>,
 }
@@ -40,11 +74,19 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders measurements in the canonical `BENCH_*.json` shape.
+/// Renders measurements in the canonical `BENCH_*.json` shape, stamped
+/// with the current host's metadata.
 pub fn render(suite: &str, measurements: &[Measurement]) -> String {
+    render_with_host(suite, measurements, &HostMeta::current())
+}
+
+/// [`render`] with an explicit host header (tests pin it).
+pub fn render_with_host(suite: &str, measurements: &[Measurement], host: &HostMeta) -> String {
     let mut out = format!(
-        "{{\n  \"suite\": \"{}\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
-        escape(suite)
+        "{{\n  \"suite\": \"{}\",\n  \"unit\": \"ns_per_iter\",\n  \"host\": {{\"nproc\": {}, \"decss_env\": \"{}\"}},\n  \"benches\": [\n",
+        escape(suite),
+        host.nproc,
+        escape(&host.decss_env)
     );
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(
@@ -111,6 +153,14 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
         if file.suite.is_empty() {
             if let Some(s) = string_field(line, "suite") {
                 file.suite = s;
+                continue;
+            }
+        }
+        if file.host.is_none() && line.contains("\"host\"") {
+            if let (Some(nproc), Some(decss_env)) =
+                (number_field(line, "nproc"), string_field(line, "decss_env"))
+            {
+                file.host = Some(HostMeta { nproc: nproc as u32, decss_env });
                 continue;
             }
         }
@@ -193,6 +243,27 @@ mod tests {
         assert_eq!(parsed.mean_ns("a/1"), Some(10.0));
         assert_eq!(parsed.mean_ns("b/2"), Some(2000.5));
         assert_eq!(parsed.mean_ns("missing"), None);
+        // render() stamps the current host.
+        assert_eq!(parsed.host, Some(HostMeta::current()));
+    }
+
+    #[test]
+    fn host_header_round_trips() {
+        let host = HostMeta { nproc: 8, decss_env: "DECSS_BENCH_SAMPLE_MS=5".into() };
+        let text = render_with_host("demo", &[meas("a", 1.0)], &host);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.host, Some(host));
+    }
+
+    #[test]
+    fn files_without_host_header_parse_as_none() {
+        // The shape of the pre-PR-3 committed baselines.
+        let text = concat!(
+            "{\n  \"suite\": \"s\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
+            "    {\"id\": \"a\", \"mean_ns\": 1.0, \"min_ns\": 1.0, \"max_ns\": 1.0, \"iters\": 1}\n  ]\n}\n"
+        );
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.host, None);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The perf regression gate: compares fresh `BENCH_*.json` runs against
 //! the committed baselines and fails (exit 1) when any benchmark
-//! regressed by more than the tolerance, or vanished.
+//! regressed by more than the tolerance, or vanished. When both files
+//! carry a host header, a core-count mismatch prints a warning (the
+//! gate still runs: the tolerance knob is the policy lever).
 //!
 //! ```text
 //! bench_gate BASELINE FRESH [BASELINE FRESH ...] [--tolerance 0.20]
@@ -66,6 +68,18 @@ fn run(args: &[String]) -> Result<bool, String> {
                 "suite mismatch: {base_path} is {:?} but {fresh_path} is {:?}",
                 baseline.suite, fresh.suite
             ));
+        }
+        // Cross-machine comparisons are the known failure mode of
+        // wall-clock gates (see the PR 2 caveat): surface a core-count
+        // mismatch instead of letting it silently skew the ratios.
+        if let (Some(b), Some(f)) = (&baseline.host, &fresh.host) {
+            if b.nproc != f.nproc {
+                println!(
+                    "bench_gate: WARNING: {} baseline was recorded on {} core(s) but this run \
+                     has {} — wall-clock ratios are not comparable across machines",
+                    baseline.suite, b.nproc, f.nproc
+                );
+            }
         }
         let regressions = benchjson::compare(&baseline, &fresh, tolerance);
         if regressions.is_empty() {

@@ -48,7 +48,7 @@ pub fn run(scale: Scale) {
             let bfs = bfs_tree(&g, VertexId(0));
             // Report the busiest level (most parts).
             let level = (0..hierarchy.num_levels())
-                .max_by_key(|&d| hierarchy.levels[d].len())
+                .max_by_key(|&d| hierarchy.num_fragments(d))
                 .expect("non-empty hierarchy");
             let partition = hierarchy.level_partition(&g, level);
             let thr = threshold_bfs(&g, &bfs, &partition);

@@ -7,77 +7,145 @@
 //! spine; fragments at the same light depth are vertex-disjoint, and
 //! light depth is at most `log2 n` — so the hierarchy has `O(log n)`
 //! levels, each forming a valid partition for the shortcut framework.
+//!
+//! Spines live in one flat arena (`spine_verts` + fragment/level offset
+//! tables) instead of `Vec<Vec<Fragment>>`: the hierarchy is rebuilt for
+//! every [`crate::tools::ScTools`], and at 10⁵ vertices the per-fragment
+//! `Vec` churn of the old build path was measurable. The layout is
+//! pinned identical to the preserved [`crate::naive::fragment_levels`]
+//! reference by the `flat_equivalence` suite.
 
 use crate::partition::Partition;
 use decss_graphs::{Graph, VertexId};
 use decss_tree::{HeavyLight, RootedTree};
 
-/// One fragment: its top vertex, its spine (top-down), and all its
-/// vertices... kept implicit; the hierarchy stores per-level partitions.
-#[derive(Clone, Debug)]
-pub struct Fragment {
-    /// Top vertex (bottom endpoint of a light edge, or the root).
-    pub top: VertexId,
-    /// Spine: the heavy path from `top`, top-down.
-    pub spine: Vec<VertexId>,
-    /// All vertices of the fragment (the subtree of `top` *excluding*
-    /// deeper fragments' vertices — i.e. exactly the spine plus nothing:
-    /// fragments are identified with their spines for partitioning, so
-    /// every vertex belongs to exactly one fragment per hierarchy).
-    pub level: usize,
-}
-
-/// The fragment hierarchy: `levels[d]` lists the spines at light depth
-/// `d` (each spine a connected path — a valid partition part).
+/// The fragment hierarchy: spines grouped by light depth, in one flat
+/// arena. Level `d` holds the spines whose tops have `d` light edges on
+/// their root path (each spine a connected path — a valid partition
+/// part).
 #[derive(Clone, Debug)]
 pub struct FragmentHierarchy {
-    /// `levels[d]` = spines of light depth `d`.
-    pub levels: Vec<Vec<Fragment>>,
+    /// Flat arena of spine vertices (each spine top-down), grouped by
+    /// level, then by fragment in top-BFS-order. Length `n`.
+    spine_verts: Vec<VertexId>,
+    /// `frag_offsets[f]..frag_offsets[f+1]` is fragment `f`'s spine.
+    frag_offsets: Vec<u32>,
+    /// `level_offsets[d]..level_offsets[d+1]` are level `d`'s fragment
+    /// indices.
+    level_offsets: Vec<u32>,
     /// `spine_of[v]` = (level, index within level) of `v`'s spine.
     pub spine_of: Vec<(u32, u32)>,
 }
 
 impl FragmentHierarchy {
     /// Builds the hierarchy from a tree and its heavy-light
-    /// decomposition.
+    /// decomposition. `O(n)` and allocation-flat: spine lengths are
+    /// counted per heavy-path head, offset tables prefix-summed, and
+    /// each heavy path walked once into its arena slot.
     pub fn new(tree: &RootedTree, hld: &HeavyLight) -> Self {
         let n = tree.n();
-        let mut levels: Vec<Vec<Fragment>> = Vec::new();
-        let mut spine_of = vec![(0u32, 0u32); n];
-        // Heads of heavy paths are exactly the fragment tops.
-        let mut tops: Vec<VertexId> =
-            tree.order().iter().copied().filter(|&v| hld.head(v) == v).collect();
-        // Process tops in BFS order so parents' levels are known.
-        tops.sort_by_key(|&v| tree.depth(v));
-        for top in tops {
-            let level = hld.light_depth(top);
-            while levels.len() <= level {
-                levels.push(Vec::new());
+        // Heads of heavy paths are exactly the fragment tops; BFS order
+        // is depth-sorted, which is the order the naive build processed
+        // them in (its sort by depth was stable).
+        let mut frags_per_level: Vec<u32> = Vec::new();
+        for &v in tree.order() {
+            if hld.head(v) == v {
+                let d = hld.light_depth(v);
+                if frags_per_level.len() <= d {
+                    frags_per_level.resize(d + 1, 0);
+                }
+                frags_per_level[d] += 1;
             }
-            // Walk the heavy path downward.
-            let mut spine = vec![top];
-            let mut cur = top;
-            while let Some(&next) = tree.children(cur).iter().find(|&&c| hld.is_heavy_above(c)) {
-                spine.push(next);
-                cur = next;
-            }
-            let idx = levels[level].len() as u32;
-            for &v in &spine {
-                spine_of[v.index()] = (level as u32, idx);
-            }
-            levels[level].push(Fragment { top, spine, level });
         }
-        FragmentHierarchy { levels, spine_of }
+        let num_levels = frags_per_level.len();
+        let mut level_offsets = vec![0u32; num_levels + 1];
+        for d in 0..num_levels {
+            level_offsets[d + 1] = level_offsets[d] + frags_per_level[d];
+        }
+        let num_frags = level_offsets[num_levels] as usize;
+
+        // Spine length of each heavy path, keyed by its head.
+        let mut spine_len = vec![0u32; n];
+        for v in 0..n {
+            spine_len[hld.head(VertexId(v as u32)).index()] += 1;
+        }
+
+        // Assign fragment slots in level-grouped top order, then
+        // prefix-sum the per-fragment spine extents.
+        let mut next_in_level: Vec<u32> = level_offsets[..num_levels].to_vec();
+        let mut frag_of_top = vec![0u32; n];
+        let mut frag_offsets = vec![0u32; num_frags + 1];
+        for &v in tree.order() {
+            if hld.head(v) == v {
+                let d = hld.light_depth(v);
+                let f = next_in_level[d];
+                next_in_level[d] += 1;
+                frag_of_top[v.index()] = f;
+                frag_offsets[f as usize + 1] = spine_len[v.index()];
+            }
+        }
+        for f in 0..num_frags {
+            frag_offsets[f + 1] += frag_offsets[f];
+        }
+
+        // Walk each heavy path downward into its arena slot.
+        let mut spine_verts = vec![VertexId(0); n];
+        let mut spine_of = vec![(0u32, 0u32); n];
+        for &top in tree.order() {
+            if hld.head(top) != top {
+                continue;
+            }
+            let f = frag_of_top[top.index()] as usize;
+            let level = hld.light_depth(top) as u32;
+            let idx = f as u32 - level_offsets[level as usize];
+            let base = frag_offsets[f] as usize;
+            let mut cur = top;
+            let mut k = 0usize;
+            loop {
+                spine_verts[base + k] = cur;
+                spine_of[cur.index()] = (level, idx);
+                k += 1;
+                match tree.children(cur).iter().find(|&&c| hld.is_heavy_above(c)) {
+                    Some(&next) => cur = next,
+                    None => break,
+                }
+            }
+            debug_assert_eq!(k as u32, spine_len[top.index()]);
+        }
+        FragmentHierarchy { spine_verts, frag_offsets, level_offsets, spine_of }
     }
 
     /// Number of levels (max light depth + 1).
     pub fn num_levels(&self) -> usize {
-        self.levels.len()
+        self.level_offsets.len() - 1
     }
 
-    /// The per-level partitions (spines as parts).
+    /// Number of fragments at `level`.
+    pub fn num_fragments(&self, level: usize) -> usize {
+        (self.level_offsets[level + 1] - self.level_offsets[level]) as usize
+    }
+
+    /// The spine of fragment `idx` at `level`, top-down.
+    pub fn spine(&self, level: usize, idx: usize) -> &[VertexId] {
+        let f = self.level_offsets[level] as usize + idx;
+        &self.spine_verts[self.frag_offsets[f] as usize..self.frag_offsets[f + 1] as usize]
+    }
+
+    /// Top vertex of fragment `idx` at `level` (bottom endpoint of a
+    /// light edge, or the root for the level-0 fragment).
+    pub fn top(&self, level: usize, idx: usize) -> VertexId {
+        self.spine(level, idx)[0]
+    }
+
+    /// The spines of one level, in build order.
+    pub fn level_spines(&self, level: usize) -> impl Iterator<Item = &[VertexId]> {
+        (0..self.num_fragments(level)).map(move |i| self.spine(level, i))
+    }
+
+    /// The per-level partitions (spines as parts), built straight from
+    /// the flat arena.
     pub fn level_partition(&self, g: &Graph, level: usize) -> Partition {
-        Partition::new(g, self.levels[level].iter().map(|f| f.spine.clone()).collect())
+        Partition::from_slices(g, self.level_spines(level))
     }
 }
 
@@ -99,7 +167,9 @@ mod tests {
     fn spines_partition_all_vertices() {
         let g = gen::gnp_two_ec(60, 0.08, 30, 4);
         let (tree, h) = build(&g);
-        let total: usize = h.levels.iter().flat_map(|l| l.iter().map(|f| f.spine.len())).sum();
+        let total: usize = (0..h.num_levels())
+            .flat_map(|d| h.level_spines(d).map(|s| s.len()))
+            .sum();
         assert_eq!(total, tree.n());
     }
 
@@ -118,13 +188,26 @@ mod tests {
     fn spines_are_tree_paths() {
         let g = gen::grid(6, 6, 10, 6);
         let (tree, h) = build(&g);
-        for level in &h.levels {
-            for f in level {
-                for w in f.spine.windows(2) {
+        for d in 0..h.num_levels() {
+            for (i, spine) in h.level_spines(d).enumerate() {
+                for w in spine.windows(2) {
                     assert_eq!(tree.parent(w[1]), Some(w[0]));
                 }
-                assert_eq!(f.spine[0], f.top);
+                assert_eq!(spine[0], h.top(d, i));
             }
+        }
+    }
+
+    #[test]
+    fn spine_of_points_back_into_the_arena() {
+        let g = gen::gnp_two_ec(80, 0.06, 20, 9);
+        let (_, h) = build(&g);
+        for (vi, &(level, idx)) in h.spine_of.iter().enumerate() {
+            let spine = h.spine(level as usize, idx as usize);
+            assert!(
+                spine.iter().any(|s| s.index() == vi),
+                "vertex {vi} missing from its spine ({level}, {idx})"
+            );
         }
     }
 

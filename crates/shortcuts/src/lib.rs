@@ -28,7 +28,12 @@
 //!   detection via XOR fingerprints (Lemma 5.4) and marked-cover
 //!   counting via `M_v + M_u − 2 M_w` (Lemma 5.5),
 //! * [`setcover`] — the parallel greedy set-cover driver (Section 5.1),
-//! * [`twoecss`] — the public entry point [`shortcut_two_ecss`].
+//! * [`twoecss`] — the public entry point [`shortcut_two_ecss`],
+//! * [`workspace`] — the epoch-stamped flat scratch buffers the hot
+//!   paths run on (one [`ShortcutWorkspace`] per pipeline run),
+//! * [`naive`] — the pre-rewrite `HashMap`-based reference
+//!   implementations, preserved for the equivalence suite and the
+//!   `bench_shortcut_pipeline` head-to-head rows.
 //!
 //! # Example
 //!
@@ -49,13 +54,16 @@
 //! ```
 
 pub mod fragments;
+pub mod naive;
 pub mod partition;
 pub mod probes;
 pub mod setcover;
 pub mod shortcut;
 pub mod tools;
 pub mod twoecss;
+pub mod workspace;
 
 pub use partition::Partition;
 pub use shortcut::{ShortcutQuality, ShortcutScheme};
 pub use twoecss::{shortcut_two_ecss, ShortcutConfig, ShortcutResult};
+pub use workspace::ShortcutWorkspace;

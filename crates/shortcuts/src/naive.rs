@@ -1,0 +1,216 @@
+//! The pre-rewrite `HashMap`/`HashSet`/`VecDeque` shortcut-construction
+//! paths, preserved verbatim as reference implementations.
+//!
+//! These are the implementations the flat scratch-buffer rewrites in
+//! [`crate::shortcut`], [`crate::fragments`], and [`crate::partition`]
+//! replaced. They exist for two reasons:
+//!
+//! * the `flat_equivalence` proptest suite pins the rewrites
+//!   bit-identical to them (same [`ShortcutQuality`], same Steiner edge
+//!   sets, same hierarchy layout), and
+//! * the `bench_shortcut_pipeline` criterion suite reports the flat
+//!   rewrites' speedup against them head-to-head (the same pattern PR 2
+//!   used for the round-engine `naive` rows).
+//!
+//! Nothing here is called on the production path.
+
+use crate::partition::Partition;
+use crate::shortcut::{ShortcutQuality, ShortcutScheme};
+use decss_graphs::algo::BfsTree;
+use decss_graphs::{EdgeId, Graph, VertexId};
+use decss_tree::{HeavyLight, RootedTree};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The threshold-BFS construction (pre-rewrite reference).
+pub fn threshold_bfs(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let threshold = (g.n() as f64).sqrt().ceil() as usize;
+    let tree_edges: Vec<EdgeId> = bfs.tree_edges().collect();
+    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    let mut beta = 0u32;
+    let mut big_parts = 0u32;
+    for part in partition.parts() {
+        let hi: &[EdgeId] = if part.len() >= threshold {
+            big_parts += 1;
+            &tree_edges
+        } else {
+            &[]
+        };
+        for &e in hi {
+            *edge_load.entry(e).or_insert(0) += 1;
+        }
+        beta = beta.max(part_radius(g, partition, part, hi));
+    }
+    // Induced edges count once for their own part.
+    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
+    let _ = big_parts;
+    ShortcutQuality { alpha, beta, scheme: ShortcutScheme::ThresholdBfs }
+}
+
+/// The tree-restricted Steiner construction (pre-rewrite reference).
+pub fn tree_restricted(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    let mut beta = 0u32;
+    for part in partition.parts() {
+        let hi = steiner_edges(bfs, part);
+        for &e in &hi {
+            *edge_load.entry(e).or_insert(0) += 1;
+        }
+        beta = beta.max(part_radius(g, partition, part, &hi));
+    }
+    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
+    ShortcutQuality { alpha, beta, scheme: ShortcutScheme::TreeRestricted }
+}
+
+/// Both constructions, better one kept (pre-rewrite reference).
+pub fn best_shortcut(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    let a = threshold_bfs(g, bfs, partition);
+    let b = tree_restricted(g, bfs, partition);
+    if a.cost() <= b.cost() {
+        a
+    } else {
+        b
+    }
+}
+
+/// The minimal BFS-tree subtree spanning `part` (pre-rewrite reference;
+/// see [`crate::shortcut::steiner_edges`] for the algorithm notes).
+pub fn steiner_edges(bfs: &BfsTree, part: &[VertexId]) -> Vec<EdgeId> {
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut edges: Vec<(VertexId, EdgeId)> = Vec::new(); // (child, edge)
+    for &v in part {
+        let mut cur = v;
+        while visited.insert(cur) {
+            match (bfs.parent[cur.index()], bfs.parent_edge[cur.index()]) {
+                (Some(p), Some(e)) => {
+                    edges.push((cur, e));
+                    cur = p;
+                }
+                _ => break, // reached the BFS root
+            }
+        }
+    }
+    // Prune the tail above the subtree actually needed: repeatedly drop
+    // a "chain top" edge whose child has exactly one child in the union
+    // and is not a part vertex.
+    let part_set: HashSet<VertexId> = part.iter().copied().collect();
+    let mut child_count: HashMap<VertexId, u32> = HashMap::new();
+    let mut parent_of: HashMap<VertexId, (VertexId, EdgeId)> = HashMap::new();
+    for &(c, e) in &edges {
+        let p = bfs.parent[c.index()].expect("edge has a parent");
+        *child_count.entry(p).or_insert(0) += 1;
+        parent_of.insert(c, (p, e));
+    }
+    // Walk down from the BFS root along single chains of non-part
+    // vertices, discarding those edges.
+    let mut discard: HashSet<EdgeId> = HashSet::new();
+    let mut cur = bfs.root;
+    loop {
+        if part_set.contains(&cur) || child_count.get(&cur).copied().unwrap_or(0) != 1 {
+            break;
+        }
+        // The unique union-child of cur.
+        let Some((&child, &(_, e))) = parent_of.iter().find(|(_, &(p, _))| p == cur) else {
+            break;
+        };
+        discard.insert(e);
+        cur = child;
+    }
+    edges
+        .into_iter()
+        .map(|(_, e)| e)
+        .filter(|e| !discard.contains(e))
+        .collect()
+}
+
+/// Eccentricity of the part's first vertex (its leader) inside
+/// `G[V_i] + H_i` (pre-rewrite reference).
+fn part_radius(g: &Graph, partition: &Partition, part: &[VertexId], hi: &[EdgeId]) -> u32 {
+    let me = partition.part_of(part[0]);
+    let hi_set: HashSet<EdgeId> = hi.iter().copied().collect();
+    let usable = |e: EdgeId| -> bool {
+        if hi_set.contains(&e) {
+            return true;
+        }
+        let edge = g.edge(e);
+        partition.part_of(edge.u) == me && partition.part_of(edge.v) == me
+    };
+    let mut dist: HashMap<VertexId, u32> = HashMap::from([(part[0], 0)]);
+    let mut queue = VecDeque::from([part[0]]);
+    let mut radius = 0;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for &(e, w) in g.neighbors(v) {
+            if usable(e) && !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+        radius = radius.max(d);
+    }
+    // Every part vertex must be reachable (parts are connected).
+    debug_assert!(part.iter().all(|v| dist.contains_key(v)));
+    // Only count the distance to part vertices: the shortcut is used to
+    // communicate within the part.
+    part.iter().map(|v| dist[v]).max().unwrap_or(0)
+}
+
+/// Per-level spine lists of the naive hierarchy build:
+/// `levels[d][i]` is the `i`-th spine at light depth `d`, top-down.
+pub type NaiveLevels = Vec<Vec<Vec<VertexId>>>;
+
+/// The pre-rewrite fragment-hierarchy build: per-level `Vec`s of owned
+/// spines, plus `spine_of` in the same (level, index-within-level)
+/// convention as [`crate::fragments::FragmentHierarchy::spine_of`].
+pub fn fragment_levels(tree: &RootedTree, hld: &HeavyLight) -> (NaiveLevels, Vec<(u32, u32)>) {
+    let n = tree.n();
+    let mut levels: Vec<Vec<Vec<VertexId>>> = Vec::new();
+    let mut spine_of = vec![(0u32, 0u32); n];
+    // Heads of heavy paths are exactly the fragment tops.
+    let mut tops: Vec<VertexId> =
+        tree.order().iter().copied().filter(|&v| hld.head(v) == v).collect();
+    // Process tops in BFS order so parents' levels are known.
+    tops.sort_by_key(|&v| tree.depth(v));
+    for top in tops {
+        let level = hld.light_depth(top);
+        while levels.len() <= level {
+            levels.push(Vec::new());
+        }
+        // Walk the heavy path downward.
+        let mut spine = vec![top];
+        let mut cur = top;
+        while let Some(&next) = tree.children(cur).iter().find(|&&c| hld.is_heavy_above(c)) {
+            spine.push(next);
+            cur = next;
+        }
+        let idx = levels[level].len() as u32;
+        for &v in &spine {
+            spine_of[v.index()] = (level as u32, idx);
+        }
+        levels[level].push(spine);
+    }
+    (levels, spine_of)
+}
+
+/// The full pre-rewrite shortcut-construction path, end to end: build
+/// the per-level spine partitions (owned `Vec`s per spine, re-cloned
+/// into the partition) and measure both constructions on each. This is
+/// what [`crate::tools::ScTools::new`] cost before the flat rewrites;
+/// the `bench_shortcut_pipeline` `naive` rows time it. (Partition
+/// validation itself now runs on flat scratch either way, so the naive
+/// rows slightly *under*-price the old path — the reported speedup is
+/// conservative.)
+pub fn level_quality(
+    g: &Graph,
+    tree: &RootedTree,
+    hld: &HeavyLight,
+    bfs: &BfsTree,
+) -> Vec<ShortcutQuality> {
+    let (levels, _) = fragment_levels(tree, hld);
+    levels
+        .iter()
+        .map(|spines| {
+            let partition = Partition::new(g, spines.clone());
+            best_shortcut(g, bfs, &partition)
+        })
+        .collect()
+}

@@ -1,5 +1,12 @@
 //! Vertex partitions into connected parts — the input object of the
 //! shortcut framework.
+//!
+//! Parts are stored in one flat CSR-style arena (`verts` + `offsets`)
+//! rather than `Vec<Vec<VertexId>>`: the fragment hierarchy builds one
+//! partition per level on every [`crate::tools::ScTools`] construction,
+//! and the per-part `Vec` churn used to dominate the build path at
+//! 10⁵ vertices. Validation likewise runs on flat scratch (a reused
+//! seen-array + queue) instead of per-part `HashSet`/`VecDeque`.
 
 use decss_graphs::{Graph, VertexId};
 
@@ -7,66 +14,110 @@ use decss_graphs::{Graph, VertexId};
 /// The family need not cover all vertices (fragment levels don't).
 #[derive(Clone, Debug)]
 pub struct Partition {
-    parts: Vec<Vec<VertexId>>,
+    /// Flat arena of part vertices, grouped by part.
+    verts: Vec<VertexId>,
+    /// `offsets[i]..offsets[i+1]` is part `i`'s slice of `verts`.
+    offsets: Vec<u32>,
     /// `part_of[v]` = part index, or `u32::MAX` if uncovered.
     part_of: Vec<u32>,
 }
 
 impl Partition {
-    /// Builds and validates a partition.
+    /// Builds and validates a partition from owned part lists.
     ///
     /// # Panics
     ///
     /// Panics if parts overlap, contain out-of-range vertices, are empty,
     /// or induce disconnected subgraphs of `g`.
     pub fn new(g: &Graph, parts: Vec<Vec<VertexId>>) -> Self {
+        Self::from_slices(g, parts.iter().map(|p| p.as_slice()))
+    }
+
+    /// Builds and validates a partition straight from borrowed slices
+    /// (no intermediate `Vec<Vec<_>>` — the fragment hierarchy feeds its
+    /// spine arena here directly).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Partition::new`].
+    pub fn from_slices<'p>(g: &Graph, parts: impl IntoIterator<Item = &'p [VertexId]>) -> Self {
+        let mut verts: Vec<VertexId> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
         let mut part_of = vec![u32::MAX; g.n()];
-        for (i, part) in parts.iter().enumerate() {
+        for (i, part) in parts.into_iter().enumerate() {
             assert!(!part.is_empty(), "part {i} is empty");
             for &v in part {
                 assert!(v.index() < g.n(), "vertex {v} out of range");
                 assert_eq!(part_of[v.index()], u32::MAX, "vertex {v} in two parts");
                 part_of[v.index()] = i as u32;
             }
+            verts.extend_from_slice(part);
+            offsets.push(verts.len() as u32);
         }
-        let me = Partition { parts, part_of };
-        for (i, part) in me.parts.iter().enumerate() {
+        let me = Partition { verts, offsets, part_of };
+        let mut seen = vec![false; g.n()];
+        let mut queue: Vec<VertexId> = Vec::new();
+        for i in 0..me.len() {
             assert!(
-                me.part_is_connected(g, i),
+                me.part_is_connected(g, i, &mut seen, &mut queue),
                 "part {i} ({} vertices) is disconnected",
-                part.len()
+                me.part(i).len()
             );
         }
         me
     }
 
-    fn part_is_connected(&self, g: &Graph, i: usize) -> bool {
-        let part = &self.parts[i];
-        let mut seen = std::collections::HashSet::from([part[0]]);
-        let mut queue = std::collections::VecDeque::from([part[0]]);
-        while let Some(v) = queue.pop_front() {
+    /// Flat BFS inside part `i` using the shared scratch; `seen` is
+    /// restored to all-false before returning.
+    fn part_is_connected(
+        &self,
+        g: &Graph,
+        i: usize,
+        seen: &mut [bool],
+        queue: &mut Vec<VertexId>,
+    ) -> bool {
+        let part = self.part(i);
+        queue.clear();
+        queue.push(part[0]);
+        seen[part[0].index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
             for &(_, w) in g.neighbors(v) {
-                if self.part_of[w.index()] == i as u32 && seen.insert(w) {
-                    queue.push_back(w);
+                if self.part_of[w.index()] == i as u32 && !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push(w);
                 }
             }
         }
-        seen.len() == part.len()
+        let ok = queue.len() == part.len();
+        for &v in queue.iter() {
+            seen[v.index()] = false;
+        }
+        ok
     }
 
-    /// The parts.
-    pub fn parts(&self) -> &[Vec<VertexId>] {
-        &self.parts
+    /// The parts, as slices into the flat arena.
+    pub fn parts(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.verts[w[0] as usize..w[1] as usize])
+    }
+
+    /// Part `i`'s vertices.
+    pub fn part(&self, i: usize) -> &[VertexId] {
+        &self.verts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Number of parts.
     pub fn len(&self) -> usize {
-        self.parts.len()
+        self.offsets.len() - 1
     }
 
     /// Whether there are no parts.
     pub fn is_empty(&self) -> bool {
-        self.parts.is_empty()
+        self.len() == 0
     }
 
     /// Part index of `v`, if covered.
@@ -93,6 +144,25 @@ mod tests {
         assert_eq!(p.part_of(v(0)), Some(0));
         assert_eq!(p.part_of(v(2)), None);
         assert!(!p.is_empty());
+        assert_eq!(p.part(0), &[v(0), v(1)]);
+        assert_eq!(p.part(1), &[v(3), v(4)]);
+        let collected: Vec<&[VertexId]> = p.parts().collect();
+        assert_eq!(collected, vec![&[v(0), v(1)][..], &[v(3), v(4)][..]]);
+    }
+
+    #[test]
+    fn from_slices_matches_new() {
+        let g = gen::grid(3, 3, 2, 0);
+        let parts = vec![vec![v(0), v(1)], vec![v(4), v(5), v(8)]];
+        let a = Partition::new(&g, parts.clone());
+        let b = Partition::from_slices(&g, parts.iter().map(|p| p.as_slice()));
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.part(i), b.part(i));
+        }
+        for u in g.vertices() {
+            assert_eq!(a.part_of(u), b.part_of(u));
+        }
     }
 
     #[test]
@@ -107,5 +177,12 @@ mod tests {
     fn overlapping_parts_rejected() {
         let g = gen::cycle(6, 1, 0);
         let _ = Partition::new(&g, vec![vec![v(0), v(1)], vec![v(1), v(2)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_part_rejected() {
+        let g = gen::cycle(6, 1, 0);
+        let _ = Partition::new(&g, vec![vec![]]);
     }
 }

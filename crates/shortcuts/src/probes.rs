@@ -14,8 +14,15 @@
 //! * [`path_load`]: the transpose — for every tree edge, how many edges
 //!   of a set cover it (two descendants' sums: incident-count minus
 //!   twice the LCA-count).
+//!
+//! Each probe has a `*_into` form taking a [`ShortcutWorkspace`] plus a
+//! caller-held output buffer (and, where an LCA per candidate is
+//! needed, a precomputed LCA slice): the set-cover driver calls these
+//! every sampling repetition, and the allocating wrappers exist only
+//! for one-shot callers.
 
 use crate::tools::ScTools;
+use crate::workspace::ShortcutWorkspace;
 use decss_congest::ledger::RoundLedger;
 use decss_congest::protocols::convergecast::Agg;
 use decss_graphs::{EdgeId, VertexId};
@@ -32,21 +39,39 @@ pub fn covered_mask(
     rng: &mut StdRng,
     ledger: &mut RoundLedger,
 ) -> Vec<bool> {
+    let mut out = Vec::new();
+    // The probes only use the workspace's value buffers (which size on
+    // demand), so an empty workspace costs nothing extra here.
+    covered_mask_into(tools, set, rng, ledger, &mut ShortcutWorkspace::default(), &mut out);
+    out
+}
+
+/// [`covered_mask`] on caller-held scratch (same fingerprints, same
+/// result — the rng is consumed identically).
+pub fn covered_mask_into(
+    tools: &ScTools<'_>,
+    set: &[EdgeId],
+    rng: &mut StdRng,
+    ledger: &mut RoundLedger,
+    ws: &mut ShortcutWorkspace,
+    out: &mut Vec<bool>,
+) {
     let n = tools.tree.n();
-    let mut x = vec![0u64; n];
+    let ShortcutWorkspace { val_a, val_b, .. } = ws;
+    val_a.clear();
+    val_a.resize(n, 0);
     for &id in set {
         let fp: u64 = rng.gen::<u64>() | 1; // non-zero fingerprint
         let e = tools.graph.edge(id);
-        x[e.u.index()] ^= fp;
-        x[e.v.index()] ^= fp;
+        val_a[e.u.index()] ^= fp;
+        val_a[e.v.index()] ^= fp;
     }
-    let sub = tools.descendants_sum(&x, Agg::Xor, ledger);
-    (0..n)
-        .map(|vi| {
-            let v = VertexId(vi as u32);
-            tools.tree.parent(v).is_some() && sub[vi] != 0
-        })
-        .collect()
+    tools.descendants_sum_into(val_a, Agg::Xor, ledger, val_b);
+    out.clear();
+    out.extend((0..n).map(|vi| {
+        let v = VertexId(vi as u32);
+        tools.tree.parent(v).is_some() && val_b[vi] != 0
+    }));
 }
 
 /// Lemma 5.5: for each entry of `candidates`, the number of tree edges
@@ -57,42 +82,98 @@ pub fn marked_cover_counts(
     marked: &[bool],
     ledger: &mut RoundLedger,
 ) -> Vec<u32> {
+    let lcas = candidate_lcas(tools, candidates);
+    let mut out = Vec::new();
+    marked_cover_counts_into(
+        tools,
+        candidates,
+        &lcas,
+        marked,
+        ledger,
+        &mut ShortcutWorkspace::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`marked_cover_counts`] with the per-candidate LCAs precomputed
+/// (they depend only on the tree, so the set-cover driver computes them
+/// once instead of every phase).
+pub fn marked_cover_counts_into(
+    tools: &ScTools<'_>,
+    candidates: &[EdgeId],
+    lcas: &[VertexId],
+    marked: &[bool],
+    ledger: &mut RoundLedger,
+    ws: &mut ShortcutWorkspace,
+    out: &mut Vec<u32>,
+) {
     let n = tools.tree.n();
     assert_eq!(marked.len(), n);
-    let x: Vec<u64> = (0..n).map(|vi| u64::from(marked[vi])).collect();
-    let m_counts = tools.ancestors_sum(&x, Agg::Sum, ledger);
-    candidates
-        .iter()
-        .map(|&id| {
-            let e = tools.graph.edge(id);
-            let w = tools.lca(e.u, e.v);
-            (m_counts[e.u.index()] + m_counts[e.v.index()] - 2 * m_counts[w.index()]) as u32
-        })
-        .collect()
+    assert_eq!(lcas.len(), candidates.len());
+    let ShortcutWorkspace { val_a, val_b, .. } = ws;
+    val_a.clear();
+    val_a.extend((0..n).map(|vi| u64::from(marked[vi])));
+    tools.ancestors_sum_into(val_a, Agg::Sum, ledger, val_b);
+    out.clear();
+    out.extend(candidates.iter().zip(lcas).map(|(&id, &w)| {
+        let e = tools.graph.edge(id);
+        (val_b[e.u.index()] + val_b[e.v.index()] - 2 * val_b[w.index()]) as u32
+    }));
 }
 
 /// For each tree edge (child vertex), how many edges of `set` cover it:
 /// `Σ_{x ∈ subtree} inc(x) − 2 · Σ_{x ∈ subtree} lca_count(x)`.
 pub fn path_load(tools: &ScTools<'_>, set: &[EdgeId], ledger: &mut RoundLedger) -> Vec<u32> {
+    let lcas = candidate_lcas(tools, set);
+    let mut out = Vec::new();
+    path_load_into(tools, set, &lcas, ledger, &mut ShortcutWorkspace::default(), &mut out);
+    out
+}
+
+/// [`path_load`] with precomputed LCAs on caller-held scratch.
+pub fn path_load_into(
+    tools: &ScTools<'_>,
+    set: &[EdgeId],
+    lcas: &[VertexId],
+    ledger: &mut RoundLedger,
+    ws: &mut ShortcutWorkspace,
+    out: &mut Vec<u32>,
+) {
     let n = tools.tree.n();
-    let mut inc = vec![0u64; n];
-    let mut lca_cnt = vec![0u64; n];
-    for &id in set {
+    assert_eq!(lcas.len(), set.len());
+    let ShortcutWorkspace { val_a, val_b, val_c, val_d, .. } = ws;
+    val_a.clear();
+    val_a.resize(n, 0);
+    val_b.clear();
+    val_b.resize(n, 0);
+    for (&id, &w) in set.iter().zip(lcas) {
         let e = tools.graph.edge(id);
-        inc[e.u.index()] += 1;
-        inc[e.v.index()] += 1;
-        lca_cnt[tools.lca(e.u, e.v).index()] += 1;
+        val_a[e.u.index()] += 1;
+        val_a[e.v.index()] += 1;
+        val_b[w.index()] += 1;
     }
-    let endpoints = tools.descendants_sum(&inc, Agg::Sum, ledger);
-    let insiders = tools.descendants_sum(&lca_cnt, Agg::Sum, ledger);
-    (0..n)
-        .map(|vi| {
-            let v = VertexId(vi as u32);
-            if tools.tree.parent(v).is_none() {
-                0
-            } else {
-                (endpoints[vi] - 2 * insiders[vi]) as u32
-            }
+    tools.descendants_sum_into(val_a, Agg::Sum, ledger, val_c);
+    tools.descendants_sum_into(val_b, Agg::Sum, ledger, val_d);
+    out.clear();
+    out.extend((0..n).map(|vi| {
+        let v = VertexId(vi as u32);
+        if tools.tree.parent(v).is_none() {
+            0
+        } else {
+            (val_c[vi] - 2 * val_d[vi]) as u32
+        }
+    }));
+}
+
+/// The heavy-light LCA of each edge's endpoints (what the probes need
+/// per candidate; depends only on the tree).
+pub fn candidate_lcas(tools: &ScTools<'_>, edges: &[EdgeId]) -> Vec<VertexId> {
+    edges
+        .iter()
+        .map(|&id| {
+            let e = tools.graph.edge(id);
+            tools.lca(e.u, e.v)
         })
         .collect()
 }
@@ -143,6 +224,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn covered_mask_into_matches_allocating_form() {
+        let g = gen::sparse_two_ec(40, 30, 20, 3);
+        let tree = RootedTree::mst(&g);
+        let tools = ScTools::new(&g, &tree);
+        let set = non_tree_edges(&g, &tree);
+        let mut ledger = RoundLedger::new();
+        let mut ws = ShortcutWorkspace::new(&g);
+        // Same seed on both paths: the rng must be consumed identically.
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let a = covered_mask(&tools, &set, &mut rng_a, &mut ledger);
+        let mut b = vec![true; 2]; // junk: must be overwritten
+        covered_mask_into(&tools, &set, &mut rng_b, &mut ledger, &mut ws, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,11 +13,17 @@
 //! Every repetition uses the two subroutines of Section 5.3, each one
 //! shortcut pass — so the total round complexity is
 //! `Õ(SC(G) + D)`.
+//!
+//! The driver is allocation-flat: candidate LCAs are computed once, and
+//! every per-phase buffer (cover counts, bucket, sample, probe outputs)
+//! is hoisted and reused through the [`ShortcutWorkspace`] — at 10⁵
+//! vertices the old per-round `Vec` churn dominated the run.
 
 use crate::probes;
 use crate::tools::ScTools;
+use crate::workspace::ShortcutWorkspace;
 use decss_congest::ledger::RoundLedger;
-use decss_graphs::{EdgeId, Weight};
+use decss_graphs::{EdgeId, VertexId, Weight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,17 +59,23 @@ pub struct SetCoverResult {
 }
 
 /// Runs the parallel greedy cover: returns `None` if some tree edge is
-/// uncoverable (graph not 2-edge-connected).
+/// uncoverable (graph not 2-edge-connected). `ws` provides the flat
+/// scratch every probe pass runs on.
 pub fn parallel_greedy_tap(
     tools: &ScTools<'_>,
     config: &SetCoverConfig,
     ledger: &mut RoundLedger,
+    ws: &mut ShortcutWorkspace,
 ) -> Option<SetCoverResult> {
     let g = tools.graph;
     let tree = tools.tree;
+    ws.ensure(g);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let candidates: Vec<EdgeId> = g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
     let weights: Vec<f64> = candidates.iter().map(|&e| g.weight(e) as f64).collect();
+    // Candidate LCAs depend only on the tree: compute them once instead
+    // of re-deriving them from the heavy-light labels every phase.
+    let cand_lca: Vec<VertexId> = probes::candidate_lcas(tools, &candidates);
 
     tools.charge_hld_setup(ledger);
 
@@ -74,10 +86,20 @@ pub fn parallel_greedy_tap(
     let mut chosen_mask = vec![false; candidates.len()];
     let mut repetitions = 0u32;
 
+    // Reused across phases and repetitions (allocation-free inner loop).
+    let mut covered: Vec<bool> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut loads: Vec<u32> = Vec::new();
+    let mut bucket: Vec<u32> = Vec::new();
+    let mut bucket_edges: Vec<EdgeId> = Vec::new();
+    let mut bucket_lcas: Vec<VertexId> = Vec::new();
+    let mut sample: Vec<u32> = Vec::new();
+    let mut sample_edges: Vec<EdgeId> = Vec::new();
+
     // Feasibility check: every tree edge covered by some candidate.
     {
-        let all_covered = probes::covered_mask(tools, &candidates, &mut rng, ledger);
-        if (0..tree.n()).any(|vi| marked[vi] && !all_covered[vi]) {
+        probes::covered_mask_into(tools, &candidates, &mut rng, ledger, ws, &mut covered);
+        if (0..tree.n()).any(|vi| marked[vi] && !covered[vi]) {
             return None;
         }
     }
@@ -96,22 +118,35 @@ pub fn parallel_greedy_tap(
                 break;
             }
             // A: candidates with cost-effectiveness >= delta (1 - eps).
-            let counts = probes::marked_cover_counts(tools, &candidates, &marked, ledger);
+            probes::marked_cover_counts_into(
+                tools,
+                &candidates,
+                &cand_lca,
+                &marked,
+                ledger,
+                ws,
+                &mut counts,
+            );
             ledger.charge("sc.broadcast", 2 * tools.bfs_depth as u64);
-            let bucket: Vec<usize> = (0..candidates.len())
-                .filter(|&i| {
-                    !chosen_mask[i]
-                        && counts[i] > 0
-                        && counts[i] as f64 / weights[i].max(1.0) >= delta * (1.0 - eps)
-                })
-                .collect();
+            bucket.clear();
+            bucket.extend((0..candidates.len() as u32).filter(|&i| {
+                let i = i as usize;
+                !chosen_mask[i]
+                    && counts[i] > 0
+                    && counts[i] as f64 / weights[i].max(1.0) >= delta * (1.0 - eps)
+            }));
             if bucket.is_empty() {
                 break;
             }
             // d: maximum multiplicity of bucket edges over marked tree
             // edges.
-            let bucket_edges: Vec<EdgeId> = bucket.iter().map(|&i| candidates[i]).collect();
-            let loads = probes::path_load(tools, &bucket_edges, ledger);
+            bucket_edges.clear();
+            bucket_lcas.clear();
+            for &i in &bucket {
+                bucket_edges.push(candidates[i as usize]);
+                bucket_lcas.push(cand_lca[i as usize]);
+            }
+            probes::path_load_into(tools, &bucket_edges, &bucket_lcas, ledger, ws, &mut loads);
             let d = (0..tree.n())
                 .filter(|&vi| marked[vi])
                 .map(|vi| loads[vi])
@@ -123,21 +158,22 @@ pub fn parallel_greedy_tap(
             let mut progressed = false;
             for _ in 0..config.reps {
                 repetitions += 1;
-                let sample: Vec<usize> =
-                    bucket.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+                sample.clear();
+                sample.extend(bucket.iter().copied().filter(|_| rng.gen_bool(p)));
                 if sample.is_empty() {
                     continue;
                 }
-                let sample_edges: Vec<EdgeId> = sample.iter().map(|&i| candidates[i]).collect();
-                let covered = probes::covered_mask(tools, &sample_edges, &mut rng, ledger);
+                sample_edges.clear();
+                sample_edges.extend(sample.iter().map(|&i| candidates[i as usize]));
+                probes::covered_mask_into(tools, &sample_edges, &mut rng, ledger, ws, &mut covered);
                 ledger.charge("sc.broadcast", 2 * tools.bfs_depth as u64);
                 let newly: u32 =
                     (0..tree.n()).filter(|&vi| marked[vi] && covered[vi]).count() as u32;
-                let sample_weight: f64 = sample.iter().map(|&i| weights[i]).sum();
+                let sample_weight: f64 = sample.iter().map(|&i| weights[i as usize]).sum();
                 // Goodness test: Δ/100 new covers per unit weight.
                 if (newly as f64) >= delta / 100.0 * sample_weight {
                     for &i in &sample {
-                        chosen_mask[i] = true;
+                        chosen_mask[i as usize] = true;
                     }
                     for vi in 0..tree.n() {
                         if covered[vi] {
@@ -212,8 +248,9 @@ mod tests {
             let tree = RootedTree::mst(&g);
             let tools = ScTools::new(&g, &tree);
             let mut ledger = RoundLedger::new();
+            let mut ws = ShortcutWorkspace::new(&g);
             let config = SetCoverConfig { seed, ..SetCoverConfig::default() };
-            let res = parallel_greedy_tap(&tools, &config, &mut ledger).unwrap();
+            let res = parallel_greedy_tap(&tools, &config, &mut ledger, &mut ws).unwrap();
             let tree_edges = g.edge_ids().filter(|&e| tree.is_tree_edge(e));
             let all: Vec<EdgeId> = tree_edges.chain(res.chosen.iter().copied()).collect();
             assert!(algo::two_edge_connected_in(&g, all), "seed {seed}: incomplete cover");
@@ -229,7 +266,9 @@ mod tests {
             let tree = RootedTree::mst(&g);
             let tools = ScTools::new(&g, &tree);
             let mut ledger = RoundLedger::new();
-            let res = parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger).unwrap();
+            let mut ws = ShortcutWorkspace::new(&g);
+            let res = parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger, &mut ws)
+                .unwrap();
             let (_, exact) = decss_baselines::exact_tap(&g, &tree).unwrap();
             // O(log n) with the 100-slack constant of the goodness test:
             // generous but meaningful bound for the test.
@@ -261,8 +300,10 @@ mod tests {
                 let tree = RootedTree::mst(&g);
                 let tools = ScTools::new(&g, &tree);
                 let mut ledger = RoundLedger::new();
+                let mut ws = ShortcutWorkspace::new(&g);
                 let config = SetCoverConfig { seed, ..SetCoverConfig::default() };
-                let res = parallel_greedy_tap(&tools, &config, &mut ledger).unwrap();
+                let res =
+                    parallel_greedy_tap(&tools, &config, &mut ledger, &mut ws).unwrap();
                 let tree_edges = g.edge_ids().filter(|&e| tree.is_tree_edge(e));
                 let all: Vec<EdgeId> =
                     tree_edges.chain(res.chosen.iter().copied()).collect();
@@ -280,6 +321,9 @@ mod tests {
             RootedTree::new(&g, decss_graphs::VertexId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         let tools = ScTools::new(&g, &tree);
         let mut ledger = RoundLedger::new();
-        assert!(parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger).is_none());
+        let mut ws = ShortcutWorkspace::new(&g);
+        assert!(
+            parallel_greedy_tap(&tools, &SetCoverConfig::default(), &mut ledger, &mut ws).is_none()
+        );
     }
 }

@@ -17,11 +17,18 @@
 //!
 //! [`best_shortcut`] evaluates both and returns the better
 //! `(α + β)`-quality one; the experiments report the measured values.
+//!
+//! The hot paths run on epoch-stamped flat scratch from a
+//! [`ShortcutWorkspace`] (per-part BFS over CSR slices, Steiner unions
+//! without hashing); the `*_ws` entry points reuse one workspace across
+//! parts and hierarchy levels. The pre-rewrite `HashMap`/`HashSet`
+//! implementations are preserved in [`crate::naive`] and the
+//! `flat_equivalence` suite pins these rewrites bit-identical to them.
 
 use crate::partition::Partition;
+use crate::workspace::ShortcutWorkspace;
 use decss_graphs::algo::BfsTree;
 use decss_graphs::{EdgeId, Graph, VertexId};
-use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Which construction produced a shortcut.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,7 +40,7 @@ pub enum ShortcutScheme {
 }
 
 /// Measured quality of a shortcut for one partition.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ShortcutQuality {
     /// Maximum number of `G[V_i] + H_i` subgraphs any edge appears in.
     pub alpha: u32,
@@ -56,8 +63,19 @@ impl ShortcutQuality {
 ///
 /// `bfs` must be a spanning BFS tree of `g` (the shortcut backbone).
 pub fn best_shortcut(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
-    let a = threshold_bfs(g, bfs, partition);
-    let b = tree_restricted(g, bfs, partition);
+    best_shortcut_ws(g, bfs, partition, &mut ShortcutWorkspace::new(g))
+}
+
+/// [`best_shortcut`] reusing a caller-held workspace (the form the
+/// fragment-hierarchy loop uses: one workspace across all levels).
+pub fn best_shortcut_ws(
+    g: &Graph,
+    bfs: &BfsTree,
+    partition: &Partition,
+    ws: &mut ShortcutWorkspace,
+) -> ShortcutQuality {
+    let a = threshold_bfs_ws(g, bfs, partition, ws);
+    let b = tree_restricted_ws(g, bfs, partition, ws);
     if a.cost() <= b.cost() {
         a
     } else {
@@ -67,41 +85,80 @@ pub fn best_shortcut(g: &Graph, bfs: &BfsTree, partition: &Partition) -> Shortcu
 
 /// The threshold-BFS construction.
 pub fn threshold_bfs(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
+    threshold_bfs_ws(g, bfs, partition, &mut ShortcutWorkspace::new(g))
+}
+
+/// [`threshold_bfs`] on a caller-held workspace.
+pub fn threshold_bfs_ws(
+    g: &Graph,
+    bfs: &BfsTree,
+    partition: &Partition,
+    ws: &mut ShortcutWorkspace,
+) -> ShortcutQuality {
+    ws.ensure(g);
     let threshold = (g.n() as f64).sqrt().ceil() as usize;
-    let tree_edges: Vec<EdgeId> = bfs.tree_edges().collect();
-    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    // Stamp the BFS tree once: every big part shares it as `H_i`.
+    let tree_epoch = ws.bump();
+    let mut tree_edges = 0u32;
+    for e in bfs.tree_edges() {
+        ws.estamp[e.index()] = tree_epoch;
+        tree_edges += 1;
+    }
     let mut beta = 0u32;
     let mut big_parts = 0u32;
-    for part in partition.parts() {
-        let hi: &[EdgeId] = if part.len() >= threshold {
+    for pi in 0..partition.len() {
+        let part = partition.part(pi);
+        let hi_epoch = if part.len() >= threshold {
             big_parts += 1;
-            &tree_edges
+            Some(tree_epoch)
         } else {
-            &[]
+            None
         };
-        for &e in hi {
-            *edge_load.entry(e).or_insert(0) += 1;
-        }
-        beta = beta.max(part_radius(g, partition, part, hi));
+        beta = beta.max(part_radius_ws(g, partition, pi, hi_epoch, ws));
     }
-    // Induced edges count once for their own part.
-    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
-    let _ = big_parts;
+    // Each big part loads every BFS-tree edge exactly once, so the
+    // maximum tree-edge load is the number of big parts; induced edges
+    // count once for their own part.
+    let alpha = if big_parts > 0 && tree_edges > 0 {
+        big_parts + 1
+    } else {
+        1
+    };
     ShortcutQuality { alpha, beta, scheme: ShortcutScheme::ThresholdBfs }
 }
 
 /// The tree-restricted Steiner construction.
 pub fn tree_restricted(g: &Graph, bfs: &BfsTree, partition: &Partition) -> ShortcutQuality {
-    let mut edge_load: HashMap<EdgeId, u32> = HashMap::new();
+    tree_restricted_ws(g, bfs, partition, &mut ShortcutWorkspace::new(g))
+}
+
+/// [`tree_restricted`] on a caller-held workspace.
+pub fn tree_restricted_ws(
+    g: &Graph,
+    bfs: &BfsTree,
+    partition: &Partition,
+    ws: &mut ShortcutWorkspace,
+) -> ShortcutQuality {
+    ws.ensure(g);
+    let load_epoch = ws.bump();
+    ws.touched.clear();
     let mut beta = 0u32;
-    for part in partition.parts() {
-        let hi = steiner_edges(bfs, part);
-        for &e in &hi {
-            *edge_load.entry(e).or_insert(0) += 1;
+    for pi in 0..partition.len() {
+        let part = partition.part(pi);
+        let hi_epoch = steiner_into(bfs, part, ws);
+        for k in 0..ws.hi_buf.len() {
+            let e = ws.hi_buf[k].index();
+            if ws.lstamp[e] == load_epoch {
+                ws.eload[e] += 1;
+            } else {
+                ws.lstamp[e] = load_epoch;
+                ws.eload[e] = 1;
+                ws.touched.push(ws.hi_buf[k]);
+            }
         }
-        beta = beta.max(part_radius(g, partition, part, &hi));
+        beta = beta.max(part_radius_ws(g, partition, pi, Some(hi_epoch), ws));
     }
-    let alpha = edge_load.values().copied().max().unwrap_or(0) + 1;
+    let alpha = ws.touched.iter().map(|e| ws.eload[e.index()]).max().unwrap_or(0) + 1;
     ShortcutQuality { alpha, beta, scheme: ShortcutScheme::TreeRestricted }
 }
 
@@ -109,95 +166,141 @@ pub fn tree_restricted(g: &Graph, bfs: &BfsTree, partition: &Partition) -> Short
 /// from each vertex to the part's topmost common ancestor, pruned at
 /// already-visited vertices (linear in the Steiner tree size).
 pub fn steiner_edges(bfs: &BfsTree, part: &[VertexId]) -> Vec<EdgeId> {
-    // The common ancestor is found by walking the first vertex's root
-    // path and marking it, then intersecting with the others implicitly:
-    // we collect paths-to-root and keep the deepest vertex on all of
-    // them... simpler: union of paths to the BFS root, then prune edges
-    // above the highest branching/part vertex.
-    let mut visited: HashSet<VertexId> = HashSet::new();
-    let mut edges: Vec<(VertexId, EdgeId)> = Vec::new(); // (child, edge)
+    // Size the workspace from the BFS tree (no graph at hand here);
+    // edge ids on root paths are arbitrary graph edges, so cover the
+    // largest one we will touch.
+    let mut ws = ShortcutWorkspace::default();
+    let max_edge = bfs
+        .parent_edge
+        .iter()
+        .flatten()
+        .map(|e| e.index())
+        .max()
+        .map_or(0, |m| m + 1);
+    ws.ensure_capacity(bfs.parent.len(), max_edge);
+    steiner_into(bfs, part, &mut ws);
+    ws.hi_buf.clone()
+}
+
+/// Builds the Steiner union into `ws.hi_buf`, stamping the kept edges
+/// in `ws.estamp` with the returned epoch (the `H_i` membership test
+/// used by [`part_radius_ws`]).
+fn steiner_into(bfs: &BfsTree, part: &[VertexId], ws: &mut ShortcutWorkspace) -> u32 {
+    // Union of root paths, pruned at already-visited vertices.
+    let visit_epoch = ws.bump();
+    ws.steiner_buf.clear();
     for &v in part {
         let mut cur = v;
-        while visited.insert(cur) {
+        while ws.vstamp[cur.index()] != visit_epoch {
+            ws.vstamp[cur.index()] = visit_epoch;
             match (bfs.parent[cur.index()], bfs.parent_edge[cur.index()]) {
                 (Some(p), Some(e)) => {
-                    edges.push((cur, e));
+                    ws.steiner_buf.push((cur, e));
                     cur = p;
                 }
                 _ => break, // reached the BFS root
             }
         }
     }
-    // Prune the tail above the subtree actually needed: repeatedly drop
-    // a "chain top" edge whose child has exactly one child in the union
-    // and is not a part vertex. Equivalent to trimming the path from the
-    // part's common ancestor up to the root.
-    let part_set: HashSet<VertexId> = part.iter().copied().collect();
-    let mut child_count: HashMap<VertexId, u32> = HashMap::new();
-    let mut parent_of: HashMap<VertexId, (VertexId, EdgeId)> = HashMap::new();
-    for &(c, e) in &edges {
-        let p = bfs.parent[c.index()].expect("edge has a parent");
-        *child_count.entry(p).or_insert(0) += 1;
-        parent_of.insert(c, (p, e));
+    // Per-parent child counts inside the union, plus the unique child
+    // while there is only one (what the chain-pruning walk follows).
+    let cc_epoch = ws.bump();
+    for k in 0..ws.steiner_buf.len() {
+        let (c, e) = ws.steiner_buf[k];
+        let p = bfs.parent[c.index()].expect("edge has a parent").index();
+        if ws.ccstamp[p] == cc_epoch {
+            ws.child_count[p] += 1;
+        } else {
+            ws.ccstamp[p] = cc_epoch;
+            ws.child_count[p] = 1;
+            ws.only_child[p] = (c, e);
+        }
+    }
+    // Part membership (the visited stamps are no longer needed).
+    let part_epoch = ws.bump();
+    for &v in part {
+        ws.vstamp[v.index()] = part_epoch;
     }
     // Walk down from the BFS root along single chains of non-part
-    // vertices, discarding those edges.
-    let mut discard: HashSet<EdgeId> = HashSet::new();
+    // vertices, discarding those edges — the tail above the part's
+    // common ancestor.
+    let discard_epoch = ws.bump();
     let mut cur = bfs.root;
     loop {
-        if part_set.contains(&cur) || child_count.get(&cur).copied().unwrap_or(0) != 1 {
+        let ci = cur.index();
+        if ws.vstamp[ci] == part_epoch || ws.ccstamp[ci] != cc_epoch || ws.child_count[ci] != 1 {
             break;
         }
-        // The unique union-child of cur.
-        let Some((&child, &(_, e))) = parent_of.iter().find(|(_, &(p, _))| p == cur) else {
-            break;
-        };
-        discard.insert(e);
+        let (child, e) = ws.only_child[ci];
+        ws.estamp[e.index()] = discard_epoch;
         cur = child;
     }
-    edges
-        .into_iter()
-        .map(|(_, e)| e)
-        .filter(|e| !discard.contains(e))
-        .collect()
+    let hi_epoch = ws.bump();
+    ws.hi_buf.clear();
+    for k in 0..ws.steiner_buf.len() {
+        let (_, e) = ws.steiner_buf[k];
+        if ws.estamp[e.index()] != discard_epoch {
+            ws.estamp[e.index()] = hi_epoch;
+            ws.hi_buf.push(e);
+        }
+    }
+    hi_epoch
 }
 
-/// Eccentricity of the part's first vertex (its leader) inside
-/// `G[V_i] + H_i`.
-fn part_radius(g: &Graph, partition: &Partition, part: &[VertexId], hi: &[EdgeId]) -> u32 {
-    let me = partition.part_of(part[0]);
-    let hi_set: HashSet<EdgeId> = hi.iter().copied().collect();
-    let usable = |e: EdgeId| -> bool {
-        if hi_set.contains(&e) {
-            return true;
-        }
-        let edge = g.edge(e);
-        partition.part_of(edge.u) == me && partition.part_of(edge.v) == me
-    };
-    let mut dist: HashMap<VertexId, u32> = HashMap::from([(part[0], 0)]);
-    let mut queue = VecDeque::from([part[0]]);
-    let mut radius = 0;
-    while let Some(v) = queue.pop_front() {
-        let d = dist[&v];
+/// Eccentricity of part `pi`'s first vertex (its leader) inside
+/// `G[V_i] + H_i`, where `H_i` is the edge set stamped with `hi_epoch`
+/// in `ws.estamp` (`None` = no shortcut edges). Flat BFS over the CSR
+/// adjacency; stops expanding once every part vertex has its distance
+/// (BFS distances are final on assignment, so the early exit cannot
+/// change the returned maximum).
+fn part_radius_ws(
+    g: &Graph,
+    partition: &Partition,
+    pi: usize,
+    hi_epoch: Option<u32>,
+    ws: &mut ShortcutWorkspace,
+) -> u32 {
+    let part = partition.part(pi);
+    let me = Some(pi as u32);
+    let leader = part[0];
+    let bfs_epoch = ws.bump();
+    ws.queue.clear();
+    ws.queue.push(leader);
+    ws.vstamp[leader.index()] = bfs_epoch;
+    ws.dist[leader.index()] = 0;
+    let mut found = 1usize;
+    let mut head = 0usize;
+    while head < ws.queue.len() && found < part.len() {
+        let v = ws.queue[head];
+        head += 1;
+        let d = ws.dist[v.index()];
+        let v_in_part = partition.part_of(v) == me;
         for &(e, w) in g.neighbors(v) {
-            if usable(e) && !dist.contains_key(&w) {
-                dist.insert(w, d + 1);
-                queue.push_back(w);
+            let usable = hi_epoch.is_some_and(|he| ws.estamp[e.index()] == he)
+                || (v_in_part && partition.part_of(w) == me);
+            if usable && ws.vstamp[w.index()] != bfs_epoch {
+                ws.vstamp[w.index()] = bfs_epoch;
+                ws.dist[w.index()] = d + 1;
+                ws.queue.push(w);
+                if partition.part_of(w) == me {
+                    found += 1;
+                }
             }
         }
-        radius = radius.max(d);
     }
-    // Every part vertex must be reachable (parts are connected).
-    debug_assert!(part.iter().all(|v| dist.contains_key(v)));
+    // Every part vertex must be reachable (parts are connected, and
+    // intra-part edges are always usable).
+    debug_assert!(part.iter().all(|v| ws.vstamp[v.index()] == bfs_epoch));
     // Only count the distance to part vertices: the shortcut is used to
     // communicate within the part.
-    part.iter().map(|v| dist[v]).max().unwrap_or(0)
+    part.iter().map(|v| ws.dist[v.index()]).max().unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use decss_graphs::{algo, gen};
+    use std::collections::HashMap;
 
     fn v(i: u32) -> VertexId {
         VertexId(i)
@@ -261,5 +364,29 @@ mod tests {
         let q = best_shortcut(&g, &bfs, &p);
         let d = algo::diameter(&g);
         assert!(q.cost() <= (4 * d as u64 + 8) * 4, "cost {} vs D {d}", q.cost());
+    }
+
+    #[test]
+    fn flat_matches_naive_on_a_fragment_partition() {
+        // Spot check here; the full pinning lives in the
+        // flat_equivalence proptest suite.
+        let g = gen::gnp_two_ec(96, 0.06, 24, 11);
+        let tree = decss_tree::RootedTree::mst(&g);
+        let euler = decss_tree::EulerTour::new(&tree);
+        let hld = decss_tree::HeavyLight::new(&tree, &euler);
+        let h = crate::fragments::FragmentHierarchy::new(&tree, &hld);
+        let bfs = algo::bfs_tree(&g, tree.root());
+        let mut ws = ShortcutWorkspace::new(&g);
+        for d in 0..h.num_levels() {
+            let p = h.level_partition(&g, d);
+            assert_eq!(
+                threshold_bfs_ws(&g, &bfs, &p, &mut ws),
+                crate::naive::threshold_bfs(&g, &bfs, &p)
+            );
+            assert_eq!(
+                tree_restricted_ws(&g, &bfs, &p, &mut ws),
+                crate::naive::tree_restricted(&g, &bfs, &p)
+            );
+        }
     }
 }

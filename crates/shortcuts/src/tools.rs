@@ -8,9 +8,16 @@
 //! fragment-hierarchy levels — exactly the recursion
 //! `T(L) = T(L−1) + U(L−1)` of Theorem 5.2, where each `U` is one
 //! shortcut use on one level's partition.
+//!
+//! Construction and the aggregate sweeps run on flat scratch: one
+//! [`ShortcutWorkspace`] is reused across every hierarchy level's
+//! shortcut measurement, and the `*_into` sweep variants write into
+//! caller-held buffers so the set-cover driver allocates nothing per
+//! round.
 
 use crate::fragments::FragmentHierarchy;
-use crate::shortcut::{best_shortcut, ShortcutQuality};
+use crate::shortcut::{best_shortcut_ws, ShortcutQuality};
+use crate::workspace::ShortcutWorkspace;
 use decss_congest::ledger::RoundLedger;
 use decss_congest::protocols::convergecast::Agg;
 use decss_graphs::{algo, Graph, VertexId};
@@ -36,6 +43,12 @@ impl<'a> ScTools<'a> {
     /// Builds the tools: BFS backbone, HLD, hierarchy, and per-level
     /// shortcut quality (both constructions measured, best kept).
     pub fn new(graph: &'a Graph, tree: &'a RootedTree) -> Self {
+        Self::new_with(graph, tree, &mut ShortcutWorkspace::new(graph))
+    }
+
+    /// [`ScTools::new`] reusing a caller-held workspace for the
+    /// per-level shortcut measurements.
+    pub fn new_with(graph: &'a Graph, tree: &'a RootedTree, ws: &mut ShortcutWorkspace) -> Self {
         let euler = EulerTour::new(tree);
         let hld = HeavyLight::new(tree, &euler);
         let hierarchy = FragmentHierarchy::new(tree, &hld);
@@ -43,7 +56,7 @@ impl<'a> ScTools<'a> {
         let level_quality = (0..hierarchy.num_levels())
             .map(|d| {
                 let partition = hierarchy.level_partition(graph, d);
-                best_shortcut(graph, &bfs, &partition)
+                best_shortcut_ws(graph, &bfs, &partition, ws)
             })
             .collect();
         ScTools {
@@ -71,30 +84,56 @@ impl<'a> ScTools<'a> {
     /// Descendants' aggregate (Theorem 5.1): for every vertex `u`, the
     /// aggregate of `values[v]` over `v` in the subtree of `u`.
     pub fn descendants_sum(&self, values: &[u64], op: Agg, ledger: &mut RoundLedger) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.descendants_sum_into(values, op, ledger, &mut out);
+        out
+    }
+
+    /// [`ScTools::descendants_sum`] into a caller-held buffer.
+    pub fn descendants_sum_into(
+        &self,
+        values: &[u64],
+        op: Agg,
+        ledger: &mut RoundLedger,
+        out: &mut Vec<u64>,
+    ) {
         assert_eq!(values.len(), self.tree.n());
         ledger.charge("sc.descendants-sum", self.pass_cost());
-        let mut out = values.to_vec();
+        out.clear();
+        out.extend_from_slice(values);
         for &v in self.tree.order().iter().rev() {
             if let Some(p) = self.tree.parent(v) {
                 out[p.index()] = op.combine(out[p.index()], out[v.index()]);
             }
         }
-        out
     }
 
     /// Ancestors' aggregate (Theorem 5.2): for every vertex `u`, the
     /// aggregate of `values[v]` over `v` on the path `u → root`
     /// (inclusive).
     pub fn ancestors_sum(&self, values: &[u64], op: Agg, ledger: &mut RoundLedger) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.ancestors_sum_into(values, op, ledger, &mut out);
+        out
+    }
+
+    /// [`ScTools::ancestors_sum`] into a caller-held buffer.
+    pub fn ancestors_sum_into(
+        &self,
+        values: &[u64],
+        op: Agg,
+        ledger: &mut RoundLedger,
+        out: &mut Vec<u64>,
+    ) {
         assert_eq!(values.len(), self.tree.n());
         ledger.charge("sc.ancestors-sum", self.pass_cost());
-        let mut out = values.to_vec();
+        out.clear();
+        out.extend_from_slice(values);
         for &v in self.tree.order() {
             if let Some(p) = self.tree.parent(v) {
                 out[v.index()] = op.combine(out[v.index()], out[p.index()]);
             }
         }
-        out
     }
 
     /// Label-only LCA (Theorem 5.3): computed from the two vertices'
@@ -165,6 +204,20 @@ mod tests {
             }
             assert_eq!(got[v.index()], acc, "at {v}");
         }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let g = gen::grid(4, 5, 8, 2);
+        let tree = RootedTree::mst(&g);
+        let tools = ScTools::new(&g, &tree);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let mut ledger = RoundLedger::new();
+        let mut buf = vec![99u64; 3]; // wrong size and junk content: must be overwritten
+        tools.descendants_sum_into(&values, Agg::Sum, &mut ledger, &mut buf);
+        assert_eq!(buf, tools.descendants_sum(&values, Agg::Sum, &mut ledger));
+        tools.ancestors_sum_into(&values, Agg::Max, &mut ledger, &mut buf);
+        assert_eq!(buf, tools.ancestors_sum(&values, Agg::Max, &mut ledger));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::setcover::{parallel_greedy_tap, SetCoverConfig};
 use crate::tools::ScTools;
+use crate::workspace::ShortcutWorkspace;
 use decss_congest::ledger::RoundLedger;
 use decss_graphs::{algo, EdgeId, Graph, Weight};
 use decss_tree::RootedTree;
@@ -41,6 +42,11 @@ pub struct ShortcutResult {
     /// Measured shortcut quality: worst per-level `α + β` over the
     /// fragment hierarchy — the instance's effective `SC`.
     pub measured_sc: u64,
+    /// The measured quality of every hierarchy level (the per-level
+    /// `α`/`β`/winning-scheme breakdown behind [`measured_sc`]).
+    ///
+    /// [`measured_sc`]: ShortcutResult::measured_sc
+    pub level_quality: Vec<crate::shortcut::ShortcutQuality>,
     /// Cost of one full tool pass (`Σ_levels (α+β) + O(D)`).
     pub pass_cost: u64,
     /// Sampling repetitions executed.
@@ -70,13 +76,16 @@ pub fn shortcut_two_ecss(
         return Err(NotTwoEdgeConnected);
     }
     let tree = RootedTree::mst(g);
-    let tools = ScTools::new(g, &tree);
+    // One workspace for the whole pipeline: shortcut construction and
+    // every set-cover probe pass run on the same flat scratch.
+    let mut ws = ShortcutWorkspace::new(g);
+    let tools = ScTools::new_with(g, &tree, &mut ws);
     let mut ledger = RoundLedger::new();
     // MST cost (Kutten–Peleg; actually O(SC) with shortcuts, charge the
     // cheaper of the two shapes).
     ledger.charge("sc.mst", tools.pass_cost());
-    let cover =
-        parallel_greedy_tap(&tools, &config.setcover, &mut ledger).ok_or(NotTwoEdgeConnected)?;
+    let cover = parallel_greedy_tap(&tools, &config.setcover, &mut ledger, &mut ws)
+        .ok_or(NotTwoEdgeConnected)?;
 
     let mst_edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
     let mst_weight = g.weight_of(mst_edges.iter().copied());
@@ -89,6 +98,7 @@ pub fn shortcut_two_ecss(
         mst_weight,
         augmentation_weight: cover.weight,
         measured_sc: tools.measured_sc(),
+        level_quality: tools.level_quality.clone(),
         pass_cost: tools.pass_cost(),
         ledger,
         repetitions: cover.repetitions,

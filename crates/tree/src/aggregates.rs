@@ -19,10 +19,22 @@
 //! The engines are *logically exact* reimplementations; the round ledger
 //! charges [`decss_congest::ledger::CostParams::aggregate`] per
 //! invocation (see DESIGN.md §3).
+//!
+//! Layout: the binary-lifting table is one strided `Vec<u32>` (`levels`
+//! rows of `n`), and the Fenwick / segment-tree / lifting scratch the
+//! sweeps run on is allocated once per engine and reset by `fill` at
+//! each invocation start (the sweeps are dense, so a memset beats both
+//! per-read generation checks and write-recording touched lists — both
+//! were measured). The forward/reverse phases of the first algorithm
+//! invoke these engines thousands of times per run; reuse removes the
+//! per-invocation allocator round-trips. The pre-rewrite engine is
+//! preserved in [`naive`] and the `cover_equivalence` suite pins this
+//! one bit-identical to it.
 
 use crate::lca::LcaOracle;
 use crate::rooted::RootedTree;
 use decss_graphs::VertexId;
+use std::cell::RefCell;
 
 /// An ancestor-to-descendant non-tree edge.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -33,6 +45,26 @@ pub struct CoverArc {
     pub desc: VertexId,
 }
 
+/// Empty segment-tree slot.
+const SEG_EMPTY: (u64, u32) = (u64::MAX, u32::MAX);
+
+/// Reusable sweep scratch, allocated once per engine and reset by a
+/// straight `fill` at each invocation start. (Both per-read generation
+/// checks and write-recording touched lists were measured slower here:
+/// the sweeps are dense — nearly every slot is dirtied — so a memset is
+/// the cheapest reset and the win over the naive engine is purely the
+/// avoided allocator round-trips.) The strided path-min lifting buffer
+/// is fully overwritten per use.
+#[derive(Clone, Debug, Default)]
+struct EngineScratch {
+    fen: Vec<f64>,
+    seg: Vec<(u64, u32)>,
+    seg_size: usize,
+    lift: Vec<u64>,
+    pref_f: Vec<f64>,
+    pref_u: Vec<u32>,
+}
+
 /// Aggregation engine for a fixed tree and arc set.
 #[derive(Clone, Debug)]
 pub struct CoverEngine {
@@ -41,12 +73,19 @@ pub struct CoverEngine {
     edges_by_depth: Vec<VertexId>,
     /// Arc indices sorted by `depth(anc)`, ascending.
     arcs_by_anc_depth: Vec<u32>,
-    /// Binary-lifting ancestor table.
-    up: Vec<Vec<u32>>,
+    /// Binary-lifting ancestor table, strided: `up[k * n + v]` is the
+    /// `2^k`-th ancestor of `v`.
+    up: Vec<u32>,
+    /// Number of lifting levels (the stride count of `up`).
+    levels: usize,
     depth: Vec<u32>,
     pre: Vec<u32>,
     post: Vec<u32>,
     n: usize,
+    /// Per-invocation sweep scratch (interior mutability: the sweep
+    /// methods take `&self` and the scratch is logically stateless
+    /// between calls).
+    scratch: RefCell<EngineScratch>,
 }
 
 impl CoverEngine {
@@ -72,24 +111,41 @@ impl CoverEngine {
         let mut arcs_by_anc_depth: Vec<u32> = (0..arcs.len() as u32).collect();
         arcs_by_anc_depth.sort_by_key(|&i| depth[arcs[i as usize].anc.index()]);
         let levels = (usize::BITS - n.leading_zeros()).max(1) as usize;
-        let mut up = vec![vec![0u32; n]; levels];
+        let mut up = vec![0u32; levels * n];
         for v in 0..n {
-            up[0][v] = tree.parent(VertexId(v as u32)).unwrap_or(tree.root()).0;
+            up[v] = tree.parent(VertexId(v as u32)).unwrap_or(tree.root()).0;
         }
         for k in 1..levels {
+            let (done, row) = up.split_at_mut(k * n);
+            let prev = &done[(k - 1) * n..];
             for v in 0..n {
-                up[k][v] = up[k - 1][up[k - 1][v] as usize];
+                row[v] = prev[prev[v] as usize];
             }
         }
+        let fen_len = 2 * n + 3; // Fenwick over 2n+2 positions, 1-based
+        let mut seg_size = 1usize;
+        while seg_size < 2 * n + 2 {
+            seg_size <<= 1;
+        }
+        let scratch = RefCell::new(EngineScratch {
+            fen: vec![0.0; fen_len],
+            seg: vec![SEG_EMPTY; 2 * seg_size],
+            seg_size,
+            lift: Vec::new(),
+            pref_f: Vec::new(),
+            pref_u: Vec::new(),
+        });
         CoverEngine {
             arcs,
             edges_by_depth,
             arcs_by_anc_depth,
             up,
+            levels,
             depth,
             pre,
             post,
             n,
+            scratch,
         }
     }
 
@@ -122,7 +178,9 @@ impl CoverEngine {
     pub fn covering_sum(&self, active: &[bool], vals: &[f64]) -> Vec<f64> {
         assert_eq!(active.len(), self.arcs.len());
         assert_eq!(vals.len(), self.arcs.len());
-        let mut fen = Fenwick::new(2 * self.n + 2);
+        let mut s = self.scratch.borrow_mut();
+        s.fen.fill(0.0);
+        let fen = &mut s.fen;
         let mut out = vec![0.0f64; self.n];
         let mut j = 0usize;
         for &v in &self.edges_by_depth {
@@ -131,7 +189,7 @@ impl CoverEngine {
                 let ai = self.arcs_by_anc_depth[j] as usize;
                 if self.depth[self.arcs[ai].anc.index()] < d {
                     if active[ai] {
-                        fen.add(self.pre[self.arcs[ai].desc.index()] as usize, vals[ai]);
+                        fen_add(fen, self.pre[self.arcs[ai].desc.index()] as usize, vals[ai]);
                     }
                     j += 1;
                 } else {
@@ -139,7 +197,7 @@ impl CoverEngine {
                 }
             }
             out[v.index()] =
-                fen.range_sum(self.pre[v.index()] as usize, self.post[v.index()] as usize);
+                fen_range_sum(fen, self.pre[v.index()] as usize, self.post[v.index()] as usize);
         }
         out
     }
@@ -149,7 +207,10 @@ impl CoverEngine {
     pub fn covering_argmin(&self, active: &[bool], keys: &[u64]) -> Vec<Option<(u64, u32)>> {
         assert_eq!(active.len(), self.arcs.len());
         assert_eq!(keys.len(), self.arcs.len());
-        let mut seg = MinSegTree::new(2 * self.n + 2);
+        let mut s = self.scratch.borrow_mut();
+        s.seg.fill(SEG_EMPTY);
+        let EngineScratch { seg, seg_size, .. } = &mut *s;
+        let seg_size = *seg_size;
         let mut out = vec![None; self.n];
         let mut j = 0usize;
         for &v in &self.edges_by_depth {
@@ -158,7 +219,9 @@ impl CoverEngine {
                 let ai = self.arcs_by_anc_depth[j] as usize;
                 if self.depth[self.arcs[ai].anc.index()] < d {
                     if active[ai] {
-                        seg.update(
+                        seg_update(
+                            seg,
+                            seg_size,
                             self.pre[self.arcs[ai].desc.index()] as usize,
                             (keys[ai], ai as u32),
                         );
@@ -168,8 +231,12 @@ impl CoverEngine {
                     break;
                 }
             }
-            let best = seg.range_min(self.pre[v.index()] as usize, self.post[v.index()] as usize);
-            out[v.index()] = best;
+            out[v.index()] = seg_range_min(
+                seg,
+                seg_size,
+                self.pre[v.index()] as usize,
+                self.post[v.index()] as usize,
+            );
         }
         out
     }
@@ -198,10 +265,13 @@ impl CoverEngine {
     /// endpoints `v`) it covers.
     pub fn covered_sum(&self, tvals: &[f64]) -> Vec<f64> {
         assert_eq!(tvals.len(), self.n);
+        let mut s = self.scratch.borrow_mut();
         // Prefix sums root -> v over edge values.
-        let mut pref = vec![0.0f64; self.n];
+        let pref = &mut s.pref_f;
+        pref.clear();
+        pref.resize(self.n, 0.0);
         for &v in &self.edges_by_depth {
-            let p = self.up[0][v.index()] as usize;
+            let p = self.up[v.index()] as usize;
             pref[v.index()] = pref[p] + tvals[v.index()];
         }
         self.arcs
@@ -213,9 +283,12 @@ impl CoverEngine {
     /// For every arc, the number of covered tree edges with `tmask` set.
     pub fn covered_count(&self, tmask: &[bool]) -> Vec<u32> {
         assert_eq!(tmask.len(), self.n);
-        let mut pref = vec![0u32; self.n];
+        let mut s = self.scratch.borrow_mut();
+        let pref = &mut s.pref_u;
+        pref.clear();
+        pref.resize(self.n, 0);
         for &v in &self.edges_by_depth {
-            let p = self.up[0][v.index()] as usize;
+            let p = self.up[v.index()] as usize;
             pref[v.index()] = pref[p] + u32::from(tmask[v.index()]);
         }
         self.arcs
@@ -229,15 +302,21 @@ impl CoverEngine {
     /// arc).
     pub fn covered_min(&self, keys: &[u64]) -> Vec<u64> {
         assert_eq!(keys.len(), self.n);
-        let levels = self.up.len();
-        // lift[k][v] = min key over the 2^k edges starting at the edge
-        // above v and going up.
-        let mut lift = vec![vec![u64::MAX; self.n]; levels];
-        lift[0].copy_from_slice(keys);
+        let n = self.n;
+        let levels = self.levels;
+        let mut s = self.scratch.borrow_mut();
+        // lift[k * n + v] = min key over the 2^k edges starting at the
+        // edge above v and going up. Fully overwritten each call.
+        let lift = &mut s.lift;
+        lift.clear();
+        lift.resize(levels * n, u64::MAX);
+        lift[..n].copy_from_slice(keys);
         for k in 1..levels {
-            for v in 0..self.n {
-                let mid = self.up[k - 1][v] as usize;
-                lift[k][v] = lift[k - 1][v].min(lift[k - 1][mid]);
+            let (done, row) = lift.split_at_mut(k * n);
+            let prev = &done[(k - 1) * n..];
+            let up_prev = &self.up[(k - 1) * n..k * n];
+            for v in 0..n {
+                row[v] = prev[v].min(prev[up_prev[v] as usize]);
             }
         }
         self.arcs
@@ -249,8 +328,8 @@ impl CoverEngine {
                 let mut k = 0usize;
                 while len > 0 {
                     if len & 1 == 1 {
-                        acc = acc.min(lift[k][cur]);
-                        cur = self.up[k][cur] as usize;
+                        acc = acc.min(lift[k * n + cur]);
+                        cur = self.up[k * n + cur] as usize;
                     }
                     len >>= 1;
                     k += 1;
@@ -261,96 +340,357 @@ impl CoverEngine {
     }
 }
 
-/// Fenwick tree over f64 (point add, range sum).
-#[derive(Clone, Debug)]
-struct Fenwick {
-    data: Vec<f64>,
-}
-
-impl Fenwick {
-    fn new(n: usize) -> Self {
-        Fenwick { data: vec![0.0; n + 1] }
-    }
-
-    fn add(&mut self, mut i: usize, v: f64) {
-        i += 1;
-        while i < self.data.len() {
-            self.data[i] += v;
-            i += i & i.wrapping_neg();
-        }
-    }
-
-    fn prefix(&self, mut i: usize) -> f64 {
-        // Sum of [0, i] inclusive.
-        i += 1;
-        let mut s = 0.0;
-        while i > 0 {
-            s += self.data[i];
-            i -= i & i.wrapping_neg();
-        }
-        s
-    }
-
-    fn range_sum(&self, lo: usize, hi: usize) -> f64 {
-        let upper = self.prefix(hi);
-        if lo == 0 {
-            upper
-        } else {
-            upper - self.prefix(lo - 1)
-        }
+/// Fenwick point-add.
+fn fen_add(data: &mut [f64], mut i: usize, v: f64) {
+    i += 1;
+    while i < data.len() {
+        data[i] += v;
+        i += i & i.wrapping_neg();
     }
 }
 
-/// Min segment tree over `(u64, u32)` pairs (point update, range min).
-#[derive(Clone, Debug)]
-struct MinSegTree {
-    size: usize,
-    data: Vec<(u64, u32)>,
+/// Fenwick prefix sum of `[0, i]`.
+fn fen_prefix(data: &[f64], mut i: usize) -> f64 {
+    i += 1;
+    let mut s = 0.0;
+    while i > 0 {
+        s += data[i];
+        i -= i & i.wrapping_neg();
+    }
+    s
 }
 
-const SEG_EMPTY: (u64, u32) = (u64::MAX, u32::MAX);
-
-impl MinSegTree {
-    fn new(n: usize) -> Self {
-        let mut size = 1;
-        while size < n {
-            size <<= 1;
-        }
-        MinSegTree { size, data: vec![SEG_EMPTY; 2 * size] }
+fn fen_range_sum(data: &[f64], lo: usize, hi: usize) -> f64 {
+    let upper = fen_prefix(data, hi);
+    if lo == 0 {
+        upper
+    } else {
+        upper - fen_prefix(data, lo - 1)
     }
+}
 
-    fn update(&mut self, i: usize, v: (u64, u32)) {
-        let mut i = i + self.size;
-        if v < self.data[i] {
-            self.data[i] = v;
+/// Segment-tree point update (min).
+fn seg_update(data: &mut [(u64, u32)], size: usize, i: usize, v: (u64, u32)) {
+    let mut i = i + size;
+    if v < data[i] {
+        data[i] = v;
+        i >>= 1;
+        while i >= 1 {
+            let best = data[2 * i].min(data[2 * i + 1]);
+            if data[i] == best {
+                break;
+            }
+            data[i] = best;
             i >>= 1;
-            while i >= 1 {
-                let best = self.data[2 * i].min(self.data[2 * i + 1]);
-                if self.data[i] == best {
-                    break;
+        }
+    }
+}
+
+fn seg_range_min(data: &[(u64, u32)], size: usize, lo: usize, hi: usize) -> Option<(u64, u32)> {
+    let (mut lo, mut hi) = (lo + size, hi + size + 1);
+    let mut best = SEG_EMPTY;
+    while lo < hi {
+        if lo & 1 == 1 {
+            best = best.min(data[lo]);
+            lo += 1;
+        }
+        if hi & 1 == 1 {
+            hi -= 1;
+            best = best.min(data[hi]);
+        }
+        lo >>= 1;
+        hi >>= 1;
+    }
+    (best != SEG_EMPTY).then_some(best)
+}
+
+pub mod naive {
+    //! The pre-rewrite cover engine — nested `Vec<Vec<_>>` lifting
+    //! tables and per-invocation Fenwick / segment-tree allocations —
+    //! preserved as the reference the `cover_equivalence` suite and the
+    //! `bench_shortcut_pipeline` `naive` rows compare against. Not used
+    //! on any production path.
+
+    use super::CoverArc;
+    use crate::lca::LcaOracle;
+    use crate::rooted::RootedTree;
+    use decss_graphs::VertexId;
+
+    /// Pre-rewrite aggregation engine (allocates per invocation).
+    #[derive(Clone, Debug)]
+    pub struct NaiveCoverEngine {
+        arcs: Vec<CoverArc>,
+        edges_by_depth: Vec<VertexId>,
+        arcs_by_anc_depth: Vec<u32>,
+        up: Vec<Vec<u32>>,
+        depth: Vec<u32>,
+        pre: Vec<u32>,
+        post: Vec<u32>,
+        n: usize,
+    }
+
+    impl NaiveCoverEngine {
+        /// Builds the engine (same contract as
+        /// [`super::CoverEngine::new`]).
+        ///
+        /// # Panics
+        ///
+        /// Panics if any arc is not ancestor-to-descendant.
+        pub fn new(tree: &RootedTree, lca: &LcaOracle, arcs: Vec<CoverArc>) -> Self {
+            let n = tree.n();
+            for a in &arcs {
+                assert!(
+                    lca.is_proper_ancestor(a.anc, a.desc),
+                    "arc {:?} is not ancestor-to-descendant",
+                    a
+                );
+            }
+            let depth: Vec<u32> = (0..n).map(|v| tree.depth(VertexId(v as u32))).collect();
+            let pre: Vec<u32> = (0..n).map(|v| lca.euler().pre(VertexId(v as u32))).collect();
+            let post: Vec<u32> = (0..n).map(|v| lca.euler().post(VertexId(v as u32))).collect();
+            let mut edges_by_depth: Vec<VertexId> = tree.tree_edge_children().collect();
+            edges_by_depth.sort_by_key(|v| depth[v.index()]);
+            let mut arcs_by_anc_depth: Vec<u32> = (0..arcs.len() as u32).collect();
+            arcs_by_anc_depth.sort_by_key(|&i| depth[arcs[i as usize].anc.index()]);
+            let levels = (usize::BITS - n.leading_zeros()).max(1) as usize;
+            let mut up = vec![vec![0u32; n]; levels];
+            for v in 0..n {
+                up[0][v] = tree.parent(VertexId(v as u32)).unwrap_or(tree.root()).0;
+            }
+            for k in 1..levels {
+                for v in 0..n {
+                    up[k][v] = up[k - 1][up[k - 1][v] as usize];
                 }
-                self.data[i] = best;
-                i >>= 1;
+            }
+            NaiveCoverEngine {
+                arcs,
+                edges_by_depth,
+                arcs_by_anc_depth,
+                up,
+                depth,
+                pre,
+                post,
+                n,
+            }
+        }
+
+        /// See [`super::CoverEngine::covering_count`].
+        pub fn covering_count(&self, active: &[bool]) -> Vec<u32> {
+            let vals: Vec<f64> = active.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+            self.covering_sum(active, &vals)
+                .into_iter()
+                .map(|x| x.round() as u32)
+                .collect()
+        }
+
+        /// See [`super::CoverEngine::covering_sum`].
+        pub fn covering_sum(&self, active: &[bool], vals: &[f64]) -> Vec<f64> {
+            assert_eq!(active.len(), self.arcs.len());
+            assert_eq!(vals.len(), self.arcs.len());
+            let mut fen = Fenwick::new(2 * self.n + 2);
+            let mut out = vec![0.0f64; self.n];
+            let mut j = 0usize;
+            for &v in &self.edges_by_depth {
+                let d = self.depth[v.index()];
+                while j < self.arcs_by_anc_depth.len() {
+                    let ai = self.arcs_by_anc_depth[j] as usize;
+                    if self.depth[self.arcs[ai].anc.index()] < d {
+                        if active[ai] {
+                            fen.add(self.pre[self.arcs[ai].desc.index()] as usize, vals[ai]);
+                        }
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out[v.index()] =
+                    fen.range_sum(self.pre[v.index()] as usize, self.post[v.index()] as usize);
+            }
+            out
+        }
+
+        /// See [`super::CoverEngine::covering_argmin`].
+        pub fn covering_argmin(&self, active: &[bool], keys: &[u64]) -> Vec<Option<(u64, u32)>> {
+            assert_eq!(active.len(), self.arcs.len());
+            assert_eq!(keys.len(), self.arcs.len());
+            let mut seg = MinSegTree::new(2 * self.n + 2);
+            let mut out = vec![None; self.n];
+            let mut j = 0usize;
+            for &v in &self.edges_by_depth {
+                let d = self.depth[v.index()];
+                while j < self.arcs_by_anc_depth.len() {
+                    let ai = self.arcs_by_anc_depth[j] as usize;
+                    if self.depth[self.arcs[ai].anc.index()] < d {
+                        if active[ai] {
+                            seg.update(
+                                self.pre[self.arcs[ai].desc.index()] as usize,
+                                (keys[ai], ai as u32),
+                            );
+                        }
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let best =
+                    seg.range_min(self.pre[v.index()] as usize, self.post[v.index()] as usize);
+                out[v.index()] = best;
+            }
+            out
+        }
+
+        /// See [`super::CoverEngine::covered_sum`].
+        pub fn covered_sum(&self, tvals: &[f64]) -> Vec<f64> {
+            assert_eq!(tvals.len(), self.n);
+            let mut pref = vec![0.0f64; self.n];
+            for &v in &self.edges_by_depth {
+                let p = self.up[0][v.index()] as usize;
+                pref[v.index()] = pref[p] + tvals[v.index()];
+            }
+            self.arcs
+                .iter()
+                .map(|a| pref[a.desc.index()] - pref[a.anc.index()])
+                .collect()
+        }
+
+        /// See [`super::CoverEngine::covered_count`].
+        pub fn covered_count(&self, tmask: &[bool]) -> Vec<u32> {
+            assert_eq!(tmask.len(), self.n);
+            let mut pref = vec![0u32; self.n];
+            for &v in &self.edges_by_depth {
+                let p = self.up[0][v.index()] as usize;
+                pref[v.index()] = pref[p] + u32::from(tmask[v.index()]);
+            }
+            self.arcs
+                .iter()
+                .map(|a| pref[a.desc.index()] - pref[a.anc.index()])
+                .collect()
+        }
+
+        /// See [`super::CoverEngine::covered_min`].
+        pub fn covered_min(&self, keys: &[u64]) -> Vec<u64> {
+            assert_eq!(keys.len(), self.n);
+            let levels = self.up.len();
+            let mut lift = vec![vec![u64::MAX; self.n]; levels];
+            lift[0].copy_from_slice(keys);
+            for k in 1..levels {
+                for v in 0..self.n {
+                    let mid = self.up[k - 1][v] as usize;
+                    lift[k][v] = lift[k - 1][v].min(lift[k - 1][mid]);
+                }
+            }
+            self.arcs
+                .iter()
+                .map(|a| {
+                    let mut len = self.depth[a.desc.index()] - self.depth[a.anc.index()];
+                    let mut cur = a.desc.index();
+                    let mut acc = u64::MAX;
+                    let mut k = 0usize;
+                    while len > 0 {
+                        if len & 1 == 1 {
+                            acc = acc.min(lift[k][cur]);
+                            cur = self.up[k][cur] as usize;
+                        }
+                        len >>= 1;
+                        k += 1;
+                    }
+                    acc
+                })
+                .collect()
+        }
+    }
+
+    /// Fenwick tree over f64 (point add, range sum), allocated fresh
+    /// per invocation.
+    #[derive(Clone, Debug)]
+    struct Fenwick {
+        data: Vec<f64>,
+    }
+
+    impl Fenwick {
+        fn new(n: usize) -> Self {
+            Fenwick { data: vec![0.0; n + 1] }
+        }
+
+        fn add(&mut self, mut i: usize, v: f64) {
+            i += 1;
+            while i < self.data.len() {
+                self.data[i] += v;
+                i += i & i.wrapping_neg();
+            }
+        }
+
+        fn prefix(&self, mut i: usize) -> f64 {
+            // Sum of [0, i] inclusive.
+            i += 1;
+            let mut s = 0.0;
+            while i > 0 {
+                s += self.data[i];
+                i -= i & i.wrapping_neg();
+            }
+            s
+        }
+
+        fn range_sum(&self, lo: usize, hi: usize) -> f64 {
+            let upper = self.prefix(hi);
+            if lo == 0 {
+                upper
+            } else {
+                upper - self.prefix(lo - 1)
             }
         }
     }
 
-    fn range_min(&self, lo: usize, hi: usize) -> Option<(u64, u32)> {
-        let (mut lo, mut hi) = (lo + self.size, hi + self.size + 1);
-        let mut best = SEG_EMPTY;
-        while lo < hi {
-            if lo & 1 == 1 {
-                best = best.min(self.data[lo]);
-                lo += 1;
+    /// Min segment tree over `(u64, u32)` pairs (point update, range
+    /// min), allocated fresh per invocation.
+    #[derive(Clone, Debug)]
+    struct MinSegTree {
+        size: usize,
+        data: Vec<(u64, u32)>,
+    }
+
+    impl MinSegTree {
+        fn new(n: usize) -> Self {
+            let mut size = 1;
+            while size < n {
+                size <<= 1;
             }
-            if hi & 1 == 1 {
-                hi -= 1;
-                best = best.min(self.data[hi]);
-            }
-            lo >>= 1;
-            hi >>= 1;
+            MinSegTree { size, data: vec![super::SEG_EMPTY; 2 * size] }
         }
-        (best != SEG_EMPTY).then_some(best)
+
+        fn update(&mut self, i: usize, v: (u64, u32)) {
+            let mut i = i + self.size;
+            if v < self.data[i] {
+                self.data[i] = v;
+                i >>= 1;
+                while i >= 1 {
+                    let best = self.data[2 * i].min(self.data[2 * i + 1]);
+                    if self.data[i] == best {
+                        break;
+                    }
+                    self.data[i] = best;
+                    i >>= 1;
+                }
+            }
+        }
+
+        fn range_min(&self, lo: usize, hi: usize) -> Option<(u64, u32)> {
+            let (mut lo, mut hi) = (lo + self.size, hi + self.size + 1);
+            let mut best = super::SEG_EMPTY;
+            while lo < hi {
+                if lo & 1 == 1 {
+                    best = best.min(self.data[lo]);
+                    lo += 1;
+                }
+                if hi & 1 == 1 {
+                    hi -= 1;
+                    best = best.min(self.data[hi]);
+                }
+                lo >>= 1;
+                hi >>= 1;
+            }
+            (best != super::SEG_EMPTY).then_some(best)
+        }
     }
 }
 
@@ -429,6 +769,37 @@ mod tests {
             assert!((sums[v.index()] - expect_sum).abs() < 1e-9, "sum at {v}");
             assert_eq!(counts[v.index()], expect_count, "count at {v}");
         }
+    }
+
+    #[test]
+    fn repeated_invocations_reuse_scratch_cleanly() {
+        // The epoch-reset scratch must not leak state between calls:
+        // the same query twice gives bit-identical answers, and an
+        // interleaved different query does not disturb the next one.
+        let (_, t) = binary_tree(6);
+        let lca = LcaOracle::new(&t);
+        let arcs = random_arcs(&t, &lca, 60, 12);
+        let engine = CoverEngine::new(&t, &lca, arcs.clone());
+        let mut rng = StdRng::seed_from_u64(13);
+        let vals: Vec<f64> = (0..arcs.len()).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let keys: Vec<u64> = (0..arcs.len()).map(|_| rng.gen_range(0..1000)).collect();
+        let active: Vec<bool> = (0..arcs.len()).map(|_| rng.gen_bool(0.6)).collect();
+        let all = vec![true; arcs.len()];
+        let sum1 = engine.covering_sum(&active, &vals);
+        let min1 = engine.covering_argmin(&active, &keys);
+        let _ = engine.covering_sum(&all, &vals); // interleaved different query
+        let _ = engine.covering_argmin(&all, &keys);
+        let sum2 = engine.covering_sum(&active, &vals);
+        let min2 = engine.covering_argmin(&active, &keys);
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&sum1), bits(&sum2));
+        assert_eq!(min1, min2);
+        // The strided lifting buffer is also reused: same path minima
+        // on the second call.
+        let vkeys: Vec<u64> = (0..t.n() as u64).map(|i| i * 17 % 101).collect();
+        let pm1 = engine.covered_min(&vkeys);
+        let pm2 = engine.covered_min(&vkeys);
+        assert_eq!(pm1, pm2);
     }
 
     #[test]

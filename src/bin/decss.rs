@@ -7,7 +7,13 @@
 //! decss gen      --family grid --n 100 --seed 7 [--max-weight 64]    # writes the format to stdout
 //! decss verify   --input net.graph --edges 0,3,7,...                 # check a 2-ECSS
 //! decss simulate --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
+//! decss scenario --families grid,hard-sqrt --sizes 1000,10000 [--seeds 0,1] \
+//!                [--algorithms shortcut,improved] [--epsilon 0.25] [--max-weight 64] [--out runs.json]
 //! ```
+//!
+//! `scenario` sweeps the family × size × seed grid through the 2-ECSS
+//! pipelines and emits one JSON document (to stdout or `--out`) — the
+//! operational replacement for ad-hoc experiment binaries.
 
 use decss::baselines;
 use decss::congest::protocols::{bfs, boruvka, flood, leader};
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
             eprintln!("  decss gen      --family NAME --n N [--seed S] [--max-weight W]");
             eprintln!("  decss verify   --input FILE --edges ID[,ID...]");
             eprintln!("  decss simulate --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
+            eprintln!("  decss scenario --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms shortcut|improved[,...]] [--epsilon E] [--max-weight W] [--out FILE]");
             ExitCode::from(2)
         }
     }
@@ -53,7 +60,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("gen") => generate(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
-        _ => Err("expected a subcommand: solve | gen | verify | simulate".into()),
+        Some("scenario") => scenario(&args[1..]),
+        _ => Err("expected a subcommand: solve | gen | verify | simulate | scenario".into()),
     }
 }
 
@@ -98,6 +106,15 @@ fn solve(args: &[String]) -> Result<(), String> {
                 shortcut_two_ecss(&g, &ShortcutConfig::default()).map_err(|e| e.to_string())?;
             print_solution(&res.edges, "shortcut (Theorem 1.2)", Some(res.ledger.total_rounds()));
             println!("measured-sc: {}", res.measured_sc);
+            if let Some(worst) = res.level_quality.iter().max_by_key(|q| q.cost()) {
+                println!(
+                    "worst-level: alpha={} beta={} scheme={:?} ({} levels)",
+                    worst.alpha,
+                    worst.beta,
+                    worst.scheme,
+                    res.level_quality.len()
+                );
+            }
         }
         "greedy" => {
             let tree = decss::tree::RootedTree::mst(&g);
@@ -208,7 +225,15 @@ fn generate(args: &[String]) -> Result<(), String> {
         .unwrap_or("64")
         .parse()
         .map_err(|_| "bad --max-weight")?;
-    let g = match family {
+    let g = instance_by_label(family, n, w, seed)?;
+    print!("{}", io::format_graph(&g));
+    Ok(())
+}
+
+/// Builds a generated instance by family label (the `gen` vocabulary:
+/// every `gen::Family` plus the extra named constructions).
+fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph, String> {
+    Ok(match family {
         "broom" => gen::broom_two_ec(n, w, seed),
         "hard-sqrt" => gen::hard_sqrt_two_ec(n, w, seed),
         "tree-chords" => gen::tree_plus_chords(n, n / 2, w, seed),
@@ -219,14 +244,142 @@ fn generate(args: &[String]) -> Result<(), String> {
                     .find(|f| f.label() == other)
                     .ok_or_else(|| {
                         format!(
-                            "unknown --family {other}; options: {}, broom, hard-sqrt, tree-chords",
+                            "unknown family {other}; options: {}, broom, hard-sqrt, tree-chords",
                             gen::Family::ALL.map(|f| f.label()).join(", ")
                         )
                     })?;
             gen::instance(fam, n, w, seed)
         }
-    };
-    print!("{}", io::format_graph(&g));
+    })
+}
+
+/// Runs the family × size × seed sweep over the 2-ECSS pipelines and
+/// emits one JSON document (stdout, or `--out FILE`). Per-run progress
+/// goes to stderr so the JSON stays clean.
+fn scenario(args: &[String]) -> Result<(), String> {
+    fn list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
+        s.split(',')
+            .map(|x| x.trim().parse::<T>().map_err(|_| format!("bad {what} entry {x:?}")))
+            .collect()
+    }
+    let families: Vec<&str> = flag(args, "--families")
+        .ok_or("--families F[,F...] is required")?
+        .split(',')
+        .map(str::trim)
+        .collect();
+    let sizes: Vec<usize> = list(
+        flag(args, "--sizes").ok_or("--sizes N[,N...] is required")?,
+        "--sizes",
+    )?;
+    let seeds: Vec<u64> = list(flag(args, "--seeds").unwrap_or("0"), "--seeds")?;
+    let algorithms: Vec<&str> = flag(args, "--algorithms")
+        .unwrap_or("shortcut")
+        .split(',')
+        .map(str::trim)
+        .collect();
+    for a in &algorithms {
+        if !matches!(*a, "shortcut" | "improved") {
+            return Err(format!("unknown algorithm {a}; scenario supports shortcut, improved"));
+        }
+    }
+    let w: u64 = flag(args, "--max-weight")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "bad --max-weight")?;
+    let epsilon: f64 = flag(args, "--epsilon")
+        .unwrap_or("0.25")
+        .parse()
+        .map_err(|_| "bad --epsilon")?;
+
+    let quoted = |xs: &[&str]| xs.iter().map(|x| format!("\"{x}\"")).collect::<Vec<_>>().join(", ");
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut json = String::new();
+    json.push_str("{\n  \"scenario\": {\n");
+    json.push_str(&format!("    \"families\": [{}],\n", quoted(&families)));
+    json.push_str(&format!(
+        "    \"sizes\": [{}],\n",
+        sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"seeds\": [{}],\n",
+        seeds.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str(&format!("    \"algorithms\": [{}],\n", quoted(&algorithms)));
+    json.push_str(&format!("    \"max_weight\": {w},\n"));
+    json.push_str(&format!("    \"epsilon\": {epsilon},\n"));
+    json.push_str(&format!("    \"nproc\": {nproc}\n"));
+    json.push_str("  },\n  \"runs\": [\n");
+
+    let mut rows: Vec<String> = Vec::new();
+    for &family in &families {
+        for &n in &sizes {
+            for &seed in &seeds {
+                let g = instance_by_label(family, n, w, seed)?;
+                for &algorithm in &algorithms {
+                    eprintln!("scenario: {family} n={n} seed={seed} {algorithm} ...");
+                    let start = std::time::Instant::now();
+                    let (edges, rounds, extra) = match algorithm {
+                        "shortcut" => {
+                            let res = shortcut_two_ecss(&g, &ShortcutConfig::default())
+                                .map_err(|e| format!("{family} n={n} seed={seed}: {e}"))?;
+                            let worst = res
+                                .level_quality
+                                .iter()
+                                .max_by_key(|q| q.cost())
+                                .copied()
+                                .expect("non-empty hierarchy");
+                            let extra = format!(
+                                ", \"measured_sc\": {}, \"alpha\": {}, \"beta\": {}, \
+                                 \"pass_cost\": {}, \"fallbacks\": {}",
+                                res.measured_sc,
+                                worst.alpha,
+                                worst.beta,
+                                res.pass_cost,
+                                res.fallbacks
+                            );
+                            (res.edges, res.ledger.total_rounds(), extra)
+                        }
+                        "improved" => {
+                            let config = TwoEcssConfig {
+                                tap: TapConfig { epsilon, variant: Variant::Improved },
+                            };
+                            let res = approximate_two_ecss(&g, &config)
+                                .map_err(|e| format!("{family} n={n} seed={seed}: {e}"))?;
+                            let extra = format!(
+                                ", \"certified_ratio\": {:.4}, \"guarantee\": {:.4}",
+                                res.certified_ratio(),
+                                config.tap.two_ecss_guarantee()
+                            );
+                            (res.edges, res.ledger.total_rounds(), extra)
+                        }
+                        _ => unreachable!("validated above"),
+                    };
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let weight = g.weight_of(edges.iter().copied());
+                    let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
+                    rows.push(format!(
+                        "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"n\": {}, \
+                         \"m\": {}, \"seed\": {seed}, \"algorithm\": \"{algorithm}\", \
+                         \"weight\": {weight}, \"valid\": {valid}, \"edges\": {}, \
+                         \"rounds\": {rounds}, \"wall_ms\": {wall_ms:.3}{extra}}}",
+                        g.n(),
+                        g.m(),
+                        edges.len(),
+                    ));
+                }
+            }
+        }
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("scenario: wrote {} runs to {path}", rows.len());
+        }
+        None => print!("{json}"),
+    }
     Ok(())
 }
 

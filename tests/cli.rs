@@ -54,7 +54,7 @@ fn verify_rejects_a_tree() {
     assert!(graph_text.is_empty());
     let (_, err, ok) = decss(&["gen", "--family", "cycle", "--n", "16"]);
     assert!(!ok);
-    assert!(err.contains("unknown --family"));
+    assert!(err.contains("unknown family"));
 
     // Generate a real instance, then verify a non-spanning subset.
     let (text, _, ok) = decss(&["gen", "--family", "sparse-random", "--n", "12", "--seed", "1"]);
@@ -64,6 +64,59 @@ fn verify_rejects_a_tree() {
     let (_, err, ok) = decss(&["verify", "--input", path, "--edges", "0,1,2"]);
     assert!(!ok);
     assert!(err.contains("not a spanning 2-edge-connected subgraph"));
+}
+
+#[test]
+fn scenario_sweeps_the_grid_and_emits_json() {
+    let (out, err, ok) = decss(&[
+        "scenario",
+        "--families",
+        "grid,outerplanar",
+        "--sizes",
+        "36,64",
+        "--seeds",
+        "0,1",
+        "--algorithms",
+        "shortcut,improved",
+    ]);
+    assert!(ok, "scenario failed: {err}");
+    // 2 families x 2 sizes x 2 seeds x 2 algorithms = 16 runs.
+    assert_eq!(out.matches("\"algorithm\": \"shortcut\"").count(), 8, "{out}");
+    assert_eq!(out.matches("\"algorithm\": \"improved\"").count(), 8);
+    assert_eq!(out.matches("\"valid\": true").count(), 16);
+    assert!(out.contains("\"measured_sc\":"));
+    assert!(out.contains("\"certified_ratio\":"));
+    assert!(out.contains("\"nproc\":"));
+    // Progress goes to stderr, not into the JSON document.
+    assert!(err.contains("scenario:"));
+    assert!(!out.contains("scenario: grid"));
+
+    // --out writes the same document to a file instead of stdout.
+    let path = std::env::temp_dir().join("decss-cli-tests").join("scenario.json");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("temp dir");
+    let path_str = path.to_str().expect("utf8 path");
+    let (out, _, ok) =
+        decss(&["scenario", "--families", "grid", "--sizes", "36", "--out", path_str]);
+    assert!(ok);
+    assert!(out.is_empty(), "JSON must not leak to stdout with --out");
+    let written = std::fs::read_to_string(&path).expect("scenario file");
+    assert!(written.contains("\"runs\": ["));
+
+    // Unknown algorithms and families are rejected.
+    let (_, err, ok) = decss(&[
+        "scenario",
+        "--families",
+        "grid",
+        "--sizes",
+        "16",
+        "--algorithms",
+        "exact",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown algorithm"));
+    let (_, err, ok) = decss(&["scenario", "--families", "mystery", "--sizes", "16"]);
+    assert!(!ok);
+    assert!(err.contains("unknown family"));
 }
 
 #[test]
