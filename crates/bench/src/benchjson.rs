@@ -9,6 +9,10 @@
 //! offline and vendors no serde).
 
 use criterion::Measurement;
+// One JSON dialect for the whole workspace: the escape/scan helpers
+// live in `decss_solver::json` (shared with `SolveReport::to_json` and
+// the scenario sweeps).
+use decss_solver::json::{escape, number_field, string_field};
 use std::fmt::Write as _;
 
 /// One parsed benchmark entry.
@@ -70,10 +74,6 @@ impl BenchFile {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 /// Renders measurements in the canonical `BENCH_*.json` shape, stamped
 /// with the current host's metadata.
 pub fn render(suite: &str, measurements: &[Measurement]) -> String {
@@ -112,34 +112,6 @@ pub fn render_with_host(suite: &str, measurements: &[Measurement], host: &HostMe
 pub fn dump(suite: &str, measurements: &[Measurement], path: &str) {
     std::fs::write(path, render(suite, measurements)).expect("writing bench JSON");
     println!("wrote {} measurements to {path}", measurements.len());
-}
-
-/// Extracts the string value of `"key": "value"` from a JSON-ish line.
-fn string_field(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => out.push(chars.next()?),
-            _ => out.push(c),
-        }
-    }
-    None
-}
-
-/// Extracts the numeric value of `"key": 123.4` from a JSON-ish line.
-fn number_field(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest: String = line[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
-        .collect();
-    rest.parse().ok()
 }
 
 /// Parses a `BENCH_*.json` file produced by [`dump`].

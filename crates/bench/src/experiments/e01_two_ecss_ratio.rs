@@ -8,8 +8,8 @@
 
 use super::Scale;
 use crate::table::{f2, Table};
-use decss_core::{approximate_two_ecss, TwoEcssConfig};
 use decss_graphs::gen::{self, Family};
+use decss_solver::{SolveRequest, SolverSession};
 
 /// Runs the experiment and prints Table 1.
 pub fn run(scale: Scale) {
@@ -31,6 +31,7 @@ pub fn run(scale: Scale) {
         Family::Caterpillar,
         Family::Hypercube,
     ];
+    let mut session = SolverSession::new();
     for &family in &families {
         for &n in scale.ratio_sizes() {
             let mut ratio_acc = 0.0;
@@ -42,14 +43,13 @@ pub fn run(scale: Scale) {
                 let g = gen::instance(family, n, 64, seed);
                 gn = g.n();
                 gm = g.m();
-                let res = approximate_two_ecss(&g, &TwoEcssConfig::default())
+                let res = session
+                    .solve(&g, &SolveRequest::new("improved"))
                     .expect("generated instances are 2EC");
                 ratio_acc += res.certified_ratio();
-                weight_acc += res.total_weight();
+                weight_acc += res.weight;
                 lb_acc += res.lower_bound;
-                let tree = decss_tree::RootedTree::mst(&g);
-                let (_, gw) = decss_baselines::greedy_tap(&g, &tree).expect("feasible");
-                greedy_acc += res.mst_weight + gw;
+                greedy_acc += session.solve(&g, &SolveRequest::new("greedy")).expect("2EC").weight;
             }
             let s = scale.seeds() as f64;
             t.row(vec![
@@ -73,15 +73,15 @@ pub fn run(scale: Scale) {
         if g.m() > decss_baselines::exact_ecss::MAX_EDGES {
             continue;
         }
-        let res = approximate_two_ecss(&g, &TwoEcssConfig::default()).expect("2EC");
-        let (_, opt) = decss_baselines::exact_two_ecss(&g).expect("2EC");
+        let res = session.solve(&g, &SolveRequest::new("improved")).expect("2EC");
+        let opt = session.solve(&g, &SolveRequest::new("exact")).expect("2EC").weight;
         tt.row(vec![
             seed.to_string(),
             g.n().to_string(),
             g.m().to_string(),
-            res.total_weight().to_string(),
+            res.weight.to_string(),
             opt.to_string(),
-            f2(res.total_weight() as f64 / opt as f64),
+            f2(res.weight as f64 / opt as f64),
             "5.25".into(),
         ]);
     }

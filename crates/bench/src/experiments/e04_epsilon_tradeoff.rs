@@ -3,8 +3,8 @@
 
 use super::Scale;
 use crate::table::{f2, Table};
-use decss_core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
 use decss_graphs::gen;
+use decss_solver::{SolveRequest, SolverSession};
 
 /// Runs the experiment and prints Table 3.
 pub fn run(scale: Scale) {
@@ -15,16 +15,18 @@ pub fn run(scale: Scale) {
     let g = gen::sparse_two_ec(n, n, 64, 3);
     let mut t =
         Table::new(&["epsilon", "rounds", "fwd-iters", "weight", "cert-ratio", "guarantee"]);
+    let mut session = SolverSession::new();
     for &eps in &[1.0, 0.5, 0.25, 0.1, 0.05] {
-        let config = TwoEcssConfig { tap: TapConfig { epsilon: eps, variant: Variant::Improved } };
-        let res = approximate_two_ecss(&g, &config).expect("2EC");
+        let report = session
+            .solve(&g, &SolveRequest::new("improved").epsilon(eps))
+            .expect("2EC");
         t.row(vec![
             format!("{eps}"),
-            res.ledger.total_rounds().to_string(),
-            res.stats.forward_iterations.to_string(),
-            res.total_weight().to_string(),
-            f2(res.certified_ratio()),
-            f2(config.tap.two_ecss_guarantee()),
+            report.rounds.expect("distributed pipeline").to_string(),
+            report.tap_stats.expect("TAP pipeline").forward_iterations.to_string(),
+            report.weight.to_string(),
+            f2(report.certified_ratio()),
+            f2(report.guarantee.expect("Theorem 1.1 guarantee")),
         ]);
     }
     t.print(&format!("E4 / Table 3: epsilon trade-off (sparse-random, n = {n})"));

@@ -6,7 +6,7 @@
 use super::Scale;
 use crate::table::{f2, Table};
 use decss_graphs::{algo, gen};
-use decss_shortcuts::{shortcut_two_ecss, ShortcutConfig};
+use decss_solver::{SolveRequest, SolverSession};
 
 /// Runs the experiment and prints Table 4 / Figure B.
 pub fn run(scale: Scale) {
@@ -38,6 +38,7 @@ pub fn run(scale: Scale) {
         };
         (label.to_string(), g)
     };
+    let mut session = SolverSession::new();
     for label in [
         "outerplanar",
         "caterpillar",
@@ -50,17 +51,18 @@ pub fn run(scale: Scale) {
         for &n in sizes {
             let (label, g) = mk(label, n);
             let d = algo::diameter(&g).max(1);
-            let res = shortcut_two_ecss(&g, &ShortcutConfig::default()).expect("2EC");
+            let res = session.solve(&g, &SolveRequest::new("shortcut")).expect("2EC");
+            let sc = res.measured_sc.expect("shortcut pipeline");
             t.row(vec![
                 label,
                 g.n().to_string(),
                 d.to_string(),
                 f2((g.n() as f64).sqrt()),
-                res.measured_sc.to_string(),
-                f2(res.measured_sc as f64 / d as f64),
-                res.ledger.total_rounds().to_string(),
-                res.total_weight().to_string(),
-                res.fallbacks.to_string(),
+                sc.to_string(),
+                f2(sc as f64 / d as f64),
+                res.rounds.expect("distributed pipeline").to_string(),
+                res.weight.to_string(),
+                res.fallbacks.expect("shortcut pipeline").to_string(),
             ]);
         }
     }

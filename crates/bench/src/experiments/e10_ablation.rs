@@ -1,14 +1,16 @@
 //! E10 / Table 9 — ablation: basic (≤4-cover, `9+ε`) vs improved
 //! (≤2-cover, `5+ε`) vs the `O(log n)` baselines (centralized greedy and
 //! the Theorem 1.2 shortcut algorithm) vs the unbounded cheapest-cover
-//! heuristic.
+//! heuristic — every column is one registry name driven through one
+//! [`SolverSession`].
 
 use super::Scale;
 use crate::table::{f2, Table};
-use decss_core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
 use decss_graphs::gen;
-use decss_shortcuts::{shortcut_two_ecss, ShortcutConfig};
-use decss_tree::RootedTree;
+use decss_solver::{SolveRequest, SolverSession};
+
+/// The columns: registry names, compared on identical instances.
+const ALGORITHMS: [&str; 5] = ["improved", "basic", "greedy", "shortcut", "cheapest-cover"];
 
 /// Runs the experiment and prints Table 9.
 pub fn run(scale: Scale) {
@@ -21,35 +23,17 @@ pub fn run(scale: Scale) {
         "cheapest",
         "impr/greedy",
     ]);
+    let mut session = SolverSession::new();
     for &n in scale.ratio_sizes() {
         let g = gen::sparse_two_ec(n, n, 64, 11);
-        let tree = RootedTree::mst(&g);
-        let mst_w = g.weight_of(g.edge_ids().filter(|&e| tree.is_tree_edge(e)));
-
-        let improved = approximate_two_ecss(&g, &TwoEcssConfig::default())
-            .expect("2EC")
-            .total_weight();
-        let basic = approximate_two_ecss(
-            &g,
-            &TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant: Variant::Basic } },
-        )
-        .expect("2EC")
-        .total_weight();
-        let greedy = mst_w + decss_baselines::greedy_tap(&g, &tree).expect("feasible").1;
-        let shortcut = shortcut_two_ecss(&g, &ShortcutConfig::default())
-            .expect("2EC")
-            .total_weight();
-        let cheapest = mst_w + decss_baselines::cheapest_cover_tap(&g, &tree).expect("feasible").1;
-
-        t.row(vec![
-            n.to_string(),
-            improved.to_string(),
-            basic.to_string(),
-            greedy.to_string(),
-            shortcut.to_string(),
-            cheapest.to_string(),
-            f2(improved as f64 / greedy as f64),
-        ]);
+        let weights: Vec<u64> = ALGORITHMS
+            .iter()
+            .map(|a| session.solve(&g, &SolveRequest::new(*a)).expect("2EC").weight)
+            .collect();
+        let mut row = vec![n.to_string()];
+        row.extend(weights.iter().map(ToString::to_string));
+        row.push(f2(weights[0] as f64 / weights[2] as f64));
+        t.row(row);
     }
     t.print("E10 / Table 9: total 2-ECSS weight by algorithm (sparse-random)");
 }

@@ -62,11 +62,7 @@ impl TapResult {
     /// through the virtual graph; the guarantee itself is checked against
     /// exact optima on small instances in `decss-baselines`.
     pub fn certified_ratio(&self) -> f64 {
-        if self.dual_lower_bound <= 0.0 {
-            1.0
-        } else {
-            self.weight as f64 / self.dual_lower_bound
-        }
+        decss_graphs::weight::certified_ratio(self.weight as f64, self.dual_lower_bound)
     }
 }
 
@@ -104,11 +100,7 @@ impl TwoEcssResult {
     /// [`TapResult::certified_ratio`]; vs the *true* optimum the
     /// guarantee is `5 + ε` (improved) / `9 + ε` (basic).
     pub fn certified_ratio(&self) -> f64 {
-        if self.lower_bound <= 0.0 {
-            1.0
-        } else {
-            self.total_weight() as f64 / self.lower_bound
-        }
+        decss_graphs::weight::certified_ratio(self.total_weight() as f64, self.lower_bound)
     }
 }
 

@@ -20,6 +20,21 @@ pub fn total<I: IntoIterator<Item = Weight>>(weights: I) -> Weight {
         .fold(0u64, |acc, w| acc.checked_add(w).expect("weight sum overflow"))
 }
 
+/// `weight / lower_bound` — the certified approximation ratio every
+/// solver result reports: an upper bound on the achieved ratio, computed
+/// without knowing the true optimum.
+///
+/// A non-positive lower bound certifies nothing, so the ratio pins to
+/// `1.0` (the convention every result type shared before this helper
+/// unified them: an all-zero-weight instance is trivially optimal).
+pub fn certified_ratio(weight: f64, lower_bound: f64) -> f64 {
+    if lower_bound <= 0.0 {
+        1.0
+    } else {
+        weight / lower_bound
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,5 +65,5 @@ pub mod workspace;
 
 pub use partition::Partition;
 pub use shortcut::{ShortcutQuality, ShortcutScheme};
-pub use twoecss::{shortcut_two_ecss, ShortcutConfig, ShortcutResult};
+pub use twoecss::{shortcut_two_ecss, shortcut_two_ecss_with, ShortcutConfig, ShortcutResult};
 pub use workspace::ShortcutWorkspace;

@@ -60,6 +60,20 @@ impl ShortcutResult {
     pub fn total_weight(&self) -> Weight {
         self.mst_weight + self.augmentation_weight
     }
+
+    /// The certified lower bound on the optimal 2-ECSS weight this
+    /// pipeline can vouch for: the MST weight (every 2-ECSS contains a
+    /// spanning connected subgraph, so it weighs at least the MST).
+    pub fn lower_bound(&self) -> f64 {
+        self.mst_weight as f64
+    }
+
+    /// `total weight / certified lower bound` — comparable with the
+    /// Theorem 1.1 results' ratio, though the bound here is weaker (no
+    /// dual certificate; the a-priori guarantee is `O(log n)`).
+    pub fn certified_ratio(&self) -> f64 {
+        decss_graphs::weight::certified_ratio(self.total_weight() as f64, self.lower_bound())
+    }
 }
 
 /// Runs MST + parallel-greedy tree augmentation over low-congestion
@@ -72,19 +86,32 @@ pub fn shortcut_two_ecss(
     g: &Graph,
     config: &ShortcutConfig,
 ) -> Result<ShortcutResult, NotTwoEdgeConnected> {
+    // One workspace for the whole pipeline: shortcut construction and
+    // every set-cover probe pass run on the same flat scratch.
+    shortcut_two_ecss_with(g, config, &mut ShortcutWorkspace::new(g))
+}
+
+/// [`shortcut_two_ecss`] reusing a caller-held workspace — the
+/// heavy-traffic entry point (`decss_solver::SolverSession` threads one
+/// workspace through repeated solves, so same-size instances allocate no
+/// scratch after the first call). Bit-identical to the owning variant on
+/// any workspace state: all scratch is epoch-stamped.
+pub fn shortcut_two_ecss_with(
+    g: &Graph,
+    config: &ShortcutConfig,
+    ws: &mut ShortcutWorkspace,
+) -> Result<ShortcutResult, NotTwoEdgeConnected> {
     if !algo::is_two_edge_connected(g) {
         return Err(NotTwoEdgeConnected);
     }
     let tree = RootedTree::mst(g);
-    // One workspace for the whole pipeline: shortcut construction and
-    // every set-cover probe pass run on the same flat scratch.
-    let mut ws = ShortcutWorkspace::new(g);
-    let tools = ScTools::new_with(g, &tree, &mut ws);
+    ws.ensure(g);
+    let tools = ScTools::new_with(g, &tree, ws);
     let mut ledger = RoundLedger::new();
     // MST cost (Kutten–Peleg; actually O(SC) with shortcuts, charge the
     // cheaper of the two shapes).
     ledger.charge("sc.mst", tools.pass_cost());
-    let cover = parallel_greedy_tap(&tools, &config.setcover, &mut ledger, &mut ws)
+    let cover = parallel_greedy_tap(&tools, &config.setcover, &mut ledger, ws)
         .ok_or(NotTwoEdgeConnected)?;
 
     let mst_edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();

@@ -1,0 +1,71 @@
+//! The workspace's one hand-rolled JSON dialect (the environment is
+//! offline and vendors no serde): string escaping for writers plus the
+//! line-oriented field scanners the readers use.
+//!
+//! Every JSON document the workspace emits — [`SolveReport::to_json`]
+//! (and through it the CLI's `scenario` sweeps) and the `BENCH_*.json`
+//! files written by `decss_bench::benchjson` — goes through [`escape`],
+//! and `benchjson`'s parser is built on [`string_field`] /
+//! [`number_field`], so the dialect is defined in exactly one place.
+//!
+//! [`SolveReport::to_json`]: crate::SolveReport::to_json
+
+/// Escapes a string for embedding in a JSON string literal.
+///
+/// Only `\` and `"` need escaping for the strings the workspace emits
+/// (ids, env echoes, algorithm names); control characters are the
+/// caller's responsibility to avoid (the bench host header flattens
+/// them).
+pub fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON-ish line,
+/// undoing [`escape`].
+pub fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a JSON-ish line.
+pub fn number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_string_field() {
+        let s = "weird\"id\\x";
+        let line = format!("{{\"id\": \"{}\"}}", escape(s));
+        assert_eq!(string_field(&line, "id").as_deref(), Some(s));
+    }
+
+    #[test]
+    fn number_field_reads_floats_and_ints() {
+        let line = "{\"a\": 12, \"b\": -3.5e2, \"c\": \"nope\"}";
+        assert_eq!(number_field(line, "a"), Some(12.0));
+        assert_eq!(number_field(line, "b"), Some(-350.0));
+        assert_eq!(number_field(line, "c"), None);
+        assert_eq!(number_field(line, "missing"), None);
+    }
+}

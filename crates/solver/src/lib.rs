@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+//! The unified `decss` solver API: one [`Solver`] trait over every
+//! pipeline in the workspace, a [`Registry`] of stable algorithm names,
+//! a reusable [`SolverSession`], and the single [`SolveReport`] schema
+//! every consumer (CLI, scenario sweeps, experiments, services) reads.
+//!
+//! Before this crate, the paper's two headline results and the baselines
+//! lived behind four incompatible entry points with four result types;
+//! the CLI, the sweep driver, and every example re-implemented string
+//! dispatch and report printing. Now an algorithm is a name in the
+//! [`Registry`], a call is a [`SolveRequest`], and an answer is a
+//! [`SolveReport`] — new algorithms register in one place and every
+//! consumer picks them up for free.
+//!
+//! # Example
+//!
+//! ```
+//! use decss_solver::{SolveRequest, SolverSession};
+//!
+//! let network = decss_graphs::gen::grid(8, 8, 40, 7);
+//! let mut session = SolverSession::new();
+//!
+//! let report = session.solve(&network, &SolveRequest::new("improved"))?;
+//! assert!(report.valid);
+//! println!(
+//!     "{}: weight {} within {:.2}x of optimal, {} rounds",
+//!     report.algorithm,
+//!     report.weight,
+//!     report.certified_ratio(),
+//!     report.rounds.unwrap_or(0),
+//! );
+//!
+//! // The session reuses its scratch across solves — sweep freely.
+//! for algorithm in ["shortcut", "greedy"] {
+//!     let report = session.solve(&network, &SolveRequest::new(algorithm))?;
+//!     assert!(report.valid);
+//! }
+//! # Ok::<(), decss_solver::SolveError>(())
+//! ```
+//!
+//! The legacy free functions (`decss_core::approximate_two_ecss`,
+//! `decss_shortcuts::shortcut_two_ecss`, the `decss_baselines` entry
+//! points) remain the underlying engines and stay public; the parity
+//! suite (`tests/parity.rs`) pins every registry solver byte-identical
+//! to its legacy entry point. Prefer this API for anything
+//! user-facing — it is the layer future scaling work plugs into.
+
+pub mod context;
+pub mod error;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod request;
+pub mod session;
+pub mod solvers;
+
+pub use context::SolveCx;
+pub use error::SolveError;
+pub use registry::{Registry, Solver, SolverFactory};
+pub use report::SolveReport;
+pub use request::{SolveRequest, TraceLevel};
+pub use session::{inject_failures, SolverSession};
+
+// The one certified-ratio definition (0-lower-bound pins to 1.0),
+// shared with the legacy result types in `decss_core` /
+// `decss_shortcuts` — it lives in `decss_graphs::weight` because that
+// is the crate every layer already depends on.
+pub use decss_graphs::weight::certified_ratio;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certified_ratio_pins_the_zero_lower_bound_edge_case() {
+        // The contract every result type shares: a non-positive bound
+        // certifies nothing and the ratio reads 1.0 (an all-zero-weight
+        // instance is trivially optimal), never a division blow-up.
+        assert_eq!(certified_ratio(0.0, 0.0), 1.0);
+        assert_eq!(certified_ratio(42.0, 0.0), 1.0);
+        assert_eq!(certified_ratio(42.0, -1.0), 1.0);
+        assert!((certified_ratio(42.0, 21.0) - 2.0).abs() < 1e-12);
+        // And it is literally the same function the legacy types call.
+        assert_eq!(
+            certified_ratio(7.0, 2.0),
+            decss_graphs::weight::certified_ratio(7.0, 2.0)
+        );
+    }
+}

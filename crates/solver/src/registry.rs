@@ -1,0 +1,188 @@
+//! The [`Solver`] trait and the [`Registry`] mapping stable names to
+//! solver factories.
+
+use crate::context::SolveCx;
+use crate::error::SolveError;
+use crate::report::SolveReport;
+use crate::request::SolveRequest;
+use decss_graphs::Graph;
+
+/// One 2-ECSS algorithm behind the unified API.
+///
+/// # Registry naming contract
+///
+/// [`Solver::name`] is the algorithm's **stable public identifier**: the
+/// CLI's `--algorithm` vocabulary, the `scenario` sweep grid, the
+/// parity suites, and every future service endpoint address solvers by
+/// it. The contract:
+///
+/// * lowercase `kebab-case`, starting with a letter (`improved`,
+///   `cheapest-cover`) — it must survive being a CLI flag value and a
+///   JSON string unquoted-by-eye;
+/// * **never reused or repurposed**: a name, once released, always
+///   means the same algorithm family with the same output contract
+///   (byte-identical results for identical `(graph, request)` pairs
+///   within a release); improved implementations that change outputs
+///   get a *new* name (`improved-v2`), keeping sweeps comparable;
+/// * registered exactly once — [`Registry::register`] panics on a
+///   duplicate, so a collision is a bug caught at construction, not a
+///   silent override.
+pub trait Solver {
+    /// The stable registry name (see the naming contract above).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description (shown by `decss algorithms`).
+    fn description(&self) -> &'static str;
+
+    /// Solves for a minimum-weight 2-ECSS of `g` per `req`.
+    ///
+    /// Implementations must poll [`SolveCx::checkpoint`] at phase
+    /// boundaries so deadlines and cancellation are honored, and should
+    /// draw scratch from `cx` rather than allocating their own where a
+    /// reusable buffer exists.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] — at minimum
+    /// [`NotTwoEdgeConnected`](SolveError::NotTwoEdgeConnected) on
+    /// infeasible inputs.
+    fn solve(
+        &self,
+        g: &Graph,
+        req: &SolveRequest,
+        cx: &mut SolveCx,
+    ) -> Result<SolveReport, SolveError>;
+}
+
+/// Factory producing a boxed solver: what the registry stores, so
+/// registration is a table entry rather than a live object (solvers are
+/// built lazily and stay stateless — per-solve state lives in
+/// [`SolveCx`]).
+pub type SolverFactory = fn() -> Box<dyn Solver>;
+
+/// The name → solver table. [`Registry::standard`] registers every
+/// built-in pipeline; extend with [`Registry::register`] to plug in new
+/// algorithms — registration is the *only* step, every consumer (CLI
+/// dispatch, `decss algorithms`, scenario sweeps, parity suites)
+/// iterates the registry.
+pub struct Registry {
+    entries: Vec<(&'static str, SolverFactory, Box<dyn Solver>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Registry { entries: Vec::new() }
+    }
+
+    /// The standard registry: every built-in algorithm under its stable
+    /// name (`improved`, `basic`, `shortcut`, `greedy`, `unweighted`,
+    /// `exact`, `cheapest-cover`).
+    pub fn standard() -> Self {
+        let mut r = Registry::empty();
+        for factory in crate::solvers::STANDARD {
+            r.register(*factory);
+        }
+        r
+    }
+
+    /// Registers a solver factory under the name its solver reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name violates the naming contract or is already
+    /// registered (both are construction-time bugs).
+    pub fn register(&mut self, factory: SolverFactory) {
+        let solver = factory();
+        let name = solver.name();
+        assert!(
+            !name.is_empty()
+                && name.starts_with(|c: char| c.is_ascii_lowercase())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+            "solver name {name:?} violates the naming contract (lowercase kebab-case)"
+        );
+        assert!(self.get(name).is_none(), "solver name {name:?} is already registered");
+        self.entries.push((name, factory, solver));
+    }
+
+    /// Looks up a solver by its registry name.
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, _, s)| s.as_ref())
+    }
+
+    /// The factory registered under `name` (for embedding solvers
+    /// elsewhere).
+    pub fn factory(&self, name: &str) -> Option<SolverFactory> {
+        self.entries.iter().find(|(n, _, _)| *n == name).map(|(_, f, _)| *f)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|(n, _, _)| *n)
+    }
+
+    /// Registered solvers, in registration order.
+    pub fn solvers(&self) -> impl Iterator<Item = &dyn Solver> + '_ {
+        self.entries.iter().map(|(_, _, s)| s.as_ref())
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The comma-joined name list (error messages, usage strings).
+    pub fn known(&self) -> String {
+        self.names().collect::<Vec<_>>().join(", ")
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_the_stable_names() {
+        let r = Registry::standard();
+        for name in [
+            "improved",
+            "basic",
+            "shortcut",
+            "greedy",
+            "unweighted",
+            "exact",
+            "cheapest-cover",
+        ] {
+            let s = r.get(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(s.name(), name);
+            assert!(!s.description().is_empty());
+            assert!(r.factory(name).is_some());
+        }
+        assert_eq!(r.len(), 7);
+        assert!(r.get("mystery").is_none());
+        assert!(r.known().contains("improved"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_panic() {
+        let mut r = Registry::standard();
+        r.register(crate::solvers::STANDARD[0]);
+    }
+}

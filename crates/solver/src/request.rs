@@ -1,0 +1,209 @@
+//! [`SolveRequest`]: the one request schema every solver consumes.
+
+use decss_core::Variant;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How much per-phase detail a [`SolveReport`](crate::SolveReport)
+/// carries in its `trace` lines.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum TraceLevel {
+    /// No trace lines (the default).
+    #[default]
+    Silent,
+    /// One line per structural phase (decomposition sizes, iteration
+    /// counts, per-level shortcut quality).
+    Summary,
+    /// [`TraceLevel::Summary`] plus the full round-ledger breakdown.
+    Full,
+}
+
+/// A solve request: the algorithm name plus every knob the pipelines
+/// share. Build one with the fluent methods and hand it to a
+/// [`SolverSession`](crate::SolverSession) (or directly to a
+/// [`Solver`](crate::Solver)); unused knobs are ignored by solvers that
+/// have no use for them, so one request type serves all pipelines.
+///
+/// ```
+/// use decss_solver::{SolveRequest, TraceLevel};
+///
+/// let req = SolveRequest::new("shortcut")
+///     .seed(7)
+///     .bandwidth(4)
+///     .trace(TraceLevel::Summary);
+/// assert_eq!(req.algorithm, "shortcut");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Registry name of the algorithm to run (see
+    /// [`Registry`](crate::Registry) for the naming contract).
+    pub algorithm: String,
+    /// The `ε` of the approximation/bucketing schemes (default `0.25`).
+    /// Theorem 1.1 solvers tighten their `(4+ε)`/`(8+ε)` TAP guarantee
+    /// with it; the shortcut solver uses it for set-cover phase
+    /// bucketing; the rest ignore it.
+    pub epsilon: f64,
+    /// Reverse-delete variant override for the Theorem 1.1 solvers.
+    /// `None` (default) keeps the registered solver's own variant
+    /// (`improved` → [`Variant::Improved`], `basic` → [`Variant::Basic`]).
+    pub variant: Option<Variant>,
+    /// RNG seed override for the randomized parts (shortcut set-cover
+    /// sampling, failure injection). `None` keeps each solver's
+    /// deterministic default.
+    pub seed: Option<u64>,
+    /// Round-engine shard hint: `0` = sequential. Today's library
+    /// pipelines are ledger-accounted (engine-independent), so this is
+    /// echoed into the report but changes no result; message-level
+    /// simulation backends consume it.
+    pub shards: usize,
+    /// CONGEST bandwidth in `O(log n)`-bit words per edge per round
+    /// (default 1, the model the ledger charges). Reports scale their
+    /// round counts by it ([`SolveReport::effective_rounds`]): `B` words
+    /// pipeline `B`-fold.
+    ///
+    /// [`SolveReport::effective_rounds`]: crate::SolveReport::effective_rounds
+    pub bandwidth: u32,
+    /// Edge-failure injection: remove up to this many seeded-random
+    /// edges (keeping the graph 2-edge-connected) *before* solving, and
+    /// report which ones fell. `0` (default) solves the graph as given.
+    pub fail_edges: u32,
+    /// Wall-clock budget. Solvers poll it at phase boundaries
+    /// (best-effort: a phase that is already running completes), and
+    /// return [`SolveError::DeadlineExceeded`](crate::SolveError) once
+    /// it has passed.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: set the flag from another thread and
+    /// the solve returns [`SolveError::Cancelled`](crate::SolveError)
+    /// at its next phase boundary.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Trace verbosity of the resulting report.
+    pub trace: TraceLevel,
+}
+
+impl SolveRequest {
+    /// A request for `algorithm` with every knob at its default.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        SolveRequest {
+            algorithm: algorithm.into(),
+            epsilon: 0.25,
+            variant: None,
+            seed: None,
+            shards: 0,
+            bandwidth: 1,
+            fail_edges: 0,
+            deadline: None,
+            cancel: None,
+            trace: TraceLevel::Silent,
+        }
+    }
+
+    /// Sets the approximation `ε`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the reverse-delete variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the round-engine shard hint.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the CONGEST bandwidth (words per edge per round, `>= 1`).
+    pub fn bandwidth(mut self, bandwidth: u32) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Injects up to `k` seeded edge failures before solving.
+    pub fn fail_edges(mut self, k: u32) -> Self {
+        self.fail_edges = k;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation flag.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Sets the trace verbosity.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// The config echo reports carry: every knob that shapes the solve,
+    /// rendered `key=value`, defaults spelled out.
+    pub fn params_echo(&self) -> String {
+        let variant = match self.variant {
+            None => "default".to_string(),
+            Some(v) => format!("{v:?}").to_lowercase(),
+        };
+        let seed = self.seed.map_or("default".to_string(), |s| s.to_string());
+        format!(
+            "epsilon={} variant={variant} seed={seed} shards={} bandwidth={} fail_edges={}",
+            self.epsilon, self.shards, self.bandwidth, self.fail_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let req = SolveRequest::new("improved")
+            .epsilon(0.5)
+            .variant(Variant::Basic)
+            .seed(9)
+            .shards(4)
+            .bandwidth(2)
+            .fail_edges(3)
+            .deadline(Duration::from_millis(100))
+            .cancel_flag(flag.clone())
+            .trace(TraceLevel::Full);
+        assert_eq!(req.algorithm, "improved");
+        assert_eq!(req.epsilon, 0.5);
+        assert_eq!(req.variant, Some(Variant::Basic));
+        assert_eq!(req.seed, Some(9));
+        assert_eq!(req.shards, 4);
+        assert_eq!(req.bandwidth, 2);
+        assert_eq!(req.fail_edges, 3);
+        assert_eq!(req.deadline, Some(Duration::from_millis(100)));
+        assert!(req.cancel.is_some());
+        assert_eq!(req.trace, TraceLevel::Full);
+        let echo = req.params_echo();
+        assert!(echo.contains("epsilon=0.5"), "{echo}");
+        assert!(echo.contains("variant=basic"), "{echo}");
+        assert!(echo.contains("seed=9"), "{echo}");
+    }
+
+    #[test]
+    fn trace_levels_are_ordered() {
+        assert!(TraceLevel::Silent < TraceLevel::Summary);
+        assert!(TraceLevel::Summary < TraceLevel::Full);
+        assert_eq!(TraceLevel::default(), TraceLevel::Silent);
+    }
+}

@@ -1,0 +1,277 @@
+//! [`SolverSession`]: the reusable front door — registry dispatch,
+//! failure injection, validation, timing, and scratch reuse across
+//! repeated solves.
+
+use crate::context::SolveCx;
+use crate::error::SolveError;
+use crate::registry::Registry;
+use crate::report::SolveReport;
+use crate::request::SolveRequest;
+use decss_graphs::{algo, EdgeId, Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A reusable solving session: owns the [`Registry`] and the shared
+/// scratch ([`SolveCx`], including the `ShortcutWorkspace`), so repeated
+/// solves — scenario sweeps, services under heavy traffic — stop
+/// re-allocating per call. One session serves any mix of algorithms and
+/// instance sizes; scratch grows to the largest instance seen and is
+/// epoch-stamped, so reuse is bit-identical to fresh allocation (pinned
+/// by the parity suite's dirty-session tests).
+#[derive(Default)]
+pub struct SolverSession {
+    registry: Registry,
+    cx: SolveCx,
+}
+
+impl SolverSession {
+    /// A session over the [standard registry](Registry::standard).
+    pub fn new() -> Self {
+        SolverSession::default()
+    }
+
+    /// A session over a custom registry.
+    pub fn with_registry(registry: Registry) -> Self {
+        SolverSession { registry, cx: SolveCx::new() }
+    }
+
+    /// The session's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The session's context (to pre-grow scratch or drive a
+    /// [`Solver`](crate::Solver) by hand).
+    pub fn context(&mut self) -> &mut SolveCx {
+        &mut self.cx
+    }
+
+    /// Solves `g` per `req`: resolves the algorithm in the registry,
+    /// applies the request's failure injection, runs the solver with the
+    /// session scratch, and stamps the report with the instance echo,
+    /// validation verdict, and wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownAlgorithm`] for unregistered names,
+    /// [`SolveError::BadRequest`]/[`SolveError::BadEpsilon`] for
+    /// out-of-domain knobs, and whatever the solver itself returns.
+    pub fn solve(&mut self, g: &Graph, req: &SolveRequest) -> Result<SolveReport, SolveError> {
+        if req.bandwidth == 0 {
+            return Err(SolveError::BadRequest("bandwidth must be >= 1".into()));
+        }
+        if !(req.epsilon.is_finite() && req.epsilon > 0.0) {
+            return Err(SolveError::BadEpsilon);
+        }
+        let solver =
+            self.registry
+                .get(&req.algorithm)
+                .ok_or_else(|| SolveError::UnknownAlgorithm {
+                    name: req.algorithm.clone(),
+                    known: self.registry.known(),
+                })?;
+        self.cx.arm(req);
+        self.cx.checkpoint()?;
+
+        let (damaged, failed_edges);
+        let instance: &Graph = if req.fail_edges > 0 {
+            (damaged, failed_edges) = inject_failures(g, req.fail_edges, req.seed.unwrap_or(0));
+            &damaged
+        } else {
+            failed_edges = Vec::new();
+            g
+        };
+
+        // Timed from here so `wall_ms` means the solve itself: rows with
+        // and without failure injection stay comparable in sweeps.
+        let started = Instant::now();
+        let mut report = solver.solve(instance, req, &mut self.cx)?;
+        report.valid = algo::two_edge_connected_in(instance, report.edges.iter().copied());
+        if !failed_edges.is_empty() {
+            // The damaged graph renumbers edges densely; translate the
+            // chosen set back into the caller's id space (surviving
+            // original ids, in order) so reports round-trip against the
+            // input graph (`decss verify --edges ...`). Same edge set,
+            // same weight, same validity — only the labels change.
+            let mut surviving = Vec::with_capacity(instance.m());
+            let mut removed = failed_edges.iter().peekable();
+            for e in g.edge_ids() {
+                if removed.peek() == Some(&&e) {
+                    removed.next();
+                } else {
+                    surviving.push(e);
+                }
+            }
+            for e in &mut report.edges {
+                *e = surviving[e.index()];
+            }
+        }
+        report.params = req.params_echo();
+        report.n = instance.n();
+        report.m = instance.m();
+        report.bandwidth = req.bandwidth;
+        report.failed_edges = failed_edges;
+        report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok(report)
+    }
+}
+
+/// Seeded edge-failure injection: removes up to `k` edges of `g`, chosen
+/// in seeded-random order, skipping any whose loss would break
+/// 2-edge-connectivity (the drill models a network degrading while it
+/// still *has* a 2-ECSS — an infeasible instance would make every run a
+/// trivial error). Returns the damaged graph and the removed edges as
+/// ids of the **original** graph; the damaged graph re-numbers its edges
+/// densely.
+///
+/// Fewer than `k` edges fall when the graph runs out of removable ones
+/// (e.g. once it is Hamiltonian-cycle-thin). On a graph that is not
+/// 2-edge-connected to begin with, nothing is removable and the graph
+/// comes back unchanged.
+pub fn inject_failures(g: &Graph, k: u32, seed: u64) -> (Graph, Vec<EdgeId>) {
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates with the vendored rng (no shuffle helper there).
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let mut alive = vec![true; g.m()];
+    let mut removed: Vec<EdgeId> = Vec::new();
+    for &e in &order {
+        if removed.len() as u32 == k {
+            break;
+        }
+        alive[e.index()] = false;
+        if algo::two_edge_connected_in(g, g.edge_ids().filter(|&x| alive[x.index()])) {
+            removed.push(e);
+        } else {
+            alive[e.index()] = true;
+        }
+    }
+    removed.sort_unstable();
+
+    let mut b = GraphBuilder::new(g.n());
+    for (id, edge) in g.edges() {
+        if alive[id.index()] {
+            b.add_edge(edge.u.0, edge.v.0, edge.weight)
+                .expect("endpoints are in range");
+        }
+    }
+    (b.build().expect("graph is non-empty"), removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+
+    #[test]
+    fn unknown_algorithm_lists_the_registry() {
+        let g = gen::cycle(5, 9, 0);
+        let mut session = SolverSession::new();
+        match session.solve(&g, &SolveRequest::new("mystery")) {
+            Err(SolveError::UnknownAlgorithm { name, known }) => {
+                assert_eq!(name, "mystery");
+                assert!(known.contains("shortcut"), "{known}");
+            }
+            other => panic!("expected UnknownAlgorithm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected_before_dispatch() {
+        let g = gen::cycle(5, 9, 0);
+        let mut session = SolverSession::new();
+        assert!(matches!(
+            session.solve(&g, &SolveRequest::new("improved").bandwidth(0)),
+            Err(SolveError::BadRequest(_))
+        ));
+        assert!(matches!(
+            session.solve(&g, &SolveRequest::new("improved").epsilon(0.0)),
+            Err(SolveError::BadEpsilon)
+        ));
+        assert!(matches!(
+            session.solve(&g, &SolveRequest::new("shortcut").epsilon(f64::NAN)),
+            Err(SolveError::BadEpsilon)
+        ));
+    }
+
+    #[test]
+    fn session_solves_and_stamps_the_report() {
+        let g = gen::grid(6, 6, 20, 7);
+        let mut session = SolverSession::new();
+        let report = session.solve(&g, &SolveRequest::new("improved")).unwrap();
+        assert_eq!(report.algorithm, "improved");
+        assert_eq!((report.n, report.m), (g.n(), g.m()));
+        assert!(report.valid);
+        assert!(report.certified_ratio() >= 1.0 - 1e-9);
+        assert!(report.rounds.unwrap() > 0);
+        assert!(report.wall_ms >= 0.0);
+        assert!(report.params.contains("epsilon=0.25"));
+    }
+
+    #[test]
+    fn failure_injection_removes_edges_and_stays_solvable() {
+        let g = gen::grid(6, 6, 20, 7);
+        let (damaged, removed) = inject_failures(&g, 4, 11);
+        assert_eq!(removed.len(), 4);
+        assert_eq!(damaged.m(), g.m() - 4);
+        assert_eq!(damaged.n(), g.n());
+        assert!(algo::is_two_edge_connected(&damaged));
+        // Deterministic per seed; different seeds explore different edges.
+        let (_, removed_again) = inject_failures(&g, 4, 11);
+        assert_eq!(removed, removed_again);
+
+        let mut session = SolverSession::new();
+        let report = session
+            .solve(&g, &SolveRequest::new("shortcut").fail_edges(4).seed(11))
+            .unwrap();
+        assert_eq!(report.failed_edges, removed);
+        assert_eq!(report.m, g.m() - 4);
+        assert!(report.valid);
+        // The chosen edges come back in the *original* graph's id space:
+        // none of them is a failed edge, and the set round-trips as a
+        // 2-ECSS of the original graph directly.
+        assert!(report.edges.iter().all(|e| !removed.contains(e)));
+        assert!(algo::two_edge_connected_in(&g, report.edges.iter().copied()));
+    }
+
+    #[test]
+    fn every_solver_reports_infeasible_inputs_cleanly() {
+        // Not 2-edge-connected (a path) and outright disconnected: the
+        // trait contract promises NotTwoEdgeConnected, never a panic.
+        let path = gen::path(5);
+        let disconnected = {
+            let mut b = decss_graphs::GraphBuilder::new(4);
+            b.add_edge(0, 1, 1).unwrap();
+            b.add_edge(2, 3, 1).unwrap();
+            b.build().unwrap()
+        };
+        let mut session = SolverSession::new();
+        let names: Vec<&str> = session.registry().names().collect();
+        for name in names {
+            for g in [&path, &disconnected] {
+                assert!(
+                    matches!(
+                        session.solve(g, &SolveRequest::new(name)),
+                        Err(SolveError::NotTwoEdgeConnected)
+                    ),
+                    "{name} must reject infeasible inputs with NotTwoEdgeConnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_injection_never_breaks_a_thin_cycle() {
+        // A bare cycle has no removable edge at all.
+        let g = gen::cycle(8, 5, 1);
+        let (damaged, removed) = inject_failures(&g, 3, 0);
+        assert!(removed.is_empty());
+        assert_eq!(damaged.m(), g.m());
+        assert!(algo::is_two_edge_connected(&damaged));
+    }
+}

@@ -17,8 +17,9 @@
 //!   query.
 //!
 //! The engines are *logically exact* reimplementations; the round ledger
-//! charges [`decss_congest::ledger::CostParams::aggregate`] per
-//! invocation (see DESIGN.md §3).
+//! charges `decss_congest::ledger::CostParams::aggregate` per invocation
+//! (see DESIGN.md §3; `decss-congest` sits above this crate, so no
+//! intra-doc link).
 //!
 //! Layout: the binary-lifting table is one strided `Vec<u32>` (`levels`
 //! rows of `n`), and the Fenwick / segment-tree / lifting scratch the

@@ -1,13 +1,14 @@
 //! Failure drill: kill every single link of the computed 2-ECSS in turn
 //! and verify the network stays connected — then do the same to the MST
-//! and watch it fall apart.
+//! and watch it fall apart. Finally, degrade the network itself with the
+//! request's seeded failure injection and re-solve on what is left.
 //!
 //! ```sh
 //! cargo run --example failure_drill
 //! ```
 
-use decss::core::{approximate_two_ecss, TwoEcssConfig};
 use decss::graphs::{algo, gen, EdgeId};
+use decss::solver::{SolveRequest, SolverSession};
 
 fn survives_all_single_failures(g: &decss::graphs::Graph, edges: &[EdgeId]) -> (usize, usize) {
     let mut survived = 0;
@@ -29,27 +30,52 @@ fn main() {
         algo::diameter(&network)
     );
 
-    let result = approximate_two_ecss(&network, &TwoEcssConfig::default()).expect("2EC input");
+    let mut session = SolverSession::new();
+    let report = session
+        .solve(&network, &SolveRequest::new("improved"))
+        .expect("2EC input");
+    let mst_weight = report.mst_weight.expect("MST+augmentation pipeline");
+    let augmentation_weight = report.augmentation_weight.expect("MST+augmentation pipeline");
 
-    let (ok_2ecss, total_2ecss) = survives_all_single_failures(&network, &result.edges);
+    let (ok_2ecss, total_2ecss) = survives_all_single_failures(&network, &report.edges);
     println!(
         "\n2-ECSS ({} edges, weight {}): survives {ok_2ecss}/{total_2ecss} single-link failures",
-        result.edges.len(),
-        result.total_weight()
+        report.edges.len(),
+        report.weight
     );
     assert_eq!(ok_2ecss, total_2ecss, "a 2-ECSS must survive them all");
 
-    let (ok_mst, total_mst) = survives_all_single_failures(&network, &result.mst_edges);
+    let mst: Vec<EdgeId> = {
+        let tree = decss::tree::RootedTree::mst(&network);
+        network.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect()
+    };
+    let (ok_mst, total_mst) = survives_all_single_failures(&network, &mst);
     println!(
-        "MST alone ({} edges, weight {}): survives {ok_mst}/{total_mst} single-link failures",
-        result.mst_edges.len(),
-        result.mst_weight
+        "MST alone ({} edges, weight {mst_weight}): survives {ok_mst}/{total_mst} single-link failures",
+        mst.len()
     );
     assert_eq!(ok_mst, 0, "every tree edge is a bridge");
 
     println!(
-        "\nredundancy premium: +{} weight (+{:.1}%) for full single-failure resilience",
-        result.augmentation_weight,
-        100.0 * result.augmentation_weight as f64 / result.mst_weight as f64
+        "\nredundancy premium: +{augmentation_weight} weight (+{:.1}%) for full single-failure resilience",
+        100.0 * augmentation_weight as f64 / mst_weight as f64
     );
+
+    // Now the drill the API automates: the network loses links (but
+    // stays 2-edge-connectable) and we re-plan on the damaged topology.
+    println!("\ndegrading the network itself (seeded failure injection, re-solving):");
+    for k in [5u32, 15, 30] {
+        let report = session
+            .solve(&network, &SolveRequest::new("improved").fail_edges(k).seed(7))
+            .expect("damaged network still has a 2-ECSS");
+        println!(
+            "  {} links down -> plan over {} links: weight {} ({} edges), valid: {}",
+            report.failed_edges.len(),
+            report.m,
+            report.weight,
+            report.edges.len(),
+            report.valid
+        );
+        assert!(report.valid);
+    }
 }

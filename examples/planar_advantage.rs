@@ -1,37 +1,46 @@
 //! Theorem 1.2 in action: on well-behaved topologies the shortcut-based
 //! algorithm's cost parameter is the diameter, not `D + √n`.
 //!
+//! All 12 solves below share one [`SolverSession`] — the scratch the
+//! shortcut pipeline needs is allocated once and reused across every
+//! family and size (the heavy-traffic path).
+//!
 //! ```sh
 //! cargo run --example planar_advantage
 //! ```
 
 use decss::graphs::{algo, gen};
-use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
+use decss::solver::{SolveRequest, SolverSession};
 
-fn report(name: &str, g: &decss::graphs::Graph) {
+fn report(session: &mut SolverSession, name: &str, g: &decss::graphs::Graph) {
     let d = algo::diameter(g);
-    let res = shortcut_two_ecss(g, &ShortcutConfig::default()).expect("2EC input");
+    let res = session.solve(g, &SolveRequest::new("shortcut")).expect("2EC input");
+    let sc = res.measured_sc.expect("shortcut pipeline reports SC");
     println!(
-        "{name:<22} n={:<5} D={:<4} sqrt(n)={:<6.1} measured SC={:<5} SC/D={:<6.2} rounds={}",
+        "{name:<22} n={:<5} D={:<4} sqrt(n)={:<6.1} measured SC={sc:<5} SC/D={:<6.2} rounds={}",
         g.n(),
         d,
         (g.n() as f64).sqrt(),
-        res.measured_sc,
-        res.measured_sc as f64 / d.max(1) as f64,
-        res.ledger.total_rounds()
+        sc as f64 / d.max(1) as f64,
+        res.rounds.expect("distributed pipeline")
     );
 }
 
 fn main() {
     println!("shortcut complexity by topology (Theorem 1.2):\n");
+    let mut session = SolverSession::new();
     for n in [100usize, 256, 400] {
-        report("outerplanar disk", &gen::outerplanar_disk(n, 1.0, 50, 1));
-        report("grid (planar)", &{
+        report(
+            &mut session,
+            "outerplanar disk",
+            &gen::outerplanar_disk(n, 1.0, 50, 1),
+        );
+        report(&mut session, "grid (planar)", &{
             let side = (n as f64).sqrt() as usize;
             gen::grid(side, side, 50, 1)
         });
-        report("caterpillar", &gen::caterpillar_two_ec(n / 2, 2, 50, 1));
-        report("broom (bad case)", &gen::broom_two_ec(n, 50, 1));
+        report(&mut session, "caterpillar", &gen::caterpillar_two_ec(n / 2, 2, 50, 1));
+        report(&mut session, "broom (bad case)", &gen::broom_two_ec(n, 50, 1));
         println!();
     }
     println!(

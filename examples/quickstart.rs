@@ -1,12 +1,12 @@
-//! Quickstart: build a network, run the (5+ε)-approximation, inspect the
-//! result.
+//! Quickstart: build a network, solve it through the unified API,
+//! inspect the report.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
 use decss::graphs::{algo, gen};
+use decss::solver::{SolveRequest, SolverSession, TraceLevel};
 
 fn main() {
     // A random 2-edge-connected network: 120 routers, ~240 links with
@@ -19,29 +19,35 @@ fn main() {
         algo::diameter(&network)
     );
 
-    let config = TwoEcssConfig { tap: TapConfig { epsilon: 0.25, variant: Variant::Improved } };
-    let result = approximate_two_ecss(&network, &config).expect("input is 2-edge-connected");
+    // One session, one request, one report — any registry algorithm.
+    let mut session = SolverSession::new();
+    let request = SolveRequest::new("improved").epsilon(0.25).trace(TraceLevel::Full);
+    let report = session.solve(&network, &request).expect("input is 2-edge-connected");
 
     println!(
         "2-ECSS: {} edges, weight {} = MST {} + augmentation {}",
-        result.edges.len(),
-        result.total_weight(),
-        result.mst_weight,
-        result.augmentation_weight
+        report.edges.len(),
+        report.weight,
+        report.mst_weight.expect("MST+augmentation pipeline"),
+        report.augmentation_weight.expect("MST+augmentation pipeline"),
     );
     println!(
         "certified within {:.2}x of optimal (guarantee vs true optimum: {:.2}x)",
-        result.certified_ratio(),
-        config.tap.two_ecss_guarantee()
+        report.certified_ratio(),
+        report.guarantee.expect("Theorem 1.1 has one"),
     );
-    println!("simulated CONGEST rounds: {}", result.ledger.total_rounds());
-    println!("round breakdown:");
-    for (op, inv, rounds) in result.ledger.breakdown() {
-        println!("  {op:<24} x{inv:<4} {rounds} rounds");
+    println!(
+        "simulated CONGEST rounds: {}",
+        report.rounds.expect("distributed pipeline")
+    );
+    println!("round breakdown (TraceLevel::Full):");
+    for line in report.trace.iter().filter(|l| l.starts_with("rounds ")) {
+        println!("  {line}");
     }
 
     // The defining property: the output stays connected under any single
-    // link failure.
-    assert!(algo::two_edge_connected_in(&network, result.edges.iter().copied()));
+    // link failure — the session verified it (and we can re-check).
+    assert!(report.valid);
+    assert!(algo::two_edge_connected_in(&network, report.edges.iter().copied()));
     println!("verified: output is spanning and survives any single link failure.");
 }

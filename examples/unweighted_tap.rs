@@ -42,4 +42,23 @@ fn main() {
         );
     }
     println!("\nevery output verified 2-edge-connected; ratio stays well under the bound.");
+
+    // The same pipeline as a registry citizen: `unweighted` runs on the
+    // MST and answers through the unified SolveReport schema (here
+    // against the exact optimum on a tiny instance).
+    use decss::solver::{SolveRequest, SolverSession};
+    let g = gen::sparse_two_ec(8, 3, 1, 0).unweighted();
+    let mut session = SolverSession::new();
+    let ours = session
+        .solve(&g, &SolveRequest::new("unweighted"))
+        .expect("2EC input");
+    let exact = session.solve(&g, &SolveRequest::new("exact")).expect("tiny instance");
+    assert!(ours.valid && exact.valid);
+    println!(
+        "registry check (n={}): unweighted picks {} edges vs exact optimum {} ({} rounds simulated)",
+        g.n(),
+        ours.edges.len(),
+        exact.edges.len(),
+        ours.rounds.expect("distributed pipeline"),
+    );
 }

@@ -3,25 +3,32 @@
 //! instance, and print the chosen subgraph plus diagnostics.
 //!
 //! ```text
-//! decss solve    --input net.graph [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon 0.25]
-//! decss gen      --family grid --n 100 --seed 7 [--max-weight 64]    # writes the format to stdout
-//! decss verify   --input net.graph --edges 0,3,7,...                 # check a 2-ECSS
-//! decss simulate --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
-//! decss scenario --families grid,hard-sqrt --sizes 1000,10000 [--seeds 0,1] \
-//!                [--algorithms shortcut,improved] [--epsilon 0.25] [--max-weight 64] [--out runs.json]
+//! decss solve      --input net.graph [--algorithm NAME] [--epsilon 0.25] [--seed S]
+//!                  [--bandwidth B] [--fail-edges K] [--deadline-ms MS]
+//!                  [--trace summary|full] [--json]
+//! decss algorithms [--names]                                    # list the solver registry
+//! decss gen        --family grid --n 100 --seed 7 [--max-weight 64]  # writes the format to stdout
+//! decss verify     --input net.graph --edges 0,3,7,...          # check a 2-ECSS
+//! decss simulate   --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
+//! decss scenario   --families grid,hard-sqrt --sizes 1000,10000 [--seeds 0,1] \
+//!                  [--algorithms shortcut,improved] [--epsilon 0.25] [--max-weight 64] \
+//!                  [--bandwidth B] [--fail-edges K] [--out runs.json]
 //! ```
 //!
-//! `scenario` sweeps the family × size × seed grid through the 2-ECSS
-//! pipelines and emits one JSON document (to stdout or `--out`) — the
-//! operational replacement for ad-hoc experiment binaries.
+//! Every algorithm subcommand routes through the unified
+//! [`decss::solver`] API: `solve` resolves `--algorithm` in the solver
+//! [`Registry`](decss::solver::Registry) (see `decss algorithms` for the
+//! vocabulary), `scenario` drives the family × size × seed sweep through
+//! one reusable [`SolverSession`](decss::solver::SolverSession), and all
+//! reports render through the one `SolveReport` schema (text or
+//! `--json`).
 
-use decss::baselines;
 use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
-use decss::core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
 use decss::graphs::{algo, gen, io, EdgeId, Graph, VertexId};
-use decss::shortcuts::{shortcut_two_ecss, ShortcutConfig};
+use decss::solver::{SolveReport, SolveRequest, SolverSession, TraceLevel};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,11 +38,14 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  decss solve    --input FILE [--algorithm improved|basic|shortcut|greedy|unweighted] [--epsilon E]");
-            eprintln!("  decss gen      --family NAME --n N [--seed S] [--max-weight W]");
-            eprintln!("  decss verify   --input FILE --edges ID[,ID...]");
-            eprintln!("  decss simulate --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
-            eprintln!("  decss scenario --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms shortcut|improved[,...]] [--epsilon E] [--max-weight W] [--out FILE]");
+            eprintln!("  decss solve      --input FILE [--algorithm NAME] [--epsilon E] [--seed S] [--bandwidth B] [--fail-edges K] [--deadline-ms MS] [--trace summary|full] [--json]");
+            eprintln!("  decss algorithms [--names]");
+            eprintln!("  decss gen        --family NAME --n N [--seed S] [--max-weight W]");
+            eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
+            eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
+            eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--out FILE]");
+            eprintln!();
+            eprintln!("run `decss algorithms` for the solver registry NAMEs.");
             ExitCode::from(2)
         }
     }
@@ -48,6 +58,13 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad {name} {s}")),
+    }
+}
+
 fn load(args: &[String]) -> Result<Graph, String> {
     let path = flag(args, "--input").ok_or("--input FILE is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -57,84 +74,70 @@ fn load(args: &[String]) -> Result<Graph, String> {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(|s| s.as_str()) {
         Some("solve") => solve(&args[1..]),
+        Some("algorithms") => algorithms(&args[1..]),
         Some("gen") => generate(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("scenario") => scenario(&args[1..]),
-        _ => Err("expected a subcommand: solve | gen | verify | simulate | scenario".into()),
+        _ => Err(
+            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario".into(),
+        ),
     }
+}
+
+/// Builds a [`SolveRequest`] from the shared solver flags (`solve` and
+/// `scenario` speak the same vocabulary; `scenario` then overrides the
+/// seed per run).
+fn request_from_flags(args: &[String], algorithm: &str) -> Result<SolveRequest, String> {
+    let mut req = SolveRequest::new(algorithm)
+        .epsilon(parse_flag(args, "--epsilon", 0.25)?)
+        .bandwidth(parse_flag(args, "--bandwidth", 1u32)?)
+        .fail_edges(parse_flag(args, "--fail-edges", 0u32)?)
+        .shards(parse_flag(args, "--shards", 0usize)?);
+    if let Some(seed) = flag(args, "--seed") {
+        req = req.seed(seed.parse().map_err(|_| format!("bad --seed {seed}"))?);
+    }
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms {ms}"))?;
+        req = req.deadline(Duration::from_millis(ms));
+    }
+    req = req.trace(match flag(args, "--trace") {
+        None | Some("silent") => TraceLevel::Silent,
+        Some("summary") => TraceLevel::Summary,
+        Some("full") => TraceLevel::Full,
+        Some(other) => return Err(format!("bad --trace {other}; options: silent, summary, full")),
+    });
+    Ok(req)
 }
 
 fn solve(args: &[String]) -> Result<(), String> {
     let g = load(args)?;
     let algorithm = flag(args, "--algorithm").unwrap_or("improved");
-    let epsilon: f64 = flag(args, "--epsilon")
-        .map(|s| s.parse().map_err(|_| format!("bad --epsilon {s}")))
-        .transpose()?
-        .unwrap_or(0.25);
+    let req = request_from_flags(args, algorithm)?;
+    let mut session = SolverSession::new();
+    let report = session.solve(&g, &req).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
 
-    let print_solution = |edges: &[EdgeId], label: &str, rounds: Option<u64>| {
-        let weight = g.weight_of(edges.iter().copied());
-        let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
-        println!("algorithm: {label}");
-        println!(
-            "edges: {}",
-            edges.iter().map(|e| e.0.to_string()).collect::<Vec<_>>().join(",")
-        );
-        println!("weight: {weight}");
-        if let Some(r) = rounds {
-            println!("simulated-rounds: {r}");
+/// Lists the solver registry: the stable `--algorithm` vocabulary.
+/// `--names` prints bare names only (one per line; CI drives the
+/// registry-wide smoke test with it).
+fn algorithms(args: &[String]) -> Result<(), String> {
+    let session = SolverSession::new();
+    if args.iter().any(|a| a == "--names") {
+        for name in session.registry().names() {
+            println!("{name}");
         }
-        println!("valid-2ecss: {valid}");
-    };
-
-    match algorithm {
-        "improved" | "basic" => {
-            let variant = if algorithm == "improved" {
-                Variant::Improved
-            } else {
-                Variant::Basic
-            };
-            let config = TwoEcssConfig { tap: TapConfig { epsilon, variant } };
-            let res = approximate_two_ecss(&g, &config).map_err(|e| e.to_string())?;
-            print_solution(&res.edges, algorithm, Some(res.ledger.total_rounds()));
-            println!("certified-ratio: {:.3}", res.certified_ratio());
-            println!("guarantee: {:.3}", config.tap.two_ecss_guarantee());
+    } else {
+        println!("registered algorithms (decss solve --algorithm NAME):");
+        for solver in session.registry().solvers() {
+            println!("  {:<16} {}", solver.name(), solver.description());
         }
-        "shortcut" => {
-            let res =
-                shortcut_two_ecss(&g, &ShortcutConfig::default()).map_err(|e| e.to_string())?;
-            print_solution(&res.edges, "shortcut (Theorem 1.2)", Some(res.ledger.total_rounds()));
-            println!("measured-sc: {}", res.measured_sc);
-            if let Some(worst) = res.level_quality.iter().max_by_key(|q| q.cost()) {
-                println!(
-                    "worst-level: alpha={} beta={} scheme={:?} ({} levels)",
-                    worst.alpha,
-                    worst.beta,
-                    worst.scheme,
-                    res.level_quality.len()
-                );
-            }
-        }
-        "greedy" => {
-            let tree = decss::tree::RootedTree::mst(&g);
-            let (aug, _) =
-                baselines::greedy_tap(&g, &tree).ok_or("graph is not 2-edge-connected")?;
-            let mut edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
-            edges.extend(aug);
-            edges.sort_unstable();
-            print_solution(&edges, "greedy baseline", None);
-        }
-        "unweighted" => {
-            let tree = decss::tree::RootedTree::mst(&g);
-            let res = decss::core::algorithm::approximate_tap_unweighted(&g, &tree)
-                .map_err(|e| e.to_string())?;
-            let mut edges: Vec<EdgeId> = g.edge_ids().filter(|&e| tree.is_tree_edge(e)).collect();
-            edges.extend(res.augmentation.iter().copied());
-            edges.sort_unstable();
-            print_solution(&edges, "unweighted (Section 3.6.1)", Some(res.ledger.total_rounds()));
-        }
-        other => return Err(format!("unknown --algorithm {other}")),
     }
     Ok(())
 }
@@ -145,26 +148,17 @@ fn solve(args: &[String]) -> Result<(), String> {
 fn simulate(args: &[String]) -> Result<(), String> {
     let g = load(args)?;
     let protocol = flag(args, "--protocol").ok_or("--protocol NAME is required")?;
-    let shards: usize = flag(args, "--shards")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| "bad --shards")?;
+    let shards: usize = parse_flag(args, "--shards", 0)?;
     let engine = if shards == 0 {
         RoundEngine::Sequential
     } else {
         RoundEngine::sharded(shards)
     };
-    let root: u32 = flag(args, "--root")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| "bad --root")?;
+    let root: u32 = parse_flag(args, "--root", 0)?;
     if root as usize >= g.n() {
         return Err(format!("--root {root} out of range (n = {})", g.n()));
     }
-    let bursts: u32 = flag(args, "--bursts")
-        .unwrap_or("8")
-        .parse()
-        .map_err(|_| "bad --bursts")?;
+    let bursts: u32 = parse_flag(args, "--bursts", 8)?;
 
     let start = std::time::Instant::now();
     let (summary, report): (String, SimReport) = match protocol {
@@ -217,14 +211,8 @@ fn generate(args: &[String]) -> Result<(), String> {
         .ok_or("--n N is required")?
         .parse()
         .map_err(|_| "bad --n")?;
-    let seed: u64 = flag(args, "--seed")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| "bad --seed")?;
-    let w: u64 = flag(args, "--max-weight")
-        .unwrap_or("64")
-        .parse()
-        .map_err(|_| "bad --max-weight")?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let w: u64 = parse_flag(args, "--max-weight", 64)?;
     let g = instance_by_label(family, n, w, seed)?;
     print!("{}", io::format_graph(&g));
     Ok(())
@@ -253,9 +241,13 @@ fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph,
     })
 }
 
-/// Runs the family × size × seed sweep over the 2-ECSS pipelines and
-/// emits one JSON document (stdout, or `--out FILE`). Per-run progress
-/// goes to stderr so the JSON stays clean.
+/// Runs the family × size × seed sweep through one reusable
+/// [`SolverSession`] (any registry algorithm) and emits one JSON
+/// document (stdout, or `--out FILE`). `--bandwidth B` rescales the
+/// reported rounds (B words per edge per round); `--fail-edges K`
+/// removes K seeded-random edges per run (keeping 2-edge-connectivity)
+/// before solving and reports which ones fell. Per-run progress goes to
+/// stderr so the JSON stays clean.
 fn scenario(args: &[String]) -> Result<(), String> {
     fn list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
         s.split(',')
@@ -277,19 +269,21 @@ fn scenario(args: &[String]) -> Result<(), String> {
         .split(',')
         .map(str::trim)
         .collect();
+    let mut session = SolverSession::new();
     for a in &algorithms {
-        if !matches!(*a, "shortcut" | "improved") {
-            return Err(format!("unknown algorithm {a}; scenario supports shortcut, improved"));
+        if session.registry().get(a).is_none() {
+            return Err(format!(
+                "unknown algorithm {a}; registered: {}",
+                session.registry().known()
+            ));
         }
     }
-    let w: u64 = flag(args, "--max-weight")
-        .unwrap_or("64")
-        .parse()
-        .map_err(|_| "bad --max-weight")?;
-    let epsilon: f64 = flag(args, "--epsilon")
-        .unwrap_or("0.25")
-        .parse()
-        .map_err(|_| "bad --epsilon")?;
+    let w: u64 = parse_flag(args, "--max-weight", 64)?;
+    // One flag vocabulary with `solve`: the shared helper parses every
+    // request knob (epsilon/bandwidth/fail-edges/shards/deadline/trace);
+    // this probe also feeds the sweep header.
+    let probe = request_from_flags(args, "probe")?;
+    let (epsilon, bandwidth, fail_edges) = (probe.epsilon, probe.bandwidth, probe.fail_edges);
 
     let quoted = |xs: &[&str]| xs.iter().map(|x| format!("\"{x}\"")).collect::<Vec<_>>().join(", ");
     let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -307,6 +301,8 @@ fn scenario(args: &[String]) -> Result<(), String> {
     json.push_str(&format!("    \"algorithms\": [{}],\n", quoted(&algorithms)));
     json.push_str(&format!("    \"max_weight\": {w},\n"));
     json.push_str(&format!("    \"epsilon\": {epsilon},\n"));
+    json.push_str(&format!("    \"bandwidth\": {bandwidth},\n"));
+    json.push_str(&format!("    \"fail_edges\": {fail_edges},\n"));
     json.push_str(&format!("    \"nproc\": {nproc}\n"));
     json.push_str("  },\n  \"runs\": [\n");
 
@@ -317,54 +313,16 @@ fn scenario(args: &[String]) -> Result<(), String> {
                 let g = instance_by_label(family, n, w, seed)?;
                 for &algorithm in &algorithms {
                     eprintln!("scenario: {family} n={n} seed={seed} {algorithm} ...");
-                    let start = std::time::Instant::now();
-                    let (edges, rounds, extra) = match algorithm {
-                        "shortcut" => {
-                            let res = shortcut_two_ecss(&g, &ShortcutConfig::default())
-                                .map_err(|e| format!("{family} n={n} seed={seed}: {e}"))?;
-                            let worst = res
-                                .level_quality
-                                .iter()
-                                .max_by_key(|q| q.cost())
-                                .copied()
-                                .expect("non-empty hierarchy");
-                            let extra = format!(
-                                ", \"measured_sc\": {}, \"alpha\": {}, \"beta\": {}, \
-                                 \"pass_cost\": {}, \"fallbacks\": {}",
-                                res.measured_sc,
-                                worst.alpha,
-                                worst.beta,
-                                res.pass_cost,
-                                res.fallbacks
-                            );
-                            (res.edges, res.ledger.total_rounds(), extra)
-                        }
-                        "improved" => {
-                            let config = TwoEcssConfig {
-                                tap: TapConfig { epsilon, variant: Variant::Improved },
-                            };
-                            let res = approximate_two_ecss(&g, &config)
-                                .map_err(|e| format!("{family} n={n} seed={seed}: {e}"))?;
-                            let extra = format!(
-                                ", \"certified_ratio\": {:.4}, \"guarantee\": {:.4}",
-                                res.certified_ratio(),
-                                config.tap.two_ecss_guarantee()
-                            );
-                            (res.edges, res.ledger.total_rounds(), extra)
-                        }
-                        _ => unreachable!("validated above"),
-                    };
-                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-                    let weight = g.weight_of(edges.iter().copied());
-                    let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
+                    // The run seed drives every randomized part of the
+                    // run: instance generation (above), the shortcut
+                    // sampling, and failure injection.
+                    let req = request_from_flags(args, algorithm)?.seed(seed);
+                    let report = session
+                        .solve(&g, &req)
+                        .map_err(|e| format!("{family} n={n} seed={seed} {algorithm}: {e}"))?;
                     rows.push(format!(
-                        "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"n\": {}, \
-                         \"m\": {}, \"seed\": {seed}, \"algorithm\": \"{algorithm}\", \
-                         \"weight\": {weight}, \"valid\": {valid}, \"edges\": {}, \
-                         \"rounds\": {rounds}, \"wall_ms\": {wall_ms:.3}{extra}}}",
-                        g.n(),
-                        g.m(),
-                        edges.len(),
+                        "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"seed\": {seed}, {}}}",
+                        report.json_fields()
                     ));
                 }
             }
@@ -400,11 +358,22 @@ fn verify(args: &[String]) -> Result<(), String> {
             return Err(format!("edge id {e} out of range (m = {})", g.m()));
         }
     }
-    let valid = algo::two_edge_connected_in(&g, edges.iter().copied());
-    println!("edges: {}", edges.len());
-    println!("weight: {}", g.weight_of(edges.iter().copied()));
-    println!("valid-2ecss: {valid}");
-    if !valid {
+    // An ad-hoc edge set rendered through the one report schema: no
+    // solver ran, so there is no lower bound (ratio pins to 1.0) and no
+    // round count.
+    let report = SolveReport {
+        algorithm: "verify".into(),
+        label: "verify (edge-set check)".into(),
+        n: g.n(),
+        m: g.m(),
+        weight: g.weight_of(edges.iter().copied()),
+        valid: algo::two_edge_connected_in(&g, edges.iter().copied()),
+        edges,
+        bandwidth: 1,
+        ..SolveReport::default()
+    };
+    print!("{}", report.render_text());
+    if !report.valid {
         return Err("the given edge set is not a spanning 2-edge-connected subgraph".into());
     }
     Ok(())

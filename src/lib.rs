@@ -17,32 +17,42 @@
 //!   (Theorem 1.1), its `(4+ε)` TAP engine, and the unweighted variant,
 //! * [`shortcuts`] — the low-congestion-shortcut framework and the
 //!   `O(log n)`-approximation in `Õ(SC(G)+D)` rounds (Theorem 1.2),
-//! * [`baselines`] — exact solvers and classical baselines.
+//! * [`baselines`] — exact solvers and classical baselines,
+//! * [`solver`] — the unified API over all of the above: the `Solver`
+//!   trait, the algorithm [`Registry`](solver::Registry), reusable
+//!   [`SolverSession`](solver::SolverSession)s, and the one
+//!   [`SolveReport`](solver::SolveReport) schema.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use decss::graphs::gen;
-//! use decss::core::{approximate_two_ecss, TwoEcssConfig};
+//! Every pipeline is a name in the registry; a solve is a request and an
+//! answer is a report:
 //!
-//! let network = gen::sparse_two_ec(64, 48, 100, 1);
-//! let result = approximate_two_ecss(&network, &TwoEcssConfig::default())?;
-//! assert!(decss::graphs::algo::two_edge_connected_in(
-//!     &network,
-//!     result.edges.iter().copied(),
-//! ));
+//! ```
+//! use decss::solver::{SolveRequest, SolverSession};
+//!
+//! let network = decss::graphs::gen::sparse_two_ec(64, 48, 100, 1);
+//! let mut session = SolverSession::new();
+//! let report = session.solve(&network, &SolveRequest::new("improved").epsilon(0.25))?;
+//! assert!(report.valid);
 //! println!(
 //!     "2-ECSS weight {} (certified within {:.2}x of optimal), {} CONGEST rounds",
-//!     result.total_weight(),
-//!     result.certified_ratio(),
-//!     result.ledger.total_rounds()
+//!     report.weight,
+//!     report.certified_ratio(),
+//!     report.rounds.unwrap_or(0),
 //! );
-//! # Ok::<(), decss::core::TapError>(())
+//! # Ok::<(), decss::solver::SolveError>(())
 //! ```
+//!
+//! The per-crate entry points (`core::approximate_two_ecss`,
+//! `shortcuts::shortcut_two_ecss`, ...) remain public as the underlying
+//! engines; the registry solvers are pinned byte-identical to them by
+//! the parity suite.
 
 pub use decss_baselines as baselines;
 pub use decss_congest as congest;
 pub use decss_core as core;
 pub use decss_graphs as graphs;
 pub use decss_shortcuts as shortcuts;
+pub use decss_solver as solver;
 pub use decss_tree as tree;

@@ -102,7 +102,8 @@ fn scenario_sweeps_the_grid_and_emits_json() {
     let written = std::fs::read_to_string(&path).expect("scenario file");
     assert!(written.contains("\"runs\": ["));
 
-    // Unknown algorithms and families are rejected.
+    // Unknown algorithms and families are rejected (with the registry
+    // vocabulary echoed back).
     let (_, err, ok) = decss(&[
         "scenario",
         "--families",
@@ -110,13 +111,162 @@ fn scenario_sweeps_the_grid_and_emits_json() {
         "--sizes",
         "16",
         "--algorithms",
-        "exact",
+        "mystery",
     ]);
     assert!(!ok);
     assert!(err.contains("unknown algorithm"));
+    assert!(err.contains("shortcut"), "error should list the registry: {err}");
     let (_, err, ok) = decss(&["scenario", "--families", "mystery", "--sizes", "16"]);
     assert!(!ok);
     assert!(err.contains("unknown family"));
+}
+
+#[test]
+fn algorithms_lists_the_registry_and_every_name_solves() {
+    let (out, _, ok) = decss(&["algorithms"]);
+    assert!(ok);
+    for name in ["improved", "basic", "shortcut", "greedy", "unweighted", "exact"] {
+        assert!(out.contains(name), "algorithms output misses {name}: {out}");
+    }
+
+    let (names, _, ok) = decss(&["algorithms", "--names"]);
+    assert!(ok);
+    let names: Vec<&str> = names.lines().collect();
+    assert!(names.len() >= 6, "{names:?}");
+
+    // Every registered name solves a small instance end to end (m = 12
+    // on a 3x3 grid, inside even the exact solver's edge cap).
+    let (graph_text, _, ok) = decss(&["gen", "--family", "grid", "--n", "9", "--seed", "1"]);
+    assert!(ok);
+    let path = tempfile("tiny-grid.graph", &graph_text);
+    let path = path.to_str().expect("utf8 path");
+    for name in &names {
+        let (out, err, ok) = decss(&["solve", "--input", path, "--algorithm", name]);
+        assert!(ok, "solve {name} failed: {err}");
+        assert!(out.contains("valid-2ecss: true"), "{name}: {out}");
+        assert!(out.contains("certified-ratio:"), "{name}: {out}");
+    }
+}
+
+#[test]
+fn solve_knobs_json_trace_and_deadline() {
+    let (graph_text, _, ok) = decss(&["gen", "--family", "grid", "--n", "36", "--seed", "5"]);
+    assert!(ok);
+    let path = tempfile("knobs-grid.graph", &graph_text);
+    let path = path.to_str().expect("utf8 path");
+
+    // --json emits the canonical SolveReport object.
+    let (out, err, ok) = decss(&["solve", "--input", path, "--algorithm", "shortcut", "--json"]);
+    assert!(ok, "{err}");
+    assert!(out.starts_with('{') && out.trim_end().ends_with('}'), "{out}");
+    assert!(out.contains("\"algorithm\": \"shortcut\""));
+    assert!(out.contains("\"measured_sc\":"));
+    assert!(out.contains("\"edge_ids\": ["));
+
+    // --bandwidth rescales rounds; --fail-edges removes seeded edges;
+    // --trace summary adds phase lines.
+    let (out, err, ok) = decss(&[
+        "solve",
+        "--input",
+        path,
+        "--algorithm",
+        "improved",
+        "--bandwidth",
+        "4",
+        "--fail-edges",
+        "2",
+        "--seed",
+        "3",
+        "--trace",
+        "summary",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("effective-rounds:"), "{out}");
+    assert!(out.contains("failed-edges:"), "{out}");
+    assert!(out.contains("trace: layers="), "{out}");
+    assert!(out.contains("valid-2ecss: true"), "{out}");
+
+    // The reported edges are in the *original* input's id space even
+    // after failure injection — they round-trip through verify.
+    let edges_line = out
+        .lines()
+        .find(|l| l.starts_with("edges: "))
+        .expect("edges line")
+        .trim_start_matches("edges: ")
+        .to_string();
+    let (vout, verr, vok) = decss(&["verify", "--input", path, "--edges", &edges_line]);
+    assert!(vok, "verify after fail-edges solve failed: {verr}");
+    assert!(vout.contains("valid-2ecss: true"));
+
+    // An impossible deadline fails fast with the unified error.
+    let (_, err, ok) = decss(&[
+        "solve",
+        "--input",
+        path,
+        "--algorithm",
+        "improved",
+        "--deadline-ms",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("deadline"), "{err}");
+
+    // The exact solver's size cap surfaces as a clean error on a big
+    // instance (6x6 grid has 60 edges > 22).
+    let (_, err, ok) = decss(&["solve", "--input", path, "--algorithm", "exact"]);
+    assert!(!ok);
+    assert!(err.contains("limited to"), "{err}");
+}
+
+#[test]
+fn scenario_bandwidth_and_failure_knobs_reach_the_sweep_json() {
+    let (out, err, ok) = decss(&[
+        "scenario",
+        "--families",
+        "grid",
+        "--sizes",
+        "49",
+        "--seeds",
+        "0,1",
+        "--algorithms",
+        "shortcut,greedy",
+        "--bandwidth",
+        "4",
+        "--fail-edges",
+        "2",
+    ]);
+    assert!(ok, "scenario failed: {err}");
+    assert!(out.contains("\"bandwidth\": 4"), "{out}");
+    assert!(out.contains("\"fail_edges\": 2"), "{out}");
+    assert!(out.contains("\"effective_rounds\":"), "{out}");
+    assert!(out.contains("\"failed_edges\": ["), "{out}");
+    // greedy has no round model: rows still render, with no rounds field.
+    assert_eq!(out.matches("\"algorithm\": \"greedy\"").count(), 2);
+    assert_eq!(out.matches("\"valid\": true").count(), 4, "{out}");
+    // Each seed removes its own edges deterministically.
+    let (again, _, ok) = decss(&[
+        "scenario",
+        "--families",
+        "grid",
+        "--sizes",
+        "49",
+        "--seeds",
+        "0,1",
+        "--algorithms",
+        "shortcut,greedy",
+        "--bandwidth",
+        "4",
+        "--fail-edges",
+        "2",
+    ]);
+    assert!(ok);
+    let strip_wall = |s: &str| {
+        s.lines()
+            .map(|l| l.split(", \"wall_ms\"").next().unwrap_or(l).to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_wall(&out), strip_wall(&again), "sweeps must be deterministic");
 }
 
 #[test]
