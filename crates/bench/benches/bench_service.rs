@@ -1,0 +1,123 @@
+//! Wall-clock of the batch solve service (`decss-service`) against the
+//! bare [`SolverSession`] it wraps:
+//!
+//! * `direct` — one solve per iteration on a long-lived session: the
+//!   floor the service overhead is measured against.
+//! * `single` — the same solve through a warm 1-worker service
+//!   (submit + queue + dispatch + join on every iteration).
+//! * `batch` — an 8-job mixed-seed batch through 1 and 2 workers
+//!   (`submit_batch` + `join_all`; on the single-core CI container the
+//!   2-worker row measures dispatch overhead, not parallel speedup —
+//!   see the ROADMAP "Multicore bench validation" caveat).
+//! * `dedup` — an 8-copy duplicate batch with the cache on vs. off:
+//!   the cache row pays one solve + 7 coalesced hits and is the
+//!   headline win of the instance cache.
+//!
+//! Measurements dump to `BENCH_service.json` (override with
+//! `DECSS_BENCH_JSON`) for the perf regression gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use decss_graphs::{gen, Graph};
+use decss_service::{ServiceConfig, SolveService};
+use decss_solver::{SolveRequest, SolverSession};
+use std::sync::Arc;
+
+const N: usize = 1_024;
+const BATCH: u64 = 8;
+
+fn instance() -> Arc<Graph> {
+    let side = (N as f64).sqrt().ceil() as usize;
+    Arc::new(gen::grid(side, side, 32, 0xBEEF))
+}
+
+fn service(workers: usize, cache_cap: usize) -> SolveService {
+    SolveService::new(
+        ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(64)
+            .cache_capacity(cache_cap),
+    )
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/dispatch");
+    group.sample_size(10);
+    let g = instance();
+
+    let mut session = SolverSession::new();
+    group.bench_with_input(BenchmarkId::new(format!("grid/{N}"), "direct"), &g, |b, g| {
+        b.iter(|| session.solve(g, &SolveRequest::new("shortcut").seed(1)).unwrap())
+    });
+
+    // Caching off: every iteration pays the full queue/dispatch/solve
+    // path, so the delta against `direct` is the service overhead.
+    let svc = service(1, 0);
+    group.bench_with_input(BenchmarkId::new(format!("grid/{N}"), "single"), &g, |b, g| {
+        b.iter(|| {
+            let id = svc.submit(Arc::clone(g), SolveRequest::new("shortcut").seed(1));
+            svc.join(id).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/batch");
+    group.sample_size(10);
+    let g = instance();
+    for workers in [1usize, 2] {
+        let svc = service(workers, 0);
+        group.bench_with_input(
+            BenchmarkId::new(format!("grid/{N}"), format!("workers{workers}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let ids = svc.submit_batch(
+                        (0..BATCH)
+                            .map(|seed| (Arc::clone(g), SolveRequest::new("shortcut").seed(seed))),
+                    );
+                    let results = svc.join_all(&ids);
+                    assert!(results.iter().all(|r| r.is_ok()));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/dedup");
+    group.sample_size(10);
+    let g = instance();
+    for (label, cache_cap) in [("nocache", 0usize), ("cache", 16)] {
+        let svc = service(2, cache_cap);
+        group.bench_with_input(BenchmarkId::new(format!("grid/{N}"), label), &g, |b, g| {
+            b.iter(|| {
+                // Fresh seed space per iteration would defeat the cache
+                // across iterations too; one fixed job repeated BATCH
+                // times measures exactly the dedup story (after the
+                // first iteration the cache row is BATCH hits, 0 solves
+                // — the steady state of a hot instance).
+                let ids = svc.submit_batch(
+                    (0..BATCH).map(|_| (Arc::clone(g), SolveRequest::new("shortcut").seed(7))),
+                );
+                let results = svc.join_all(&ids);
+                assert!(results.iter().all(|r| r.is_ok()));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_batch, bench_dedup);
+
+// Custom main instead of criterion_main!: after the run it dumps the
+// measurements to BENCH_service.json for the perf gate.
+fn main() {
+    let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_string()
+    });
+    let mut c = Criterion::default();
+    benches(&mut c);
+    decss_bench::benchjson::dump("service", &c.measurements, &path);
+}

@@ -1,0 +1,247 @@
+//! [`InstanceCache`]: memoized [`SolveReport`]s keyed by
+//! [`JobKey`] (graph fingerprint + normalized request).
+//!
+//! Duplicate jobs are *coalesced*, not just memoized: the first job to
+//! claim a key solves it while later duplicates park on the entry and
+//! wake when the report lands, so a burst of identical requests costs
+//! one solve no matter how many workers pick them up concurrently.
+//! That is what makes "cache hits == duplicate count" a property the
+//! stress suite can assert instead of a racy best case.
+
+use crate::key::JobKey;
+use decss_solver::SolveReport;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+enum Slot {
+    /// A worker claimed the key and is solving it now.
+    Pending,
+    /// The finished report (wall clock as measured by the filling job;
+    /// consumers restamp). Boxed: a `SolveReport` is several hundred
+    /// bytes and the enum sits in a `HashMap` slot.
+    Ready(Box<SolveReport>),
+}
+
+struct Inner {
+    slots: HashMap<JobKey, Slot>,
+    /// Ready keys, least-recently-used first. Pending entries are never
+    /// evicted — they are owed to parked waiters.
+    lru: VecDeque<JobKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The outcome of [`InstanceCache::lookup_or_claim`].
+pub enum Lookup {
+    /// The key was cached: here is the report (restamp `wall_ms`
+    /// yourself; the flag lives on the job result, not the report).
+    Hit(Box<SolveReport>),
+    /// The key is now claimed by the caller, who must follow up with
+    /// [`fill`](InstanceCache::fill) on success or
+    /// [`abandon`](InstanceCache::abandon) on error — parked duplicates
+    /// wait on that call.
+    Claimed,
+}
+
+/// A bounded, thread-safe cache of solve results keyed by
+/// `(graph fingerprint, normalized request)`. Capacity counts ready
+/// entries and evicts least-recently-used; capacity `0` disables
+/// caching entirely (every lookup claims, every fill is a no-op).
+pub struct InstanceCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl InstanceCache {
+    /// A cache holding up to `capacity` reports (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                lru: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Whether caching is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up `key`, parking on an in-flight duplicate until its
+    /// report lands. Returns [`Lookup::Hit`] with the cached report, or
+    /// [`Lookup::Claimed`] — the caller now owns solving the key.
+    pub fn lookup_or_claim(&self, key: &JobKey) -> Lookup {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if self.capacity == 0 {
+            inner.misses += 1;
+            return Lookup::Claimed;
+        }
+        loop {
+            match inner.slots.get(key) {
+                Some(Slot::Ready(report)) => {
+                    let report = report.clone();
+                    inner.hits += 1;
+                    let pos = inner.lru.iter().position(|k| k == key).expect("ready key in lru");
+                    inner.lru.remove(pos);
+                    inner.lru.push_back(key.clone());
+                    return Lookup::Hit(report);
+                }
+                Some(Slot::Pending) => {
+                    inner = self.ready.wait(inner).expect("cache lock");
+                }
+                None => {
+                    inner.slots.insert(key.clone(), Slot::Pending);
+                    inner.misses += 1;
+                    return Lookup::Claimed;
+                }
+            }
+        }
+    }
+
+    /// Publishes the report for a claimed key, waking parked
+    /// duplicates, and evicts least-recently-used entries beyond the
+    /// capacity.
+    pub fn fill(&self, key: &JobKey, report: SolveReport) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.slots.insert(key.clone(), Slot::Ready(Box::new(report)));
+        inner.lru.push_back(key.clone());
+        while inner.lru.len() > self.capacity {
+            let evicted = inner.lru.pop_front().expect("over-capacity lru");
+            inner.slots.remove(&evicted);
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Releases a claimed key without a report (the solve failed).
+    /// Parked duplicates wake and the next one claims the key itself.
+    pub fn abandon(&self, key: &JobKey) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        debug_assert!(matches!(inner.slots.get(key), Some(Slot::Pending)));
+        inner.slots.remove(key);
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Lookups served from a ready entry (including parked duplicates
+    /// that woke on a fill).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cache lock").hits
+    }
+
+    /// Lookups that claimed the key (i.e. paid for a solve).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cache lock").misses
+    }
+
+    /// Ready entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").lru.len()
+    }
+
+    /// Whether the cache holds no ready entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> JobKey {
+        JobKey { fingerprint: tag, request: format!("req-{tag}") }
+    }
+
+    fn report(weight: u64) -> SolveReport {
+        SolveReport { algorithm: "test".into(), weight, ..SolveReport::default() }
+    }
+
+    #[test]
+    fn claim_fill_hit_round_trip() {
+        let cache = InstanceCache::new(4);
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Claimed));
+        cache.fill(&key(1), report(42));
+        match cache.lookup_or_claim(&key(1)) {
+            Lookup::Hit(r) => assert_eq!(r.weight, 42),
+            Lookup::Claimed => panic!("expected a hit"),
+        }
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = InstanceCache::new(0);
+        assert!(!cache.enabled());
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Claimed));
+        cache.fill(&key(1), report(1));
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Claimed));
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_ready_entry() {
+        let cache = InstanceCache::new(2);
+        for tag in [1, 2] {
+            assert!(matches!(cache.lookup_or_claim(&key(tag)), Lookup::Claimed));
+            cache.fill(&key(tag), report(tag));
+        }
+        // Touch 1 so 2 is the LRU victim when 3 lands.
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_claim(&key(3)), Lookup::Claimed));
+        cache.fill(&key(3), report(3));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Hit(_)));
+        assert!(
+            matches!(cache.lookup_or_claim(&key(2)), Lookup::Claimed),
+            "2 was evicted"
+        );
+    }
+
+    #[test]
+    fn parked_duplicates_wake_on_fill_and_count_as_hits() {
+        let cache = std::sync::Arc::new(InstanceCache::new(4));
+        assert!(matches!(cache.lookup_or_claim(&key(7)), Lookup::Claimed));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || match cache.lookup_or_claim(&key(7)) {
+                    Lookup::Hit(r) => r.weight,
+                    Lookup::Claimed => panic!("duplicate must wait for the fill"),
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cache.fill(&key(7), report(99));
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 99);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (3, 1));
+    }
+
+    #[test]
+    fn abandon_lets_the_next_duplicate_claim() {
+        let cache = std::sync::Arc::new(InstanceCache::new(4));
+        assert!(matches!(cache.lookup_or_claim(&key(5)), Lookup::Claimed));
+        let waiter = {
+            let cache = std::sync::Arc::clone(&cache);
+            std::thread::spawn(move || matches!(cache.lookup_or_claim(&key(5)), Lookup::Claimed))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cache.abandon(&key(5));
+        assert!(waiter.join().unwrap(), "after an abandon the waiter claims the key");
+    }
+}

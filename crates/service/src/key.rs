@@ -1,0 +1,117 @@
+//! Cache keys: a structural [`graph fingerprint`](graph_fingerprint)
+//! plus the normalized result-shaping knobs of a [`SolveRequest`].
+
+use decss_graphs::Graph;
+use decss_solver::SolveRequest;
+
+/// FNV-1a over a stream of `u64` words: small, dependency-free, and
+/// stable across runs/platforms (no randomized hasher state), which is
+/// what a cache key that may be logged or asserted on needs.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// A structural fingerprint of a graph: vertex count, edge count, and
+/// every `(u, v, weight)` triple in id order. Two graphs share a
+/// fingerprint exactly when they are the same labelled weighted graph
+/// (up to the astronomically unlikely 64-bit collision), so it is the
+/// graph half of an [`InstanceCache`](crate::InstanceCache) key.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv::new();
+    h.word(g.n() as u64);
+    h.word(g.m() as u64);
+    for (_, e) in g.edges() {
+        h.word(e.u.0 as u64);
+        h.word(e.v.0 as u64);
+        h.word(e.weight);
+    }
+    h.0
+}
+
+/// The full cache key of one job: the graph fingerprint plus the
+/// normalized request. Two jobs with equal keys produce byte-identical
+/// [`SolveReport`](decss_solver::SolveReport)s (modulo the wall clock),
+/// because every solver in the registry is deterministic in
+/// `(graph, request)`.
+///
+/// Normalization keeps exactly the knobs that shape the report —
+/// algorithm, epsilon, variant, seed, shards, bandwidth, fail-edges,
+/// trace level — and drops the ones that only decide *whether* the
+/// solve finishes (deadline, cancellation flag), so a request that
+/// carries a budget still hits the cache entry its unbudgeted twin
+/// filled.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct JobKey {
+    /// [`graph_fingerprint`] of the instance.
+    pub fingerprint: u64,
+    /// The normalized request, rendered to a canonical string.
+    pub request: String,
+}
+
+impl JobKey {
+    /// The key of `(g, req)`.
+    pub fn new(g: &Graph, req: &SolveRequest) -> Self {
+        // `params_echo` covers epsilon/variant/seed/shards/bandwidth/
+        // fail_edges with defaults spelled out; algorithm and trace are
+        // the two result-shaping knobs it omits.
+        let request = format!("{} {} trace={:?}", req.algorithm, req.params_echo(), req.trace);
+        JobKey { fingerprint: graph_fingerprint(g), request }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decss_graphs::gen;
+    use decss_solver::TraceLevel;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fingerprint_separates_structure_and_weights() {
+        let a = gen::grid(4, 4, 20, 7);
+        let b = gen::grid(4, 4, 20, 7);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+        // Different weights (other seed) and different structure both
+        // change the fingerprint.
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&gen::grid(4, 4, 20, 8)));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&gen::grid(4, 5, 20, 7)));
+    }
+
+    #[test]
+    fn keys_normalize_away_budget_knobs_only() {
+        let g = gen::cycle(6, 9, 0);
+        let base = SolveRequest::new("shortcut").seed(3);
+        let budgeted = SolveRequest::new("shortcut")
+            .seed(3)
+            .deadline(Duration::from_secs(5))
+            .cancel_flag(Arc::new(AtomicBool::new(false)));
+        assert_eq!(JobKey::new(&g, &base), JobKey::new(&g, &budgeted));
+        // Every result-shaping knob splits the key.
+        for other in [
+            SolveRequest::new("improved").seed(3),
+            SolveRequest::new("shortcut").seed(4),
+            SolveRequest::new("shortcut").seed(3).epsilon(0.5),
+            SolveRequest::new("shortcut").seed(3).bandwidth(4),
+            SolveRequest::new("shortcut").seed(3).fail_edges(1),
+            SolveRequest::new("shortcut").seed(3).trace(TraceLevel::Summary),
+        ] {
+            assert_ne!(JobKey::new(&g, &base), JobKey::new(&g, &other), "{other:?}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! [`ServiceLog`]: the append-only accountability log of job
+//! submit/start/finish events, in the spirit of accountable
+//! request/response logs — after a batch, the log alone is enough to
+//! audit that every submitted job was started and finished exactly
+//! once, in a causally consistent order.
+
+use crate::JobId;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened to a job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// The job entered the queue.
+    Submitted,
+    /// A worker dequeued the job and took ownership of it.
+    Started {
+        /// Index of the worker that picked the job up.
+        worker: usize,
+    },
+    /// The job completed (successfully or with an error).
+    Finished {
+        /// Whether the report came from the instance cache.
+        cache_hit: bool,
+        /// Whether the job produced a report (`false` = `SolveError`).
+        ok: bool,
+    },
+}
+
+/// One log entry: a sequence number (total order over all events), the
+/// job it concerns, a monotonic timestamp relative to service start,
+/// and the event itself.
+#[derive(Clone, Copy, Debug)]
+pub struct LogEvent {
+    /// Position in the total event order (dense from 0).
+    pub seq: u64,
+    /// The job this event concerns.
+    pub job: JobId,
+    /// Microseconds since the log (= service) was created.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only, totally ordered event log. Events are only ever added;
+/// [`snapshot`](ServiceLog::snapshot) clones the current prefix and
+/// [`audit`](ServiceLog::audit) checks the per-job lifecycle invariant.
+pub struct ServiceLog {
+    start: Instant,
+    events: Mutex<Vec<LogEvent>>,
+}
+
+impl Default for ServiceLog {
+    fn default() -> Self {
+        ServiceLog::new()
+    }
+}
+
+impl ServiceLog {
+    /// An empty log; timestamps count from now.
+    pub fn new() -> Self {
+        ServiceLog { start: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Appends one event, stamping the sequence number and clock.
+    pub fn record(&self, job: JobId, kind: EventKind) {
+        let mut events = self.events.lock().expect("log lock");
+        // Clock read under the lock: stamping before acquisition would
+        // let a preempted writer record a *later* seq with an *earlier*
+        // timestamp, breaking the total order the log promises.
+        let at_us = self.start.elapsed().as_micros() as u64;
+        let seq = events.len() as u64;
+        events.push(LogEvent { seq, job, at_us, kind });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("log lock").len()
+    }
+
+    /// Whether no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A clone of the current event prefix, in sequence order.
+    pub fn snapshot(&self) -> Vec<LogEvent> {
+        self.events.lock().expect("log lock").clone()
+    }
+
+    /// Audits the per-job lifecycle: every job that appears must have
+    /// exactly one `Submitted`, one `Started`, and one `Finished`
+    /// event, in that sequence order — i.e. no job was lost, none was
+    /// double-completed. Returns the number of audited jobs.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first offending job.
+    pub fn audit(&self) -> Result<usize, String> {
+        let events = self.snapshot();
+        // Per job: bitmask of phases seen, in required order.
+        let mut phases: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for e in &events {
+            let entry = phases.entry(e.job.0).or_insert(0);
+            let (bit, required) = match e.kind {
+                EventKind::Submitted => (1, 0),
+                EventKind::Started { .. } => (2, 1),
+                EventKind::Finished { .. } => (4, 3),
+            };
+            if *entry & bit != 0 {
+                return Err(format!("job {} has a duplicate {:?} event", e.job.0, e.kind));
+            }
+            if *entry != required {
+                return Err(format!(
+                    "job {} event {:?} out of order (phases seen: {entry:#b})",
+                    e.job.0, e.kind
+                ));
+            }
+            *entry |= bit;
+        }
+        for (job, mask) in &phases {
+            if *mask != 7 {
+                return Err(format!("job {job} is incomplete (phases seen: {mask:#b})"));
+            }
+        }
+        Ok(phases.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_total_order_and_audits_clean() {
+        let log = ServiceLog::new();
+        for id in [0, 1] {
+            log.record(JobId(id), EventKind::Submitted);
+        }
+        log.record(JobId(1), EventKind::Started { worker: 0 });
+        log.record(JobId(1), EventKind::Finished { cache_hit: false, ok: true });
+        log.record(JobId(0), EventKind::Started { worker: 1 });
+        log.record(JobId(0), EventKind::Finished { cache_hit: true, ok: true });
+        let events = log.snapshot();
+        assert_eq!(events.len(), 6);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(log.audit(), Ok(2));
+    }
+
+    #[test]
+    fn audit_catches_lost_and_double_completed_jobs() {
+        let lost = ServiceLog::new();
+        lost.record(JobId(3), EventKind::Submitted);
+        assert!(lost.audit().unwrap_err().contains("incomplete"));
+
+        let doubled = ServiceLog::new();
+        doubled.record(JobId(4), EventKind::Submitted);
+        doubled.record(JobId(4), EventKind::Started { worker: 0 });
+        doubled.record(JobId(4), EventKind::Finished { cache_hit: false, ok: true });
+        doubled.record(JobId(4), EventKind::Finished { cache_hit: false, ok: true });
+        assert!(doubled.audit().unwrap_err().contains("duplicate"));
+
+        let unsubmitted = ServiceLog::new();
+        unsubmitted.record(JobId(5), EventKind::Started { worker: 0 });
+        assert!(unsubmitted.audit().unwrap_err().contains("out of order"));
+    }
+}

@@ -1,0 +1,142 @@
+//! [`JobQueue`]: the bounded MPMC channel between submitters and
+//! workers, built on `Mutex` + two `Condvar`s (the workspace is offline
+//! and vendors no channel crate). Backpressure is blocking: a full
+//! queue parks the submitter instead of dropping or buffering
+//! unboundedly — under heavy traffic the queue depth, not the heap, is
+//! the knob.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// * [`push`](JobQueue::push) blocks while the queue is at capacity
+///   (backpressure) and returns the item back on a closed queue;
+/// * [`pop`](JobQueue::pop) blocks while the queue is empty and returns
+///   `None` once the queue is closed *and* drained — so closing lets
+///   workers finish the backlog before exiting.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (a racy snapshot, for stats).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns
+    /// `Err(item)` if the queue was closed before space opened up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail,
+    /// and blocked poppers wake up empty-handed once the backlog is
+    /// gone.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = JobQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.depth(), 4);
+        assert_eq!(
+            (q.pop(), q.pop(), q.pop(), q.pop()),
+            (Some(0), Some(1), Some(2), Some(3))
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_the_producer_until_a_pop() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is parked on the full queue; popping frees it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        assert_eq!(JobQueue::<u8>::new(0).capacity(), 1);
+    }
+}

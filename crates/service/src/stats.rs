@@ -1,0 +1,213 @@
+//! Service statistics: counters, hit rates, and per-algorithm latency
+//! histograms, snapshotted into one [`Stats`] value the CLI renders
+//! into the `"service"` header of its JSON documents.
+
+use std::fmt::Write as _;
+
+/// A power-of-two latency histogram over microseconds: bucket `i`
+/// counts solves that took `[2^i, 2^(i+1))` µs (bucket 0 also holds 0
+/// and 1 µs). 40 buckets cover up to ~12 days — effectively unbounded
+/// for a solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 40],
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // Derived Default stops at 32-element arrays.
+        LatencyHistogram { buckets: [0; 40], count: 0, total_us: 0, max_us: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, us: u64) {
+        let bucket = (64 - us.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Largest sample in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
+
+    /// Compact non-empty-bucket rendering, e.g. `"64us:2 128us:5"`
+    /// (each label is the bucket's lower bound).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{}us:{n}", 1u64 << i);
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time snapshot of the service: what `SolveService::stats`
+/// returns and the CLI's JSON documents embed.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Queue capacity (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Instance-cache capacity (`0` = caching disabled).
+    pub cache_capacity: usize,
+    /// Ready reports currently cached.
+    pub cache_entries: usize,
+    /// Jobs accepted by `submit` so far.
+    pub submitted: u64,
+    /// Jobs that finished with a report.
+    pub completed: u64,
+    /// Jobs that finished with a `SolveError` (including cancellations
+    /// and queue-expired deadlines).
+    pub failed: u64,
+    /// Jobs served from the instance cache.
+    pub cache_hits: u64,
+    /// Jobs that paid for a fresh solve.
+    pub cache_misses: u64,
+    /// Per-algorithm latency histograms of completed jobs (registry
+    /// name, histogram), in first-seen order. Cache hits are recorded
+    /// too — serving time is latency the caller saw.
+    pub latency: Vec<(String, LatencyHistogram)>,
+}
+
+impl Stats {
+    /// Cache hits over all cache lookups (0.0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as the fields of one JSON object (no surrounding
+    /// braces), for embedding as the `"service"` header of a batch
+    /// document. Latency fields are wall-clock and therefore
+    /// nondeterministic; everything before `"latency"` is stable for a
+    /// fixed job list.
+    pub fn json_fields(&self) -> String {
+        let mut out = format!(
+            "\"workers\": {}, \"queue_capacity\": {}, \"queue_depth\": {}, \
+             \"cache_capacity\": {}, \"cache_entries\": {}, \"submitted\": {}, \
+             \"completed\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"hit_rate\": {:.4}",
+            self.workers,
+            self.queue_capacity,
+            self.queue_depth,
+            self.cache_capacity,
+            self.cache_entries,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+        );
+        out.push_str(", \"latency\": [");
+        for (i, (algorithm, h)) in self.latency.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"algorithm\": \"{}\", \"count\": {}, \"mean_ms\": {:.3}, \
+                 \"max_ms\": {:.3}, \"histogram\": \"{}\"}}",
+                if i == 0 { "" } else { ", " },
+                decss_solver::json::escape(algorithm),
+                h.count(),
+                h.mean_ms(),
+                h.max_ms(),
+                h.render(),
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = LatencyHistogram::new();
+        for us in [0, 1, 2, 3, 64, 65, 127, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_ms(), 1000.0);
+        let rendered = h.render();
+        // 0,1 land in the 1us bucket; 2,3 in 2us; 64..127 in 64us.
+        assert_eq!(rendered, "1us:2 2us:2 64us:3 524288us:1", "{rendered}");
+        assert!((h.mean_ms() - (1_000_262.0 / 8.0 / 1e3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut s = Stats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 1;
+        s.cache_misses = 3;
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_fields_render_the_stable_schema() {
+        let mut s = Stats {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            submitted: 3,
+            completed: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            ..Stats::default()
+        };
+        let mut h = LatencyHistogram::new();
+        h.record(1500);
+        s.latency.push(("shortcut".into(), h));
+        let json = format!("{{{}}}", s.json_fields());
+        for field in [
+            "\"workers\": 2",
+            "\"hit_rate\": 0.3333",
+            "\"latency\": [{\"algorithm\": \"shortcut\", \"count\": 1",
+            "\"histogram\": \"1024us:1\"",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+}

@@ -35,6 +35,17 @@ pub enum SolveError {
     Cancelled,
     /// The request's deadline passed before the solve finished.
     DeadlineExceeded,
+    /// The request's deadline passed while the job was still waiting in
+    /// a service queue: the solve never started. Distinct from
+    /// [`DeadlineExceeded`](SolveError::DeadlineExceeded) so batch
+    /// consumers can tell "too slow" from "never scheduled in time"
+    /// (queue sizing vs. algorithm choice).
+    ExpiredInQueue,
+    /// The solve aborted on an internal invariant failure (a panic
+    /// inside the solver, caught and surfaced by a service worker so
+    /// one poisoned job cannot wedge a batch). The message carries the
+    /// panic payload when it was a string.
+    Internal(String),
 }
 
 impl fmt::Display for SolveError {
@@ -53,6 +64,10 @@ impl fmt::Display for SolveError {
             }
             SolveError::Cancelled => write!(f, "solve cancelled"),
             SolveError::DeadlineExceeded => write!(f, "solve deadline exceeded"),
+            SolveError::ExpiredInQueue => {
+                write!(f, "solve deadline expired while the job was queued")
+            }
+            SolveError::Internal(msg) => write!(f, "internal solver failure: {msg}"),
         }
     }
 }
@@ -90,6 +105,8 @@ mod tests {
             SolveError::TooLarge { algorithm: "exact", limit: 22, got: 30, unit: "edges" },
             SolveError::Cancelled,
             SolveError::DeadlineExceeded,
+            SolveError::ExpiredInQueue,
+            SolveError::Internal("sliced bread panic".into()),
         ] {
             assert!(!format!("{e}").is_empty());
         }

@@ -12,22 +12,32 @@
 //! decss simulate   --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
 //! decss scenario   --families grid,hard-sqrt --sizes 1000,10000 [--seeds 0,1] \
 //!                  [--algorithms shortcut,improved] [--epsilon 0.25] [--max-weight 64] \
-//!                  [--bandwidth B] [--fail-edges K] [--out runs.json]
+//!                  [--bandwidth B] [--fail-edges K] [--workers K] [--cache-cap N] \
+//!                  [--out runs.json]
+//! decss serve      --jobs jobs.json [--workers K] [--cache-cap N] [--queue-cap N] \
+//!                  [--out reports.json]
 //! ```
 //!
 //! Every algorithm subcommand routes through the unified
 //! [`decss::solver`] API: `solve` resolves `--algorithm` in the solver
 //! [`Registry`](decss::solver::Registry) (see `decss algorithms` for the
-//! vocabulary), `scenario` drives the family × size × seed sweep through
-//! one reusable [`SolverSession`](decss::solver::SolverSession), and all
-//! reports render through the one `SolveReport` schema (text or
-//! `--json`).
+//! vocabulary), and all reports render through the one `SolveReport`
+//! schema (text or `--json`). The batch subcommands — `serve`, which
+//! reads a JSON array of job specs, and `scenario`, which expands a
+//! family × size × seed sweep grid — both run their jobs through a
+//! [`SolveService`](decss::service::SolveService) worker pool, so they
+//! get multi-worker dispatch, duplicate-job caching, queue-time
+//! deadlines, and per-algorithm latency stats for free, and emit one
+//! JSON document of reports plus service stats.
 
 use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
 use decss::graphs::{algo, gen, io, EdgeId, Graph, VertexId};
+use decss::service::{ServiceConfig, SolveService};
+use decss::solver::json::{number_field, string_field};
 use decss::solver::{SolveReport, SolveRequest, SolverSession, TraceLevel};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -43,7 +53,8 @@ fn main() -> ExitCode {
             eprintln!("  decss gen        --family NAME --n N [--seed S] [--max-weight W]");
             eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
             eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
-            eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--out FILE]");
+            eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--workers K] [--cache-cap N] [--out FILE]");
+            eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE]");
             eprintln!();
             eprintln!("run `decss algorithms` for the solver registry NAMEs.");
             ExitCode::from(2)
@@ -79,8 +90,10 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("verify") => verify(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("scenario") => scenario(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         _ => Err(
-            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario".into(),
+            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve"
+                .into(),
         ),
     }
 }
@@ -241,13 +254,16 @@ fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph,
     })
 }
 
-/// Runs the family × size × seed sweep through one reusable
-/// [`SolverSession`] (any registry algorithm) and emits one JSON
-/// document (stdout, or `--out FILE`). `--bandwidth B` rescales the
-/// reported rounds (B words per edge per round); `--fail-edges K`
-/// removes K seeded-random edges per run (keeping 2-edge-connectivity)
-/// before solving and reports which ones fell. Per-run progress goes to
-/// stderr so the JSON stays clean.
+/// Runs the family × size × seed sweep through a [`SolveService`] (any
+/// registry algorithm) and emits one JSON document (stdout, or `--out
+/// FILE`). `--bandwidth B` rescales the reported rounds (B words per
+/// edge per round); `--fail-edges K` removes K seeded-random edges per
+/// run (keeping 2-edge-connectivity) before solving and reports which
+/// ones fell; `--workers K` dispatches the grid over K warm solver
+/// sessions and `--cache-cap N` sizes the duplicate-job cache (rows
+/// stay in grid order and are byte-identical to a single-session sweep
+/// except `wall_ms`). Per-run progress goes to stderr so the JSON
+/// stays clean.
 fn scenario(args: &[String]) -> Result<(), String> {
     fn list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
         s.split(',')
@@ -269,16 +285,15 @@ fn scenario(args: &[String]) -> Result<(), String> {
         .split(',')
         .map(str::trim)
         .collect();
-    let mut session = SolverSession::new();
+    let registry = decss::solver::Registry::standard();
     for a in &algorithms {
-        if session.registry().get(a).is_none() {
-            return Err(format!(
-                "unknown algorithm {a}; registered: {}",
-                session.registry().known()
-            ));
+        if registry.get(a).is_none() {
+            return Err(format!("unknown algorithm {a}; registered: {}", registry.known()));
         }
     }
     let w: u64 = parse_flag(args, "--max-weight", 64)?;
+    let workers: usize = parse_flag(args, "--workers", 1)?;
+    let cache_cap: usize = parse_flag(args, "--cache-cap", 128)?;
     // One flag vocabulary with `solve`: the shared helper parses every
     // request knob (epsilon/bandwidth/fail-edges/shards/deadline/trace);
     // this probe also feeds the sweep header.
@@ -303,31 +318,59 @@ fn scenario(args: &[String]) -> Result<(), String> {
     json.push_str(&format!("    \"epsilon\": {epsilon},\n"));
     json.push_str(&format!("    \"bandwidth\": {bandwidth},\n"));
     json.push_str(&format!("    \"fail_edges\": {fail_edges},\n"));
-    json.push_str(&format!("    \"nproc\": {nproc}\n"));
+    json.push_str(&format!("    \"nproc\": {nproc},\n"));
+    json.push_str(&format!("    \"workers\": {workers}\n"));
     json.push_str("  },\n  \"runs\": [\n");
 
-    let mut rows: Vec<String> = Vec::new();
+    // The whole grid goes through one SolveService: K warm sessions
+    // drain the queue while this thread submits, duplicate cells
+    // coalesce in the instance cache, and joining in submission order
+    // keeps the rows in grid order — byte-identical to the old
+    // single-session sweep (modulo `wall_ms`) by the service's
+    // determinism contract.
+    // Per-solve deadline semantics (`deadline_from_submit(false)`): a
+    // sweep submits its whole grid up front, so queue position is a
+    // batching artifact — `--deadline-ms` budgets each *run*, exactly
+    // as the pre-service sweep did.
+    let service = SolveService::new(
+        ServiceConfig::default()
+            .workers(workers)
+            .cache_capacity(cache_cap)
+            .deadline_from_submit(false),
+    );
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
     for &family in &families {
         for &n in &sizes {
             for &seed in &seeds {
-                let g = instance_by_label(family, n, w, seed)?;
+                let g = Arc::new(instance_by_label(family, n, w, seed)?);
                 for &algorithm in &algorithms {
                     eprintln!("scenario: {family} n={n} seed={seed} {algorithm} ...");
                     // The run seed drives every randomized part of the
                     // run: instance generation (above), the shortcut
                     // sampling, and failure injection.
                     let req = request_from_flags(args, algorithm)?.seed(seed);
-                    let report = session
-                        .solve(&g, &req)
-                        .map_err(|e| format!("{family} n={n} seed={seed} {algorithm}: {e}"))?;
-                    rows.push(format!(
-                        "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"seed\": {seed}, {}}}",
-                        report.json_fields()
-                    ));
+                    jobs.push(service.submit(Arc::clone(&g), req));
+                    labels.push((family, n, seed, algorithm));
                 }
             }
         }
     }
+    let mut rows: Vec<String> = Vec::new();
+    for (result, (family, n, seed, algorithm)) in service.join_all(&jobs).into_iter().zip(labels) {
+        let outcome = result.map_err(|e| format!("{family} n={n} seed={seed} {algorithm}: {e}"))?;
+        rows.push(format!(
+            "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"seed\": {seed}, {}}}",
+            outcome.report.json_fields()
+        ));
+    }
+    let stats = service.stats();
+    eprintln!(
+        "scenario: {} runs on {} worker(s), {} cache hit(s)",
+        rows.len(),
+        stats.workers,
+        stats.cache_hits
+    );
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
@@ -337,6 +380,206 @@ fn scenario(args: &[String]) -> Result<(), String> {
             eprintln!("scenario: wrote {} runs to {path}", rows.len());
         }
         None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// One parsed job spec from a `--jobs` file: the instance, the request,
+/// and the echo fields its output row carries.
+struct JobSpec {
+    /// Family label or input path (row echo).
+    family: String,
+    requested_n: usize,
+    seed: u64,
+    graph: Arc<Graph>,
+    req: SolveRequest,
+}
+
+/// Parses a `decss serve --jobs` file: a JSON array with one job object
+/// per line. Each job names an `"algorithm"` plus an instance — either
+/// a generated one (`"family"` + `"n"`, optional `"seed"` /
+/// `"max_weight"`) or a graph file (`"input"`) — and optionally the
+/// request knobs `"epsilon"`, `"bandwidth"`, `"fail_edges"`,
+/// `"deadline_ms"`. Identical instance specs share one in-memory graph.
+fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut graphs: std::collections::HashMap<String, Arc<Graph>> =
+        std::collections::HashMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let at = |msg: String| format!("jobs line {}: {msg}", idx + 1);
+        if !line.contains("\"algorithm\"") {
+            if line.contains('{') {
+                return Err(at("job object lacks an \"algorithm\" field".into()));
+            }
+            continue; // array brackets / blank lines
+        }
+        if line.matches('{').count() > 1 {
+            // A compacted array (e.g. `jq -c` output) would otherwise
+            // silently collapse into one job built from the first
+            // occurrence of each field.
+            return Err(at(
+                "multiple job objects on one line; the format is one job object per line".into(),
+            ));
+        }
+        let algorithm = string_field(line, "algorithm")
+            .ok_or_else(|| at("malformed \"algorithm\" field".into()))?;
+        // A key that is present but fails the strict `"key": value`
+        // scan must error, not silently drop the knob — a swallowed
+        // `fail_edges` or `deadline_ms` changes what the job *means*.
+        let num = |key: &str| -> Result<Option<f64>, String> {
+            match number_field(line, key) {
+                Some(v) => Ok(Some(v)),
+                None if line.contains(&format!("\"{key}\"")) => Err(at(format!(
+                    "malformed \"{key}\" field (expected `\"{key}\": <number>`)"
+                ))),
+                None => Ok(None),
+            }
+        };
+        let mut req = SolveRequest::new(&algorithm);
+        if let Some(e) = num("epsilon")? {
+            req = req.epsilon(e);
+        }
+        if let Some(b) = num("bandwidth")? {
+            req = req.bandwidth(b as u32);
+        }
+        if let Some(k) = num("fail_edges")? {
+            req = req.fail_edges(k as u32);
+        }
+        if let Some(ms) = num("deadline_ms")? {
+            req = req.deadline(Duration::from_millis(ms as u64));
+        }
+        let seed = match num("seed")? {
+            Some(s) => {
+                req = req.seed(s as u64);
+                s as u64
+            }
+            None => 0,
+        };
+        if line.contains("\"input\"") && string_field(line, "input").is_none() {
+            return Err(at("malformed \"input\" field (expected `\"input\": \"PATH\"`)".into()));
+        }
+        let (family, requested_n, graph) = if let Some(path) = string_field(line, "input") {
+            let graph = match graphs.get(&path) {
+                Some(g) => Arc::clone(g),
+                None => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| at(format!("reading {path}: {e}")))?;
+                    let g = Arc::new(
+                        io::parse_graph(&text).map_err(|e| at(format!("parsing {path}: {e}")))?,
+                    );
+                    graphs.insert(path.clone(), Arc::clone(&g));
+                    g
+                }
+            };
+            (path, graph.n(), graph)
+        } else {
+            let family = string_field(line, "family")
+                .ok_or_else(|| at("job needs \"family\" + \"n\" or \"input\"".into()))?;
+            let n = num("n")?
+                .ok_or_else(|| at(format!("family {family:?} needs an \"n\" field")))?
+                as usize;
+            let w = num("max_weight")?.map_or(64, |w| w as u64);
+            let memo = format!("{family}:{n}:{w}:{seed}");
+            let graph = match graphs.get(&memo) {
+                Some(g) => Arc::clone(g),
+                None => {
+                    let g = Arc::new(instance_by_label(&family, n, w, seed).map_err(at)?);
+                    graphs.insert(memo, Arc::clone(&g));
+                    g
+                }
+            };
+            (family, n, graph)
+        };
+        specs.push(JobSpec { family, requested_n, seed, graph, req });
+    }
+    if specs.is_empty() {
+        return Err(
+            "no job specs found (expected a JSON array with one job object per line)".into(),
+        );
+    }
+    Ok(specs)
+}
+
+/// Batch-solves a job file through a [`SolveService`] and emits one
+/// JSON document: a `"service"` stats header (queue/cache counters, hit
+/// rate, per-algorithm latency histograms) plus one row per job, in
+/// submission order — report fields for completed jobs, an `"error"`
+/// field for failed ones. Exit status is nonzero when any job failed,
+/// but the document always covers the whole batch.
+fn serve(args: &[String]) -> Result<(), String> {
+    let jobs_path = flag(args, "--jobs").ok_or("--jobs FILE.json is required")?;
+    let text =
+        std::fs::read_to_string(jobs_path).map_err(|e| format!("reading {jobs_path}: {e}"))?;
+    let specs = parse_job_specs(&text)?;
+    let workers: usize = parse_flag(args, "--workers", 1)?;
+    let cache_cap: usize = parse_flag(args, "--cache-cap", 128)?;
+    let queue_cap: usize = parse_flag(args, "--queue-cap", 256)?;
+
+    let service = SolveService::new(
+        ServiceConfig::default()
+            .workers(workers)
+            .cache_capacity(cache_cap)
+            .queue_capacity(queue_cap),
+    );
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            eprintln!(
+                "serve: {} n={} seed={} {} ...",
+                s.family, s.requested_n, s.seed, s.req.algorithm
+            );
+            service.submit(Arc::clone(&s.graph), s.req.clone())
+        })
+        .collect();
+    let results = service.join_all(&jobs);
+
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    for (i, (spec, result)) in specs.iter().zip(&results).enumerate() {
+        let echo = format!(
+            "\"job\": {i}, \"family\": \"{}\", \"requested_n\": {}, \"seed\": {}",
+            decss::solver::json::escape(&spec.family),
+            spec.requested_n,
+            spec.seed
+        );
+        rows.push(match result {
+            Ok(outcome) => format!(
+                "    {{{echo}, \"cache_hit\": {}, {}}}",
+                outcome.cache_hit,
+                outcome.report.json_fields()
+            ),
+            Err(e) => {
+                failed += 1;
+                format!(
+                    "    {{{echo}, \"error\": \"{}\"}}",
+                    decss::solver::json::escape(&e.to_string())
+                )
+            }
+        });
+    }
+    let stats = service.stats();
+    let json = format!(
+        "{{\n  \"service\": {{{}}},\n  \"jobs\": [\n{}\n  ]\n}}\n",
+        stats.json_fields(),
+        rows.join(",\n")
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "serve: wrote {} job reports to {path} ({} cache hits)",
+                rows.len(),
+                stats.cache_hits
+            );
+        }
+        None => print!("{json}"),
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} jobs failed (see the report rows)",
+            rows.len()
+        ));
     }
     Ok(())
 }

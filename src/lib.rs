@@ -21,7 +21,11 @@
 //! * [`solver`] — the unified API over all of the above: the `Solver`
 //!   trait, the algorithm [`Registry`](solver::Registry), reusable
 //!   [`SolverSession`](solver::SolverSession)s, and the one
-//!   [`SolveReport`](solver::SolveReport) schema.
+//!   [`SolveReport`](solver::SolveReport) schema,
+//! * [`service`] — the batch solve service on the solver API: a
+//!   [`SolveService`](service::SolveService) worker pool with a bounded
+//!   job queue, instance cache, accountability log, and per-algorithm
+//!   latency stats (`decss serve` and the `scenario` sweeps run on it).
 //!
 //! # Quickstart
 //!
@@ -53,6 +57,7 @@ pub use decss_baselines as baselines;
 pub use decss_congest as congest;
 pub use decss_core as core;
 pub use decss_graphs as graphs;
+pub use decss_service as service;
 pub use decss_shortcuts as shortcuts;
 pub use decss_solver as solver;
 pub use decss_tree as tree;

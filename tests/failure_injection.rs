@@ -3,7 +3,8 @@
 //! a broken checker; these tests break things on purpose.
 
 use decss::core::{approximate_two_ecss, TwoEcssConfig};
-use decss::graphs::{algo, gen, EdgeId};
+use decss::graphs::{algo, gen, EdgeId, GraphBuilder};
+use decss::solver::{inject_failures, SolveRequest, SolverSession};
 
 #[test]
 fn edge_drops_are_judged_exactly_like_brute_force() {
@@ -71,6 +72,106 @@ fn bridge_oracle_rejects_single_edge_corruptions() {
             });
         assert_eq!(fast, brute, "oracle disagrees with brute force after swap");
     }
+}
+
+#[test]
+fn fail_edges_beyond_the_removable_supply_degrades_gracefully() {
+    // Ask for vastly more failures than the graph can absorb: the drill
+    // must remove only what keeps the graph 2-edge-connected, terminate,
+    // and still leave a solvable instance — not panic or spin.
+    let g = gen::grid(5, 5, 20, 8);
+    let (damaged, removed) = inject_failures(&g, 10_000, 3);
+    assert!(!removed.is_empty(), "a grid has redundant edges to shed");
+    assert!(removed.len() < g.m(), "removal must stop at the 2EC floor");
+    assert_eq!(damaged.m(), g.m() - removed.len());
+    assert!(algo::is_two_edge_connected(&damaged));
+    // What is left is exactly the floor: no surviving edge is removable.
+    let mut alive = vec![true; g.m()];
+    for e in &removed {
+        alive[e.index()] = false;
+    }
+    for drop in g.edge_ids().filter(|e| alive[e.index()]) {
+        assert!(
+            !algo::two_edge_connected_in(
+                &g,
+                g.edge_ids().filter(|&e| alive[e.index()] && e != drop)
+            ),
+            "edge {drop} was removable but the drill stopped early"
+        );
+    }
+    // And the request path survives the same overshoot end to end.
+    let report = SolverSession::new()
+        .solve(&g, &SolveRequest::new("improved").fail_edges(10_000).seed(3))
+        .expect("overshooting fail_edges still solves");
+    assert_eq!(report.failed_edges, removed);
+    assert!(report.valid);
+}
+
+#[test]
+fn graphs_with_no_removable_edge_lose_nothing() {
+    // A bare cycle: every edge is load-bearing for 2-edge-connectivity.
+    let cycle = gen::cycle(10, 9, 2);
+    let (damaged, removed) = inject_failures(&cycle, 5, 0);
+    assert!(removed.is_empty());
+    assert_eq!(damaged.m(), cycle.m());
+
+    // Bridge-heavy: two triangles joined by a bridge. The graph is not
+    // even 2-edge-connected, so *no* removal can preserve the (already
+    // absent) property — expect zero removed, not a panic or an
+    // infinite retry loop, and the solvers then reject the instance on
+    // their own terms.
+    let bridged = {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v, 1).unwrap();
+        }
+        b.add_edge(2, 3, 1).unwrap(); // the bridge
+        b.build().unwrap()
+    };
+    assert!(!algo::is_two_edge_connected(&bridged));
+    let (damaged, removed) = inject_failures(&bridged, 3, 1);
+    assert!(removed.is_empty(), "nothing is removable on a bridged graph");
+    assert_eq!(damaged.m(), bridged.m());
+    let err = SolverSession::new()
+        .solve(&bridged, &SolveRequest::new("improved").fail_edges(3))
+        .unwrap_err();
+    assert_eq!(err, decss::solver::SolveError::NotTwoEdgeConnected);
+}
+
+#[test]
+fn failure_injection_reaches_the_centralized_baselines() {
+    // The drill is a session feature, not a per-solver one: the exact
+    // and cheapest-cover baselines must see the damaged graph and
+    // report edges in the *original* id space like every other solver.
+    let g = gen::grid(3, 3, 16, 5); // 12 edges: inside the exact cap
+    let (_, removed) = inject_failures(&g, 2, 7);
+    assert_eq!(removed.len(), 2);
+    let mut session = SolverSession::new();
+    for name in ["exact", "cheapest-cover"] {
+        let report = session
+            .solve(&g, &SolveRequest::new(name).fail_edges(2).seed(7))
+            .unwrap_or_else(|e| panic!("{name} with fail_edges: {e}"));
+        assert_eq!(report.failed_edges, removed, "{name}");
+        assert_eq!(report.m, g.m() - 2, "{name}");
+        assert!(report.valid, "{name}");
+        assert!(
+            report.edges.iter().all(|e| !removed.contains(e)),
+            "{name} chose a failed edge"
+        );
+        assert!(
+            algo::two_edge_connected_in(&g, report.edges.iter().copied()),
+            "{name}'s choice must round-trip against the original graph"
+        );
+    }
+    // The exact baseline on the damaged graph is still exact: no valid
+    // 2-ECSS of the damaged graph can be lighter.
+    let exact = session
+        .solve(&g, &SolveRequest::new("exact").fail_edges(2).seed(7))
+        .unwrap();
+    let greedy = session
+        .solve(&g, &SolveRequest::new("cheapest-cover").fail_edges(2).seed(7))
+        .unwrap();
+    assert!(exact.weight <= greedy.weight);
 }
 
 #[test]
