@@ -36,6 +36,10 @@ fn engines() -> Vec<(String, RoundEngine)> {
     for shards in [1usize, 2, 4, 8] {
         v.push((format!("shards{shards}"), RoundEngine::sharded(shards)));
     }
+    // The adaptive engine: should track `seq` on small/quiet instances
+    // (Borůvka) and the best sharded row on message-heavy ones (flood
+    // at 10⁵) — the rows quantify what the volume heuristic costs.
+    v.push(("auto".to_string(), RoundEngine::Auto));
     v
 }
 

@@ -150,6 +150,18 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
     Ok(file)
 }
 
+/// The per-nproc sibling path of a baseline file: `BENCH_x.json` →
+/// `BENCH_x.nproc<K>.json`. Wall-clock baselines form a *family* keyed
+/// by core count — the canonical file is whatever host recorded it
+/// last, and siblings pin other machine shapes so the gate can always
+/// compare like with like (it never gates across differing `nproc`).
+pub fn nproc_sibling(path: &str, nproc: u32) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.nproc{nproc}.json"),
+        None => format!("{path}.nproc{nproc}.json"),
+    }
+}
+
 /// One gate finding: a bench that regressed or disappeared.
 #[derive(Clone, Debug)]
 pub struct Regression {
@@ -261,6 +273,17 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse("hello world").is_err());
         assert!(parse("{\"benches\": [{\"id\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn nproc_sibling_rewrites_the_extension() {
+        assert_eq!(
+            nproc_sibling("BENCH_congest_rounds.json", 4),
+            "BENCH_congest_rounds.nproc4.json"
+        );
+        assert_eq!(nproc_sibling("dir/BENCH_x.json", 16), "dir/BENCH_x.nproc16.json");
+        // No .json suffix: append rather than corrupt.
+        assert_eq!(nproc_sibling("weird", 2), "weird.nproc2.json");
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! The perf regression gate: compares fresh `BENCH_*.json` runs against
 //! the committed baselines and fails (exit 1) when any benchmark
-//! regressed by more than the tolerance, or vanished. When both files
-//! carry a host header, a core-count mismatch prints a warning (the
-//! gate still runs: the tolerance knob is the policy lever).
+//! regressed by more than the tolerance, or vanished.
+//!
+//! Baselines form a **per-nproc family**: next to the canonical
+//! `BENCH_x.json` may sit `BENCH_x.nproc<K>.json` siblings recorded on
+//! `K`-core hosts. The gate picks the sibling matching the fresh run's
+//! core count when one exists; when the only available baseline was
+//! recorded on a *different* core count, the suite is **skipped with a
+//! warning** — wall-clock ratios are never compared across machine
+//! shapes (the PR 2 cross-machine caveat). Headerless files (pre-PR-3
+//! baselines) gate unconditionally, as before.
 //!
 //! ```text
 //! bench_gate BASELINE FRESH [BASELINE FRESH ...] [--tolerance 0.20]
@@ -61,30 +68,45 @@ fn run(args: &[String]) -> Result<bool, String> {
             let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
             benchjson::parse(&text).map_err(|e| format!("parsing {p}: {e}"))
         };
-        let baseline = load(base_path)?;
         let fresh = load(fresh_path)?;
+
+        // Pick the family member recorded on a host with the fresh
+        // run's core count, if one was committed.
+        let mut base_used = base_path.to_string();
+        if let Some(f) = &fresh.host {
+            let sibling = benchjson::nproc_sibling(base_path, f.nproc);
+            if sibling != base_used && std::fs::metadata(&sibling).is_ok() {
+                base_used = sibling;
+            }
+        }
+        let baseline = load(&base_used)?;
         if baseline.suite != fresh.suite {
             return Err(format!(
-                "suite mismatch: {base_path} is {:?} but {fresh_path} is {:?}",
+                "suite mismatch: {base_used} is {:?} but {fresh_path} is {:?}",
                 baseline.suite, fresh.suite
             ));
         }
         // Cross-machine comparisons are the known failure mode of
-        // wall-clock gates (see the PR 2 caveat): surface a core-count
-        // mismatch instead of letting it silently skew the ratios.
+        // wall-clock gates (see the PR 2 caveat): a core-count mismatch
+        // means there is no comparable baseline for this host — skip
+        // the suite rather than gate on meaningless ratios.
         if let (Some(b), Some(f)) = (&baseline.host, &fresh.host) {
             if b.nproc != f.nproc {
                 println!(
-                    "bench_gate: WARNING: {} baseline was recorded on {} core(s) but this run \
-                     has {} — wall-clock ratios are not comparable across machines",
-                    baseline.suite, b.nproc, f.nproc
+                    "bench_gate: WARNING: {} skipped — baseline {base_used} was recorded on \
+                     {} core(s) but this run has {}; commit a {} sibling to gate on this host",
+                    fresh.suite,
+                    b.nproc,
+                    f.nproc,
+                    benchjson::nproc_sibling(base_path, f.nproc),
                 );
+                continue;
             }
         }
         let regressions = benchjson::compare(&baseline, &fresh, tolerance);
         if regressions.is_empty() {
             println!(
-                "bench_gate: {} ok — {} benches within +{:.0}% of {base_path}",
+                "bench_gate: {} ok — {} benches within +{:.0}% of {base_used}",
                 fresh.suite,
                 baseline.benches.len(),
                 tolerance * 100.0
@@ -113,4 +135,81 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use criterion::Measurement;
+    use decss_bench::benchjson::{render_with_host, HostMeta};
+
+    fn meas(id: &str, mean: f64) -> Measurement {
+        Measurement {
+            id: id.into(),
+            mean_ns: mean,
+            min_ns: mean,
+            max_ns: mean,
+            iters: 1,
+        }
+    }
+
+    fn write(name: &str, suite: &str, nproc: u32, mean: f64) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bench_gate_test_{}_{name}", std::process::id()));
+        let host = HostMeta { nproc, decss_env: String::new() };
+        std::fs::write(&p, render_with_host(suite, &[meas("s/a", mean)], &host)).unwrap();
+        p.to_str().unwrap().to_string()
+    }
+
+    fn gate(base: &str, fresh: &str) -> Result<bool, String> {
+        run(&[base.to_string(), fresh.to_string()])
+    }
+
+    #[test]
+    fn mismatched_core_counts_skip_instead_of_gating() {
+        // A 10x "regression", but the baseline came from an 8-core host
+        // and the fresh run from a 2-core one: the suite must be
+        // skipped (pass), never compared.
+        let base = write("skip_base.json", "s", 8, 100.0);
+        let fresh = write("skip_fresh.json", "s", 2, 1000.0);
+        assert_eq!(gate(&base, &fresh), Ok(true));
+    }
+
+    #[test]
+    fn matching_nproc_sibling_is_preferred() {
+        // Canonical baseline: 8-core host, would let the fresh run
+        // pass. Sibling for the fresh host's 2 cores is much faster, so
+        // gating against it (as the gate must) flags the regression.
+        let base = write("family_base.json", "s", 8, 1000.0);
+        let sibling = benchjson::nproc_sibling(&base, 2);
+        let host = HostMeta { nproc: 2, decss_env: String::new() };
+        std::fs::write(&sibling, render_with_host("s", &[meas("s/a", 100.0)], &host)).unwrap();
+        let fresh = write("family_fresh.json", "s", 2, 900.0);
+        assert_eq!(gate(&base, &fresh), Ok(false), "sibling must be the baseline");
+
+        // Same-core fresh run gates against the canonical file and is
+        // comfortably within tolerance.
+        let fresh8 = write("family_fresh8.json", "s", 8, 900.0);
+        assert_eq!(gate(&base, &fresh8), Ok(true));
+    }
+
+    #[test]
+    fn headerless_baselines_gate_unconditionally() {
+        // Pre-PR-3 committed shape: no host header, so there is no
+        // core-count evidence — the gate compares as before.
+        let mut p = std::env::temp_dir();
+        p.push(format!("bench_gate_test_{}_headerless.json", std::process::id()));
+        std::fs::write(
+            &p,
+            concat!(
+                "{\n  \"suite\": \"s\",\n  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n",
+                "    {\"id\": \"s/a\", \"mean_ns\": 100.0, \"min_ns\": 100.0, ",
+                "\"max_ns\": 100.0, \"iters\": 1}\n  ]\n}\n"
+            ),
+        )
+        .unwrap();
+        let base = p.to_str().unwrap().to_string();
+        let fresh = write("headerless_fresh.json", "s", 2, 1000.0);
+        assert_eq!(gate(&base, &fresh), Ok(false), "10x slower must fail");
+    }
 }

@@ -5,45 +5,63 @@
 //! node computes from its inbox independently — so besides the
 //! single-threaded reference loop ([`RoundEngine::Sequential`], in
 //! [`crate::network`]) this module provides [`ShardedRounds`]: vertices
-//! are partitioned into contiguous ranges derived from the graph's CSR
-//! offsets (the partition map the flat adjacency arena already defines),
-//! each range is driven by a dedicated worker thread, and per-shard
-//! outboxes are exchanged at a round barrier.
+//! are partitioned into contiguous ranges, each range is driven by a
+//! dedicated worker thread, and deliveries are exchanged at a round
+//! barrier by a **counting-sort scatter** into one contiguous inbox
+//! arena; and [`AutoRounds`] ([`RoundEngine::Auto`]), which switches
+//! between the sequential loop and sharded stretches per round based on
+//! message volume, so barrier overhead is never paid on tiny rounds.
+//!
+//! # Counting-sort delivery
+//!
+//! Per round each worker appends its sends — already validated and
+//! tallied by `route_outbox` — to one flat per-shard outbox in send
+//! order. At the barrier the coordinator counts messages per recipient,
+//! prefix-sums the counts into an offset table, and scatters the
+//! messages (walking shards in shard order, which *is* the sequential
+//! send order) into a single contiguous `InboxArena`; vertex `v`'s
+//! inbox for the next round is the slice `data[offsets[v]..offsets[v+1]]`.
+//! Compared to per-recipient `Vec` buckets this removes all per-round
+//! per-vertex `Vec` churn — delivery is two linear passes over the
+//! messages plus one `O(n)` pass over the count table — and it is
+//! measurably faster even with a single worker.
 //!
 //! # Determinism guarantee
 //!
-//! The sharded engine is **bit-identical** to the sequential engine: for
-//! any protocol, both produce the same [`SimReport`], the same per-node
-//! final states, and fire the same bandwidth / incidence assertions.
-//! This holds because
+//! The sharded and auto engines are **bit-identical** to the sequential
+//! engine: for any protocol, all engines produce the same [`SimReport`],
+//! the same per-node final states, and fire the same bandwidth /
+//! incidence assertions. This holds because
 //!
 //! * shards are contiguous vertex ranges and each worker drives its
 //!   vertices in increasing id order, so concatenating the per-shard
 //!   outboxes in shard order reproduces the sequential send order;
-//! * each recipient's inbox is merged from source shards in shard order
-//!   at the barrier, so inbox contents and *ordering* match the
-//!   sequential engine exactly (protocols may break ties by inbox
-//!   position — BFS parent adoption does);
+//! * the counting-sort scatter is *stable*: within a recipient's inbox,
+//!   messages appear in source order — exactly the order the sequential
+//!   engine pushes them (protocols may break ties by inbox position —
+//!   BFS parent adoption does);
 //! * bandwidth accounting is per (edge, sending endpoint, round); a
 //!   sender lives in exactly one shard, so per-shard flat accumulators
 //!   are exact, and the report's totals/maxima are order-independent.
 //!
 //! # Steady-state allocation
 //!
-//! All buffers — per-shard inbox double buffers, the shard × shard
-//! outbox bucket matrix, flat per-edge word counters and their
-//! touched-edge scratch lists — are allocated once per run and recycled
-//! every round (`drain`/`clear`, never drop), so rounds allocate nothing
-//! beyond what messages themselves need (and small payloads are stored
-//! inline, see [`crate::message::WordVec`]).
+//! All buffers — the double-buffered inbox arenas, the per-shard flat
+//! outboxes, the recipient count/offset tables, flat per-edge word
+//! counters and their touched-edge scratch lists — are allocated once
+//! per stretch and recycled every round (`drain`/`clear`, never drop),
+//! so rounds allocate nothing beyond what messages themselves need (and
+//! small payloads are stored inline, see [`crate::message::WordVec`]).
 
+use crate::message::Message;
 use crate::metrics::SimReport;
 use crate::network::{route_outbox, Delivery, Network, NodeLogic, RoundCtx, SendStats, SendTally};
+use crate::pool::{thread_cap, ShardPool};
 use decss_graphs::{EdgeId, VertexId};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, PoisonError};
+use std::sync::{Barrier, Mutex, PoisonError, RwLock};
 
 /// The strategy [`Network::run`] uses to execute rounds.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +75,10 @@ pub enum RoundEngine {
         /// `1..=n` at run time.
         shards: usize,
     },
+    /// [`AutoRounds`]: picks sequential vs. sharded per round from the
+    /// message volume and `n`, so barrier overhead is only paid on
+    /// rounds big enough to amortise it. Bit-identical to the others.
+    Auto,
 }
 
 impl RoundEngine {
@@ -71,6 +93,7 @@ impl std::fmt::Display for RoundEngine {
         match self {
             RoundEngine::Sequential => write!(f, "seq"),
             RoundEngine::Sharded { shards } => write!(f, "shards{shards}"),
+            RoundEngine::Auto => write!(f, "auto"),
         }
     }
 }
@@ -79,11 +102,29 @@ impl std::fmt::Display for RoundEngine {
 /// tuple its inbox will receive.
 type Routed = (VertexId, Delivery);
 
+/// One round's deliveries for all vertices, stored back to back: vertex
+/// `v`'s inbox is `data[offsets[v]..offsets[v + 1]]`. Double-buffered by
+/// the stretch runner; refilled by the counting-sort scatter.
+struct InboxArena {
+    data: Vec<Delivery>,
+    offsets: Vec<usize>,
+}
+
+impl InboxArena {
+    fn new(n: usize) -> Self {
+        InboxArena { data: Vec::new(), offsets: vec![0; n + 1] }
+    }
+
+    #[inline]
+    fn inbox(&self, v: usize) -> &[Delivery] {
+        &self.data[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
 /// Per-round per-shard tallies, published at the compute barrier and
 /// folded into the [`SimReport`] by the coordinator.
 #[derive(Clone, Copy, Default)]
 struct ShardStats {
-    delivered: u64,
     any_tick: bool,
     sent_any: bool,
     messages: u64,
@@ -92,21 +133,307 @@ struct ShardStats {
 }
 
 /// Locks a mutex, ignoring poisoning: a worker that trips a protocol
-/// assertion (bandwidth, incidence) unwinds while holding bucket locks;
-/// the run is aborting anyway and the buffers are only drained, so the
-/// poison flag carries no information here.
+/// assertion (bandwidth, incidence) unwinds while holding its outbox
+/// lock; the run is aborting anyway and the buffers are only drained, so
+/// the poison flag carries no information here.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an arena (same poisoning rationale as [`lock`]).
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an arena (same poisoning rationale as [`lock`]).
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a sharded stretch handed control back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StretchEnd {
+    /// The quiescence rule fired: the run is complete.
+    Quiescent,
+    /// `rounds_left` rounds executed without quiescing.
+    RoundLimit,
+    /// Volume dropped below the exit threshold; in-flight deliveries
+    /// are back in `net.pending` for a sequential continuation.
+    VolumeLow,
+}
+
+/// Result of one sharded stretch.
+struct StretchOutcome {
+    executed: u64,
+    end: StretchEnd,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Counting-sort scatter: drains every shard outbox (in shard order =
+/// sequential send order) into `arena`, grouped by recipient, stable
+/// within each recipient. `counts` is the reusable `O(n)` scratch table.
+/// Returns the number of messages delivered next round.
+fn scatter_deliveries(
+    arena: &mut InboxArena,
+    counts: &mut [usize],
+    out_slots: &[Mutex<Vec<Routed>>],
+) -> u64 {
+    for c in counts.iter_mut() {
+        *c = 0;
+    }
+    let mut guards: Vec<_> = out_slots.iter().map(lock).collect();
+    let mut total = 0usize;
+    for g in guards.iter() {
+        total += g.len();
+        for (to, _) in g.iter() {
+            counts[to.index()] += 1;
+        }
+    }
+    arena.offsets[0] = 0;
+    for (v, &c) in counts.iter().enumerate() {
+        arena.offsets[v + 1] = arena.offsets[v] + c;
+    }
+    // Reuse the count table as per-recipient write cursors.
+    counts.copy_from_slice(&arena.offsets[..counts.len()]);
+    arena.data.clear();
+    arena.data.resize(total, (EdgeId(0), VertexId(0), Message::signal(0)));
+    for g in guards.iter_mut() {
+        for (to, delivery) in g.drain(..) {
+            let slot = counts[to.index()];
+            counts[to.index()] += 1;
+            arena.data[slot] = delivery;
+        }
+    }
+    total as u64
+}
+
+/// Runs up to `rounds_left` sharded rounds starting at round number
+/// `round_base`: ingests `net.pending` into the inbox arena, drives
+/// `shards` worker threads (compute) with a coordinator doing the
+/// counting-sort delivery between barriers, and on exit returns any
+/// in-flight deliveries to `net.pending` so a sequential engine can
+/// continue seamlessly. With `exit_low = Some(t)` the stretch hands
+/// control back once `volume + n/8 < t` (the [`AutoRounds`] hysteresis).
+fn run_stretch<N: NodeLogic + Send>(
+    net: &mut Network<'_, N>,
+    shards: usize,
+    round_base: u64,
+    rounds_left: u64,
+    exit_low: Option<u64>,
+) -> StretchOutcome {
+    if rounds_left == 0 {
+        return StretchOutcome { executed: 0, end: StretchEnd::RoundLimit, panic: None };
+    }
+    let n = net.graph.n();
+    let m = net.graph.m();
+    let n8 = (n as u64) / 8;
+    let shards = shards.min(n).max(1);
+    let graph = net.graph;
+    let bandwidth = net.bandwidth;
+
+    // Vertex-range partition: shard s owns `bounds[s]..bounds[s + 1]`.
+    let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+
+    // Ingest the (possibly pre-seeded) pending deliveries into arena 0.
+    let mut arena_bufs = [InboxArena::new(n), InboxArena::new(n)];
+    {
+        let a = &mut arena_bufs[0];
+        for (v, buf) in net.pending.iter_mut().enumerate() {
+            a.offsets[v] = a.data.len();
+            a.data.append(buf);
+        }
+        a.offsets[n] = a.data.len();
+    }
+    let mut volume = arena_bufs[0].data.len() as u64;
+    let arenas: [RwLock<InboxArena>; 2] = arena_bufs.map(RwLock::new);
+
+    // Shared coordination state. Each `out_slots[s]` is only ever locked
+    // by worker `s` during compute and the coordinator during exchange —
+    // phases separated by a barrier — so the mutexes are uncontended;
+    // they exist to let ownership rotate between phases.
+    let out_slots: Vec<Mutex<Vec<Routed>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let stats: Vec<Mutex<ShardStats>> =
+        (0..shards).map(|_| Mutex::new(ShardStats::default())).collect();
+    let barrier = Barrier::new(shards + 1);
+    let stop = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let record_panic = |payload: Box<dyn Any + Send>| {
+        let mut slot = lock(&panic_slot);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    };
+
+    let mut report = net.report;
+    let mut executed: u64 = 0;
+    let mut end = StretchEnd::Quiescent;
+    let mut cur_idx = 0usize;
+    let mut counts = vec![0usize; n];
+    let mut nodes_rest: &mut [N] = &mut net.nodes;
+
+    std::thread::scope(|scope| {
+        for s in 0..shards {
+            let lo = bounds[s];
+            let len = bounds[s + 1] - lo;
+            let (nodes, rest) = nodes_rest.split_at_mut(len);
+            nodes_rest = rest;
+            let (barrier, stop, arenas, out_slots, stats, record_panic) =
+                (&barrier, &stop, &arenas, &out_slots, &stats, &record_panic);
+
+            scope.spawn(move || {
+                let mut out: Vec<Routed> = Vec::new();
+                let mut outbox: Vec<Delivery> = Vec::new();
+                let mut edge_load = vec![0u64; m];
+                let mut touched: Vec<EdgeId> = Vec::new();
+                let mut counter: u64 = 0;
+
+                loop {
+                    barrier.wait(); // coordinator published `stop` + arena
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+
+                    // Compute phase: drive this shard's nodes against
+                    // their arena inbox slices, appending sends to the
+                    // shard's flat outbox in send order.
+                    let computed = catch_unwind(AssertUnwindSafe(|| {
+                        let cur = read(&arenas[(counter % 2) as usize]);
+                        let mut st = ShardStats {
+                            any_tick: nodes.iter().any(|nd| nd.wants_tick()),
+                            ..ShardStats::default()
+                        };
+                        let mut sstats = SendStats::default();
+                        for (i, node) in nodes.iter_mut().enumerate() {
+                            let me = VertexId((lo + i) as u32);
+                            let mut ctx = RoundCtx {
+                                me,
+                                round: round_base + counter,
+                                ports: graph.neighbors(me),
+                                inbox: cur.inbox(lo + i),
+                                outbox: &mut outbox,
+                                tally: SendTally::default(),
+                            };
+                            node.on_round(&mut ctx);
+                            let tally = ctx.tally;
+                            if outbox.is_empty() {
+                                continue;
+                            }
+                            st.sent_any = true;
+                            // Shared validation/accounting (see
+                            // network.rs); only the sink differs — a
+                            // flat append in send order.
+                            route_outbox(
+                                graph,
+                                bandwidth,
+                                me,
+                                tally,
+                                &mut outbox,
+                                &mut edge_load,
+                                &mut touched,
+                                &mut sstats,
+                                |to, delivery| out.push((to, delivery)),
+                            );
+                        }
+                        st.messages = sstats.messages;
+                        st.words = sstats.words;
+                        st.max_edge_load = sstats.max_edge_load;
+                        st
+                    }));
+                    match computed {
+                        Ok(st) => {
+                            *lock(&stats[s]) = st;
+                            // Publish the outbox; take back the vector
+                            // the coordinator drained last round, so
+                            // capacity is recycled.
+                            std::mem::swap(&mut out, &mut lock(&out_slots[s]));
+                        }
+                        Err(payload) => record_panic(payload),
+                    }
+                    counter += 1;
+
+                    barrier.wait(); // compute done, outboxes published
+                }
+            });
+        }
+
+        // Coordinator: aggregates tallies, performs the counting-sort
+        // delivery, and decides quiescence with exactly the sequential
+        // engine's rule.
+        loop {
+            barrier.wait(); // workers read `stop` right after this
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            barrier.wait(); // compute done, tallies + outboxes published
+            if lock(&panic_slot).is_some() {
+                stop.store(true, Ordering::SeqCst);
+                continue;
+            }
+            let mut agg = ShardStats::default();
+            for st in &stats {
+                let st = lock(st);
+                agg.any_tick |= st.any_tick;
+                agg.sent_any |= st.sent_any;
+                agg.messages += st.messages;
+                agg.words += st.words;
+                agg.max_edge_load = agg.max_edge_load.max(st.max_edge_load);
+            }
+            report.messages += agg.messages;
+            report.words += agg.words;
+            report.max_edge_load = report.max_edge_load.max(agg.max_edge_load);
+            if volume == 0 && !agg.sent_any && !agg.any_tick {
+                end = StretchEnd::Quiescent;
+                stop.store(true, Ordering::SeqCst);
+                continue;
+            }
+            report.rounds += 1;
+            executed += 1;
+            // Exchange: scatter this round's sends into the spare arena;
+            // it becomes the next round's inbox arena.
+            volume = scatter_deliveries(&mut write(&arenas[1 - cur_idx]), &mut counts, &out_slots);
+            cur_idx = 1 - cur_idx;
+            if executed == rounds_left {
+                end = StretchEnd::RoundLimit;
+                stop.store(true, Ordering::SeqCst);
+                continue;
+            }
+            if let Some(low) = exit_low {
+                if volume + n8 < low {
+                    end = StretchEnd::VolumeLow;
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    });
+
+    net.report = report;
+    let panic = lock(&panic_slot).take();
+
+    // Return in-flight deliveries (timeout or volume hand-off) to
+    // `net.pending`, preserving per-recipient order, so the caller —
+    // or a sequential continuation — sees a consistent network.
+    if panic.is_none() && end != StretchEnd::Quiescent {
+        let [a0, a1] = arenas.map(|l| l.into_inner().unwrap_or_else(PoisonError::into_inner));
+        let pend = if cur_idx == 0 { a0 } else { a1 };
+        let InboxArena { data, offsets } = pend;
+        let mut iter = data.into_iter();
+        for v in 0..n {
+            for _ in offsets[v]..offsets[v + 1] {
+                net.pending[v].push(iter.next().expect("arena offsets cover data"));
+            }
+        }
+    }
+
+    StretchOutcome { executed, end, panic }
 }
 
 /// The sharded round executor.
 ///
 /// One worker thread per contiguous vertex range runs the compute phase
-/// (drive nodes, validate sends, tally bandwidth, bucket outgoing
-/// messages by destination shard) and, after a barrier, the exchange
-/// phase (merge all buckets addressed to its shard — in source-shard
-/// order, for determinism — into its double-buffered inboxes). The
-/// coordinator thread aggregates shard tallies between barriers and
+/// (drive nodes, validate sends, tally bandwidth, append outgoing
+/// messages to the shard's flat outbox in send order); at the round
+/// barrier the coordinator thread merges all outboxes into the next
+/// round's contiguous `InboxArena` with one counting-sort pass and
 /// decides quiescence exactly like the sequential loop.
 pub struct ShardedRounds {
     shards: usize,
@@ -123,215 +450,104 @@ impl ShardedRounds {
     /// such as bandwidth violations are forwarded to the caller with
     /// their original payload).
     pub fn run<N: NodeLogic + Send>(&self, net: &mut Network<'_, N>, max_rounds: u64) -> SimReport {
-        let n = net.graph.n();
-        let m = net.graph.m();
-        let shards = self.shards.min(n).max(1);
-        let graph = net.graph;
-        let bandwidth = net.bandwidth;
-
-        // Vertex-range partition: shard s owns `bounds[s]..bounds[s + 1]`.
-        let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
-        let mut shard_of = vec![0u32; n];
-        for s in 0..shards {
-            for v in bounds[s]..bounds[s + 1] {
-                shard_of[v] = s as u32;
-            }
-        }
-
-        // Shared coordination state. `buckets[src][dst]` is only ever
-        // locked by worker `src` during compute and worker `dst` during
-        // exchange — phases separated by a barrier — so the mutexes are
-        // uncontended; they exist to let ownership rotate between phases.
-        let buckets: Vec<Vec<Mutex<Vec<Routed>>>> = (0..shards)
-            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
-            .collect();
-        let stats: Vec<Mutex<ShardStats>> =
-            (0..shards).map(|_| Mutex::new(ShardStats::default())).collect();
-        let barrier = Barrier::new(shards + 1);
-        let stop = AtomicBool::new(max_rounds == 0);
-        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        let record_panic = |payload: Box<dyn Any + Send>| {
-            let mut slot = lock(&panic_slot);
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-        };
-
-        let mut report = net.report;
-        let mut timed_out = max_rounds == 0;
-        let mut nodes_rest: &mut [N] = &mut net.nodes;
-        let mut pend_rest: &mut [Vec<Delivery>] = &mut net.pending;
-        let mut spare_rest: &mut [Vec<Delivery>] = &mut net.inboxes;
-
-        std::thread::scope(|scope| {
-            for s in 0..shards {
-                let lo = bounds[s];
-                let len = bounds[s + 1] - lo;
-                let (nodes, rest) = nodes_rest.split_at_mut(len);
-                nodes_rest = rest;
-                let (pend, rest) = pend_rest.split_at_mut(len);
-                pend_rest = rest;
-                let (spare, rest) = spare_rest.split_at_mut(len);
-                spare_rest = rest;
-                let (barrier, stop, buckets, stats, shard_of, record_panic) =
-                    (&barrier, &stop, &buckets, &stats, &shard_of, &record_panic);
-
-                scope.spawn(move || {
-                    // Take the network's buffers for the duration of the
-                    // run (returned below, so capacity is recycled and a
-                    // pre-seeded `pending` is honoured).
-                    let mut cur: Vec<Vec<Delivery>> = pend.iter_mut().map(std::mem::take).collect();
-                    let mut next: Vec<Vec<Delivery>> =
-                        spare.iter_mut().map(std::mem::take).collect();
-                    let mut outbox: Vec<Delivery> = Vec::new();
-                    let mut edge_load = vec![0u64; m];
-                    let mut touched: Vec<EdgeId> = Vec::new();
-                    let mut round: u64 = 0;
-
-                    loop {
-                        barrier.wait(); // coordinator published `stop`
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-
-                        // Compute phase: drive this shard's nodes against
-                        // their current inboxes, bucket sends per
-                        // destination shard.
-                        let computed = catch_unwind(AssertUnwindSafe(|| {
-                            let mut st = ShardStats {
-                                delivered: cur.iter().map(|b| b.len() as u64).sum(),
-                                any_tick: nodes.iter().any(|nd| nd.wants_tick()),
-                                ..ShardStats::default()
-                            };
-                            let mut row: Vec<_> = buckets[s].iter().map(lock).collect();
-                            let mut sstats = SendStats::default();
-                            for (i, node) in nodes.iter_mut().enumerate() {
-                                let me = VertexId((lo + i) as u32);
-                                let mut ctx = RoundCtx {
-                                    me,
-                                    round,
-                                    ports: graph.neighbors(me),
-                                    inbox: &cur[i],
-                                    outbox: &mut outbox,
-                                    tally: SendTally::default(),
-                                };
-                                node.on_round(&mut ctx);
-                                let tally = ctx.tally;
-                                if outbox.is_empty() {
-                                    continue;
-                                }
-                                st.sent_any = true;
-                                // Shared validation/accounting (see
-                                // network.rs); only the sink differs —
-                                // bucket by destination shard.
-                                route_outbox(
-                                    graph,
-                                    bandwidth,
-                                    me,
-                                    tally,
-                                    &mut outbox,
-                                    &mut edge_load,
-                                    &mut touched,
-                                    &mut sstats,
-                                    |to, delivery| {
-                                        row[shard_of[to.index()] as usize].push((to, delivery))
-                                    },
-                                );
-                            }
-                            st.messages = sstats.messages;
-                            st.words = sstats.words;
-                            st.max_edge_load = sstats.max_edge_load;
-                            st
-                        }));
-                        match computed {
-                            Ok(st) => *lock(&stats[s]) = st,
-                            Err(payload) => record_panic(payload),
-                        }
-
-                        barrier.wait(); // all buckets complete
-
-                        // Exchange phase: merge buckets addressed to this
-                        // shard, in source-shard order (determinism), and
-                        // flip the double buffer.
-                        let exchanged = catch_unwind(AssertUnwindSafe(|| {
-                            for src in 0..shards {
-                                let mut bucket = lock(&buckets[src][s]);
-                                for (to, delivery) in bucket.drain(..) {
-                                    next[to.index() - lo].push(delivery);
-                                }
-                            }
-                            std::mem::swap(&mut cur, &mut next);
-                            for b in &mut next {
-                                b.clear();
-                            }
-                        }));
-                        if let Err(payload) = exchanged {
-                            record_panic(payload);
-                        }
-                        round += 1;
-
-                        barrier.wait(); // tallies + exchanges visible
-                    }
-
-                    // Hand the (possibly non-empty, e.g. on timeout)
-                    // buffers back to the network.
-                    for (slot, buf) in pend.iter_mut().zip(cur) {
-                        *slot = buf;
-                    }
-                    for (slot, buf) in spare.iter_mut().zip(next) {
-                        *slot = buf;
-                    }
-                });
-            }
-
-            // Coordinator: aggregates tallies and decides quiescence with
-            // exactly the sequential engine's rule.
-            let mut executed: u64 = 0;
-            loop {
-                barrier.wait(); // workers read `stop` right after this
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                barrier.wait(); // compute done, tallies published
-                let mut agg = ShardStats::default();
-                for st in &stats {
-                    let st = lock(st);
-                    agg.delivered += st.delivered;
-                    agg.any_tick |= st.any_tick;
-                    agg.sent_any |= st.sent_any;
-                    agg.messages += st.messages;
-                    agg.words += st.words;
-                    agg.max_edge_load = agg.max_edge_load.max(st.max_edge_load);
-                }
-                barrier.wait(); // exchange done, worker panics recorded
-                if lock(&panic_slot).is_some() {
-                    stop.store(true, Ordering::SeqCst);
-                    continue;
-                }
-                report.messages += agg.messages;
-                report.words += agg.words;
-                report.max_edge_load = report.max_edge_load.max(agg.max_edge_load);
-                if agg.delivered == 0 && !agg.sent_any && !agg.any_tick {
-                    stop.store(true, Ordering::SeqCst);
-                    continue;
-                }
-                report.rounds += 1;
-                executed += 1;
-                if executed == max_rounds {
-                    timed_out = true;
-                    stop.store(true, Ordering::SeqCst);
-                }
-            }
-        });
-
-        net.report = report;
-        if let Some(payload) = lock(&panic_slot).take() {
+        let outcome = run_stretch(net, self.shards, 0, max_rounds, None);
+        if let Some(payload) = outcome.panic {
             resume_unwind(payload);
         }
-        if timed_out {
+        if outcome.end == StretchEnd::RoundLimit {
             panic!("protocol did not quiesce within {max_rounds} rounds");
         }
-        report
+        net.report
+    }
+}
+
+/// The adaptive executor behind [`RoundEngine::Auto`].
+///
+/// Per round it estimates the work as `volume + n/8` (delivered messages
+/// dominate round cost; the `n/8` term accounts for driving quiet
+/// nodes) and runs the round sequentially below the `enter` threshold —
+/// paying zero barrier or thread traffic, which is what makes tiny
+/// rounds (the Borůvka n≤1k regime where `shards8` loses 5x) as fast as
+/// [`RoundEngine::Sequential`]. Once the estimate crosses `enter` it
+/// runs a sharded *stretch* that hands control back when the estimate
+/// falls below `exit` (hysteresis: `exit = enter / 4` by default). On a
+/// host with one effective thread the engine is the sequential loop
+/// outright.
+pub struct AutoRounds {
+    threads: usize,
+    enter: u64,
+    exit: u64,
+}
+
+/// Default work-estimate threshold (messages + n/8) above which a round
+/// is worth sharding.
+const AUTO_ENTER: u64 = 32_768;
+
+impl AutoRounds {
+    /// An executor with an explicit worker-thread count (at least 1) and
+    /// default thresholds.
+    pub fn new(threads: usize) -> Self {
+        AutoRounds {
+            threads: threads.max(1),
+            enter: AUTO_ENTER,
+            exit: AUTO_ENTER / 4,
+        }
+    }
+
+    /// An executor sized to the detected core count (honours the
+    /// `DECSS_POOL_THREADS` override, see [`ShardPool`]).
+    pub fn detect() -> Self {
+        AutoRounds::new(thread_cap().min(ShardPool::MAX_WORKERS))
+    }
+
+    /// Overrides the enter/exit work-estimate thresholds (testing hook;
+    /// `enter = 0` forces sharded stretches from round 0).
+    pub fn with_thresholds(mut self, enter: u64, exit: u64) -> Self {
+        self.enter = enter;
+        self.exit = exit;
+        self
+    }
+
+    /// Runs `net` to quiescence or `max_rounds`, bit-identical to the
+    /// sequential engine (same panics, same report, same node states).
+    pub fn run<N: NodeLogic + Send>(&self, net: &mut Network<'_, N>, max_rounds: u64) -> SimReport {
+        if self.threads <= 1 {
+            // One effective thread: sharding can only add overhead.
+            for round in 0..max_rounds {
+                if net.step(round) {
+                    return net.report;
+                }
+            }
+            panic!("protocol did not quiesce within {max_rounds} rounds");
+        }
+        let n8 = (net.graph.n() as u64) / 8;
+        let mut round = 0u64;
+        loop {
+            let volume: u64 = net.pending.iter().map(|b| b.len() as u64).sum();
+            if volume + n8 >= self.enter {
+                let outcome =
+                    run_stretch(net, self.threads, round, max_rounds - round, Some(self.exit));
+                round += outcome.executed;
+                if let Some(payload) = outcome.panic {
+                    resume_unwind(payload);
+                }
+                match outcome.end {
+                    StretchEnd::Quiescent => return net.report,
+                    StretchEnd::RoundLimit => {
+                        panic!("protocol did not quiesce within {max_rounds} rounds")
+                    }
+                    StretchEnd::VolumeLow => {} // fall back to sequential
+                }
+            } else {
+                if round == max_rounds {
+                    panic!("protocol did not quiesce within {max_rounds} rounds");
+                }
+                if net.step(round) {
+                    return net.report;
+                }
+                round += 1;
+            }
+        }
     }
 }
 
@@ -342,6 +558,14 @@ pub(crate) fn run_sharded<N: NodeLogic + Send>(
     max_rounds: u64,
 ) -> SimReport {
     ShardedRounds::new(shards).run(net, max_rounds)
+}
+
+/// Entry point used by [`Network::run`] for [`RoundEngine::Auto`].
+pub(crate) fn run_auto<N: NodeLogic + Send>(
+    net: &mut Network<'_, N>,
+    max_rounds: u64,
+) -> SimReport {
+    AutoRounds::detect().run(net, max_rounds)
 }
 
 #[cfg(test)]
@@ -393,6 +617,42 @@ mod tests {
         assert_eq!(report.messages, 6);
     }
 
+    /// The auto engine with forced multi-threading and a zero enter
+    /// threshold shards every round; with a huge threshold it never
+    /// shards. Both must match the sequential run bit for bit.
+    #[test]
+    fn auto_flood_matches_sequential_across_thresholds() {
+        let g = gen::gnp_two_ec(37, 0.12, 9, 3);
+        let mut seq = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+        let seq_report = seq.run(10);
+        for (enter, exit) in [(0, 0), (1, 1), (u64::MAX, 0)] {
+            let mut net = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+            let report = AutoRounds::new(3).with_thresholds(enter, exit).run(&mut net, 10);
+            assert_eq!(report, seq_report, "enter={enter} exit={exit}");
+            for ((_, a), (_, b)) in net.nodes().zip(seq.nodes()) {
+                assert_eq!(a.heard, b.heard, "enter={enter} exit={exit}");
+            }
+        }
+    }
+
+    /// Hysteresis hand-off: a stretch that exits on low volume must
+    /// return in-flight deliveries to the sequential continuation.
+    #[test]
+    fn auto_volume_hand_off_preserves_deliveries() {
+        let g = gen::gnp_two_ec(29, 0.15, 5, 7);
+        let mut seq = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+        let seq_report = seq.run(10);
+        // enter=0 forces a stretch from round 0; a huge exit threshold
+        // forces VolumeLow after exactly one sharded round, so the rest
+        // of the run continues sequentially... and re-enters each round.
+        let mut net = Network::new(&g, |_| Flood { fired: false, heard: 0 });
+        let report = AutoRounds::new(2).with_thresholds(0, u64::MAX).run(&mut net, 10);
+        assert_eq!(report, seq_report);
+        for ((_, a), (_, b)) in net.nodes().zip(seq.nodes()) {
+            assert_eq!(a.heard, b.heard);
+        }
+    }
+
     struct Hog;
     impl NodeLogic for Hog {
         fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
@@ -415,6 +675,15 @@ mod tests {
         net.run(5);
     }
 
+    /// Same, through a forced-sharded auto stretch.
+    #[test]
+    #[should_panic(expected = "bandwidth exceeded")]
+    fn auto_bandwidth_is_enforced() {
+        let g = gen::cycle(6, 1, 0);
+        let mut net = Network::new(&g, |_| Hog);
+        AutoRounds::new(2).with_thresholds(0, 0).run(&mut net, 5);
+    }
+
     struct Never;
     impl NodeLogic for Never {
         fn on_round(&mut self, _: &mut RoundCtx<'_>) {}
@@ -432,9 +701,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn auto_runaway_protocol_is_detected() {
+        let g = gen::cycle(5, 1, 0);
+        let mut net = Network::new(&g, |_| Never);
+        AutoRounds::new(2).with_thresholds(0, 0).run(&mut net, 4);
+    }
+
+    #[test]
     fn engine_labels() {
         assert_eq!(RoundEngine::Sequential.to_string(), "seq");
         assert_eq!(RoundEngine::sharded(8).to_string(), "shards8");
+        assert_eq!(RoundEngine::Auto.to_string(), "auto");
         assert_eq!(RoundEngine::sharded(0), RoundEngine::Sharded { shards: 1 });
     }
 }

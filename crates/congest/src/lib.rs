@@ -14,11 +14,16 @@
 //!   per-round bandwidth budget measured in `O(log n)`-bit *words*
 //!   ([`message::Word`]),
 //! * [`engine::RoundEngine`] — the execution strategy behind
-//!   [`Network::run`]: the sequential reference loop or the
-//!   multi-threaded [`engine::ShardedRounds`] executor, which shards
-//!   vertices across scoped worker threads and is bit-identical to the
-//!   sequential engine (same reports, same node states, same
-//!   assertions),
+//!   [`Network::run`]: the sequential reference loop, the
+//!   multi-threaded [`engine::ShardedRounds`] executor (vertex-range
+//!   shards on scoped worker threads, counting-sort message delivery
+//!   into one contiguous inbox arena), or the adaptive
+//!   [`engine::AutoRounds`], which shards only rounds whose message
+//!   volume amortises the barrier cost — all bit-identical (same
+//!   reports, same node states, same assertions),
+//! * [`pool::ShardPool`] — a scoped-thread pool with deterministic
+//!   chunked fan-out, shared by the higher-level crates for intra-solve
+//!   parallelism (per-part BFS, per-level shortcut evaluation),
 //! * [`metrics::SimReport`] — rounds, message and word counts, and the
 //!   maximum per-edge congestion observed,
 //! * genuine message-level protocols in [`protocols`]: BFS-tree
@@ -47,10 +52,12 @@ pub mod ledger;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod pool;
 pub mod protocols;
 
-pub use engine::{RoundEngine, ShardedRounds};
+pub use engine::{AutoRounds, RoundEngine, ShardedRounds};
 pub use ledger::RoundLedger;
 pub use message::{Message, Word, WordVec, DEFAULT_BANDWIDTH};
 pub use metrics::SimReport;
 pub use network::{Network, NodeLogic, RoundCtx};
+pub use pool::ShardPool;

@@ -329,6 +329,7 @@ impl<'g, N: NodeLogic + Send> Network<'g, N> {
                 panic!("protocol did not quiesce within {max_rounds} rounds");
             }
             RoundEngine::Sharded { shards } => engine::run_sharded(self, shards, max_rounds),
+            RoundEngine::Auto => engine::run_auto(self, max_rounds),
         }
     }
 }

@@ -11,7 +11,7 @@
 //! engine merges per-shard outboxes in shard order precisely to preserve
 //! the sequential sender order; these tests would catch a violation.
 
-use decss_congest::engine::RoundEngine;
+use decss_congest::engine::{AutoRounds, RoundEngine};
 use decss_congest::protocols::broadcast::TreeOverlay;
 use decss_congest::protocols::convergecast::Agg;
 use decss_congest::protocols::{
@@ -199,6 +199,30 @@ proptest! {
             prop_assert_eq!(&a, &accs, "{} shards", shards);
         }
     }
+
+    /// [`RoundEngine::Auto`] may flip between the sequential loop and
+    /// sharded stretches mid-run (hysteresis on the per-round message
+    /// volume); the flips must be invisible in every protocol output.
+    #[test]
+    fn auto_engine_is_engine_independent(g in random_graph()) {
+        let root = VertexId(1);
+        let (tree, report) = bfs::distributed_bfs(&g, root);
+        let (t, r) = bfs::distributed_bfs_with(&g, root, RoundEngine::Auto);
+        prop_assert_eq!(r, report, "bfs report");
+        prop_assert_eq!(&t.parent, &tree.parent, "bfs parents");
+        prop_assert_eq!(&t.parent_edge, &tree.parent_edge, "bfs parent edges");
+        prop_assert_eq!(&t.dist, &tree.dist, "bfs distances");
+
+        let (edges, report) = boruvka::distributed_mst(&g);
+        let (e, r) = boruvka::distributed_mst_with(&g, RoundEngine::Auto);
+        prop_assert_eq!(r, report, "boruvka report");
+        prop_assert_eq!(&e, &edges, "boruvka edges");
+
+        let (accs, report) = flood::gossip_flood(&g, 6);
+        let (a, r) = flood::gossip_flood_with(&g, 6, RoundEngine::Auto);
+        prop_assert_eq!(r, report, "flood report");
+        prop_assert_eq!(&a, &accs, "flood accumulators");
+    }
 }
 
 /// A node that answers every delivery with two targeted replies: heavy
@@ -242,6 +266,27 @@ fn per_node_states_match_across_engines() {
                 assert_eq!(a.seen, b.seen, "seed {seed}, {shards} shards, vertex {v}");
                 assert_eq!(a.budget, b.budget, "seed {seed}, {shards} shards, vertex {v}");
             }
+        }
+    }
+}
+
+/// Forced-flip Auto run: thresholds tuned so the gossip burst crosses
+/// `enter` (sharded stretch engages) and the tail falls below `exit`
+/// (control hands back to the sequential loop mid-protocol). Per-node
+/// states across the flip must match the sequential engine exactly —
+/// including the in-flight messages handed over at each boundary.
+#[test]
+fn auto_engine_flips_mid_run_without_observable_effect() {
+    for seed in 0..6 {
+        let g = gen::gnp_two_ec(33, 0.15, 40, seed);
+        let mut seq = Network::new(&g, |v| Echo { seen: v.0 as u64, budget: 3 });
+        let seq_report = seq.run(100);
+        let mut net = Network::new(&g, |v| Echo { seen: v.0 as u64, budget: 3 });
+        let report = AutoRounds::new(3).with_thresholds(24, 6).run(&mut net, 100);
+        assert_eq!(report, seq_report, "seed {seed}");
+        for ((v, a), (_, b)) in net.nodes().zip(seq.nodes()) {
+            assert_eq!(a.seen, b.seen, "seed {seed}, vertex {v}");
+            assert_eq!(a.budget, b.budget, "seed {seed}, vertex {v}");
         }
     }
 }

@@ -63,7 +63,11 @@ pub mod tools;
 pub mod twoecss;
 pub mod workspace;
 
+pub use decss_congest::ShardPool;
 pub use partition::Partition;
 pub use shortcut::{ShortcutQuality, ShortcutScheme};
-pub use twoecss::{shortcut_two_ecss, shortcut_two_ecss_with, ShortcutConfig, ShortcutResult};
-pub use workspace::ShortcutWorkspace;
+pub use twoecss::{
+    shortcut_two_ecss, shortcut_two_ecss_pool, shortcut_two_ecss_with, ShortcutConfig,
+    ShortcutResult,
+};
+pub use workspace::{ShortcutWorkspace, WorkspaceArena};

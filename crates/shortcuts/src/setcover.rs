@@ -23,6 +23,7 @@ use crate::probes;
 use crate::tools::ScTools;
 use crate::workspace::ShortcutWorkspace;
 use decss_congest::ledger::RoundLedger;
+use decss_congest::ShardPool;
 use decss_graphs::{EdgeId, VertexId, Weight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +68,22 @@ pub fn parallel_greedy_tap(
     ledger: &mut RoundLedger,
     ws: &mut ShortcutWorkspace,
 ) -> Option<SetCoverResult> {
+    parallel_greedy_tap_pool(tools, config, ledger, &ShardPool::sequential(), ws)
+}
+
+/// [`parallel_greedy_tap`] with the pure per-candidate maps (LCA
+/// precomputation, cover-count arithmetic) fanned out over `pool`.
+///
+/// The RNG-consuming paths (fingerprint draws, sampling) and every
+/// aggregate sweep stay sequential, so the chosen edges, weight,
+/// repetition and fallback counts are bit-identical at any pool size.
+pub fn parallel_greedy_tap_pool(
+    tools: &ScTools<'_>,
+    config: &SetCoverConfig,
+    ledger: &mut RoundLedger,
+    pool: &ShardPool,
+    ws: &mut ShortcutWorkspace,
+) -> Option<SetCoverResult> {
     let g = tools.graph;
     let tree = tools.tree;
     ws.ensure(g);
@@ -75,7 +92,7 @@ pub fn parallel_greedy_tap(
     let weights: Vec<f64> = candidates.iter().map(|&e| g.weight(e) as f64).collect();
     // Candidate LCAs depend only on the tree: compute them once instead
     // of re-deriving them from the heavy-light labels every phase.
-    let cand_lca: Vec<VertexId> = probes::candidate_lcas(tools, &candidates);
+    let cand_lca: Vec<VertexId> = probes::candidate_lcas_pool(tools, &candidates, pool);
 
     tools.charge_hld_setup(ledger);
 
@@ -118,12 +135,13 @@ pub fn parallel_greedy_tap(
                 break;
             }
             // A: candidates with cost-effectiveness >= delta (1 - eps).
-            probes::marked_cover_counts_into(
+            probes::marked_cover_counts_pool(
                 tools,
                 &candidates,
                 &cand_lca,
                 &marked,
                 ledger,
+                pool,
                 ws,
                 &mut counts,
             );

@@ -52,10 +52,13 @@ pub struct SolveRequest {
     /// sampling, failure injection). `None` keeps each solver's
     /// deterministic default.
     pub seed: Option<u64>,
-    /// Round-engine shard hint: `0` = sequential. Today's library
-    /// pipelines are ledger-accounted (engine-independent), so this is
-    /// echoed into the report but changes no result; message-level
-    /// simulation backends consume it.
+    /// Intra-solve parallelism hint: `0` = sequential. The session arms
+    /// a [`ShardPool`](decss_shortcuts::ShardPool) with this many
+    /// logical workers (threads capped at the host's cores), the
+    /// shortcut pipeline fans its per-part/per-level work out over it,
+    /// and message-level simulation backends shard their rounds by it.
+    /// Results are bit-identical at any value — only wall time changes.
+    /// The effective pool is echoed into the report's `params` line.
     pub shards: usize,
     /// CONGEST bandwidth in `O(log n)`-bit words per edge per round
     /// (default 1, the model the ledger charges). Reports scale their

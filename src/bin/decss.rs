@@ -4,16 +4,16 @@
 //!
 //! ```text
 //! decss solve      --input net.graph [--algorithm NAME] [--epsilon 0.25] [--seed S]
-//!                  [--bandwidth B] [--fail-edges K] [--deadline-ms MS]
+//!                  [--bandwidth B] [--fail-edges K] [--shards K] [--deadline-ms MS]
 //!                  [--trace summary|full] [--json]
 //! decss algorithms [--names]                                    # list the solver registry
 //! decss gen        --family grid --n 100 --seed 7 [--max-weight 64]  # writes the format to stdout
 //! decss verify     --input net.graph --edges 0,3,7,...          # check a 2-ECSS
-//! decss simulate   --input net.graph --protocol bfs [--shards 8] [--root 0] [--bursts 8]
+//! decss simulate   --input net.graph --protocol bfs [--shards 8|auto] [--root 0] [--bursts 8]
 //! decss scenario   --families grid,hard-sqrt --sizes 1000,10000 [--seeds 0,1] \
 //!                  [--algorithms shortcut,improved] [--epsilon 0.25] [--max-weight 64] \
-//!                  [--bandwidth B] [--fail-edges K] [--workers K] [--cache-cap N] \
-//!                  [--out runs.json]
+//!                  [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] \
+//!                  [--cache-cap N] [--out runs.json]
 //! decss serve      --jobs jobs.json [--workers K] [--cache-cap N] [--queue-cap N] \
 //!                  [--out reports.json]
 //! ```
@@ -48,12 +48,12 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  decss solve      --input FILE [--algorithm NAME] [--epsilon E] [--seed S] [--bandwidth B] [--fail-edges K] [--deadline-ms MS] [--trace summary|full] [--json]");
+            eprintln!("  decss solve      --input FILE [--algorithm NAME] [--epsilon E] [--seed S] [--bandwidth B] [--fail-edges K] [--shards K] [--deadline-ms MS] [--trace summary|full] [--json]");
             eprintln!("  decss algorithms [--names]");
             eprintln!("  decss gen        --family NAME --n N [--seed S] [--max-weight W]");
             eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
-            eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K] [--root R] [--bursts B]");
-            eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--workers K] [--cache-cap N] [--out FILE]");
+            eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K|auto] [--root R] [--bursts B]");
+            eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] [--cache-cap N] [--out FILE]");
             eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE]");
             eprintln!();
             eprintln!("run `decss algorithms` for the solver registry NAMEs.");
@@ -156,16 +156,24 @@ fn algorithms(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs a message-level protocol on the round simulator and prints the
-/// metrics. `--shards K` selects the multi-threaded sharded engine
-/// (bit-identical results; a pure performance knob on multicore hosts).
+/// metrics. `--shards K` selects the multi-threaded sharded engine and
+/// `--shards auto` the adaptive one, which shards only rounds whose
+/// message volume amortises the barrier cost (bit-identical results
+/// either way; pure performance knobs on multicore hosts).
 fn simulate(args: &[String]) -> Result<(), String> {
     let g = load(args)?;
     let protocol = flag(args, "--protocol").ok_or("--protocol NAME is required")?;
-    let shards: usize = parse_flag(args, "--shards", 0)?;
-    let engine = if shards == 0 {
-        RoundEngine::Sequential
-    } else {
-        RoundEngine::sharded(shards)
+    let engine = match flag(args, "--shards") {
+        None | Some("0") => RoundEngine::Sequential,
+        Some("auto") => RoundEngine::Auto,
+        Some(s) => {
+            let shards: usize = s.parse().map_err(|_| format!("bad --shards {s}"))?;
+            if shards == 0 {
+                RoundEngine::Sequential
+            } else {
+                RoundEngine::sharded(shards)
+            }
+        }
     };
     let root: u32 = parse_flag(args, "--root", 0)?;
     if root as usize >= g.n() {
@@ -319,7 +327,14 @@ fn scenario(args: &[String]) -> Result<(), String> {
     json.push_str(&format!("    \"bandwidth\": {bandwidth},\n"));
     json.push_str(&format!("    \"fail_edges\": {fail_edges},\n"));
     json.push_str(&format!("    \"nproc\": {nproc},\n"));
-    json.push_str(&format!("    \"workers\": {workers}\n"));
+    json.push_str(&format!("    \"workers\": {workers},\n"));
+    // The effective per-run pool: the `--shards` hint after worker
+    // clamping and the per-worker core split (K workers never
+    // oversubscribe the host between them).
+    let pool =
+        decss::congest::ShardPool::with_thread_cap(probe.shards, (nproc / workers.max(1)).max(1));
+    json.push_str(&format!("    \"shards\": {},\n", probe.shards));
+    json.push_str(&format!("    \"pool\": \"{pool}\"\n"));
     json.push_str("  },\n  \"runs\": [\n");
 
     // The whole grid goes through one SolveService: K warm sessions
@@ -400,7 +415,8 @@ struct JobSpec {
 /// a generated one (`"family"` + `"n"`, optional `"seed"` /
 /// `"max_weight"`) or a graph file (`"input"`) — and optionally the
 /// request knobs `"epsilon"`, `"bandwidth"`, `"fail_edges"`,
-/// `"deadline_ms"`. Identical instance specs share one in-memory graph.
+/// `"shards"`, `"deadline_ms"`. Identical instance specs share one
+/// in-memory graph.
 fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
     let mut specs: Vec<JobSpec> = Vec::new();
     let mut graphs: std::collections::HashMap<String, Arc<Graph>> =
@@ -445,6 +461,9 @@ fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
         }
         if let Some(k) = num("fail_edges")? {
             req = req.fail_edges(k as u32);
+        }
+        if let Some(s) = num("shards")? {
+            req = req.shards(s as usize);
         }
         if let Some(ms) = num("deadline_ms")? {
             req = req.deadline(Duration::from_millis(ms as u64));
@@ -559,8 +578,12 @@ fn serve(args: &[String]) -> Result<(), String> {
         });
     }
     let stats = service.stats();
+    // Host echo: nproc plus the per-worker pool-thread cap (how many
+    // threads a job's "shards" hint can actually get on this run).
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let pool_cap = (nproc / workers.max(1)).max(1);
     let json = format!(
-        "{{\n  \"service\": {{{}}},\n  \"jobs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"service\": {{{}, \"nproc\": {nproc}, \"pool_cap\": {pool_cap}}},\n  \"jobs\": [\n{}\n  ]\n}}\n",
         stats.json_fields(),
         rows.join(",\n")
     );
