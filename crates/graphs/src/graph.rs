@@ -205,6 +205,21 @@ impl Graph {
         &self.ports
     }
 
+    /// Replaces the weight of edge `id` in place.
+    ///
+    /// `O(1)`: weights live only in the edge table — the CSR port arena
+    /// stores `(edge, neighbour)` pairs and needs no rebuild. This is
+    /// what makes reweight-only deltas cheap for the incremental solve
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn set_weight(&mut self, id: EdgeId, weight: Weight) {
+        self.edges[id.index()].weight = weight;
+    }
+
     /// Sum of all edge weights.
     pub fn total_weight(&self) -> Weight {
         crate::weight::total(self.edges.iter().map(|e| e.weight))

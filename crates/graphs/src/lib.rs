@@ -33,6 +33,7 @@
 pub mod algo;
 pub mod builder;
 pub mod edge;
+pub mod fingerprint;
 pub mod gen;
 pub mod graph;
 pub mod io;

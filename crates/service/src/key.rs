@@ -2,44 +2,20 @@
 //! plus the normalized result-shaping knobs of a [`SolveRequest`].
 
 use decss_graphs::Graph;
-use decss_solver::SolveRequest;
-
-/// FNV-1a over a stream of `u64` words: small, dependency-free, and
-/// stable across runs/platforms (no randomized hasher state), which is
-/// what a cache key that may be logged or asserted on needs.
-#[derive(Clone, Copy, Debug)]
-struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-
-    fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    fn word(&mut self, w: u64) {
-        for b in w.to_le_bytes() {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
-        }
-    }
-}
+use decss_solver::{delta_fingerprint, SolveRequest};
 
 /// A structural fingerprint of a graph: vertex count, edge count, and
-/// every `(u, v, weight)` triple in id order. Two graphs share a
+/// the multiset of `(u, v, weight)` triples. Two graphs share a
 /// fingerprint exactly when they are the same labelled weighted graph
 /// (up to the astronomically unlikely 64-bit collision), so it is the
 /// graph half of an [`InstanceCache`](crate::InstanceCache) key.
+///
+/// Delegates to [`decss_graphs::fingerprint::graph_fingerprint`]: the
+/// order-independent hash that delta streams can update in
+/// `O(|delta|)`, so a mutated instance's key is computable without
+/// rebuilding (or even walking) the mutated graph.
 pub fn graph_fingerprint(g: &Graph) -> u64 {
-    let mut h = Fnv::new();
-    h.word(g.n() as u64);
-    h.word(g.m() as u64);
-    for (_, e) in g.edges() {
-        h.word(e.u.0 as u64);
-        h.word(e.v.0 as u64);
-        h.word(e.weight);
-    }
-    h.0
+    decss_graphs::fingerprint::graph_fingerprint(g)
 }
 
 /// The full cache key of one job: the graph fingerprint plus the
@@ -64,12 +40,27 @@ pub struct JobKey {
 
 impl JobKey {
     /// The key of `(g, req)`.
+    ///
+    /// Delta jobs key under the **mutated** graph's fingerprint — the
+    /// chained value [`delta_fingerprint`] derives from the base graph
+    /// and the batch — so a follow-up job against the materialized
+    /// mutated graph, and a resubmission of the same delta job, land on
+    /// consistent fingerprints. (The request half still carries the
+    /// delta echo, so "solve the mutated graph from scratch" and
+    /// "apply this batch" remain distinct cache entries.)
     pub fn new(g: &Graph, req: &SolveRequest) -> Self {
         // `params_echo` covers epsilon/variant/seed/shards/bandwidth/
-        // fail_edges with defaults spelled out; algorithm and trace are
-        // the two result-shaping knobs it omits.
+        // fail_edges/deltas with defaults spelled out; algorithm and
+        // trace are the two result-shaping knobs it omits.
         let request = format!("{} {} trace={:?}", req.algorithm, req.params_echo(), req.trace);
-        JobKey { fingerprint: graph_fingerprint(g), request }
+        let fingerprint = if req.deltas.is_empty() {
+            graph_fingerprint(g)
+        } else {
+            // An invalid batch fails the solve anyway; any deterministic
+            // key will do for its error row.
+            delta_fingerprint(g, &req.deltas).unwrap_or_else(|_| graph_fingerprint(g))
+        };
+        JobKey { fingerprint, request }
     }
 }
 
@@ -91,6 +82,30 @@ mod tests {
         // change the fingerprint.
         assert_ne!(graph_fingerprint(&a), graph_fingerprint(&gen::grid(4, 4, 20, 8)));
         assert_ne!(graph_fingerprint(&a), graph_fingerprint(&gen::grid(4, 5, 20, 7)));
+    }
+
+    #[test]
+    fn delta_jobs_key_under_the_chained_mutated_fingerprint() {
+        use decss_graphs::EdgeId;
+        use decss_solver::{mutate, GraphDelta};
+        let g = gen::grid(4, 4, 20, 7);
+        let deltas = vec![
+            GraphDelta::Reweight { edge: EdgeId(2), weight: 123 },
+            GraphDelta::Delete { edge: EdgeId(5) },
+        ];
+        let req = SolveRequest::new("shortcut").deltas(deltas.clone());
+        let key = JobKey::new(&g, &req);
+        // The fingerprint half is the mutated graph's, derived without
+        // materializing it...
+        let mutated = mutate(&g, &deltas).unwrap();
+        assert_eq!(key.fingerprint, graph_fingerprint(&mutated));
+        // ...and resubmitting the same delta job hits the same key,
+        // while a from-scratch solve of the mutated graph stays distinct
+        // through the request half.
+        assert_eq!(key, JobKey::new(&g, &req));
+        let plain = JobKey::new(&mutated, &SolveRequest::new("shortcut"));
+        assert_eq!(plain.fingerprint, key.fingerprint);
+        assert_ne!(plain, key);
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   counting via `M_v + M_u − 2 M_w` (Lemma 5.5),
 //! * [`setcover`] — the parallel greedy set-cover driver (Section 5.1),
 //! * [`twoecss`] — the public entry point [`shortcut_two_ecss`],
+//! * [`dynamic`] — incremental re-solves on dynamic graphs: a
+//!   [`DynamicInstance`] retains the solved pipeline state and absorbs
+//!   edge deltas, re-running only the damaged parts and levels while
+//!   staying byte-identical to a fresh solve of the mutated graph,
 //! * [`workspace`] — the epoch-stamped flat scratch buffers the hot
 //!   paths run on (one [`ShortcutWorkspace`] per pipeline run),
 //! * [`naive`] — the pre-rewrite `HashMap`-based reference
@@ -53,6 +57,7 @@
 //! # Ok::<(), decss_shortcuts::twoecss::NotTwoEdgeConnected>(())
 //! ```
 
+pub mod dynamic;
 pub mod fragments;
 pub mod naive;
 pub mod partition;
@@ -64,6 +69,9 @@ pub mod twoecss;
 pub mod workspace;
 
 pub use decss_congest::ShardPool;
+pub use dynamic::{
+    delta_fingerprint, mutate, DeltaError, DynamicInstance, GraphDelta, IncrementalStats,
+};
 pub use partition::Partition;
 pub use shortcut::{ShortcutQuality, ShortcutScheme};
 pub use twoecss::{

@@ -15,10 +15,17 @@
 //! Nothing here is called on the production path.
 
 use crate::partition::Partition;
+use crate::probes;
+use crate::setcover::{SetCoverConfig, SetCoverResult};
 use crate::shortcut::{ShortcutQuality, ShortcutScheme};
+use crate::tools::ScTools;
+use crate::workspace::ShortcutWorkspace;
+use decss_congest::ledger::RoundLedger;
 use decss_graphs::algo::BfsTree;
 use decss_graphs::{EdgeId, Graph, VertexId};
 use decss_tree::{HeavyLight, RootedTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The threshold-BFS construction (pre-rewrite reference).
@@ -213,4 +220,171 @@ pub fn level_quality(
             best_shortcut(g, bfs, &partition)
         })
         .collect()
+}
+
+/// The pre-rewrite set-cover driver, preserved verbatim (modulo the pool
+/// fan-out, which was bit-identical to the sequential sweep anyway): the
+/// dense per-repetition cover probe plus full-array marked bookkeeping
+/// that [`crate::setcover::parallel_greedy_tap_pool`]'s sparse
+/// virtual-tree engine replaced. The `driver_equivalence` tests pin the
+/// rewrite bit-identical to this — same chosen edges, same repetition
+/// and fallback counts, same ledger breakdown.
+pub fn greedy_tap_reference(
+    tools: &ScTools<'_>,
+    config: &SetCoverConfig,
+    ledger: &mut RoundLedger,
+    ws: &mut ShortcutWorkspace,
+) -> Option<SetCoverResult> {
+    let g = tools.graph;
+    let tree = tools.tree;
+    ws.ensure(g);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let candidates: Vec<EdgeId> = g.edge_ids().filter(|&e| !tree.is_tree_edge(e)).collect();
+    let weights: Vec<f64> = candidates.iter().map(|&e| g.weight(e) as f64).collect();
+    let cand_lca: Vec<VertexId> = probes::candidate_lcas(tools, &candidates);
+
+    tools.charge_hld_setup(ledger);
+
+    // marked[v] = tree edge above v still uncovered.
+    let mut marked: Vec<bool> = (0..tree.n())
+        .map(|vi| tree.parent(decss_graphs::VertexId(vi as u32)).is_some())
+        .collect();
+    let mut chosen_mask = vec![false; candidates.len()];
+    let mut repetitions = 0u32;
+
+    let mut covered: Vec<bool> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut loads: Vec<u32> = Vec::new();
+    let mut bucket: Vec<u32> = Vec::new();
+    let mut bucket_edges: Vec<EdgeId> = Vec::new();
+    let mut bucket_lcas: Vec<VertexId> = Vec::new();
+    let mut sample: Vec<u32> = Vec::new();
+    let mut sample_edges: Vec<EdgeId> = Vec::new();
+
+    // Feasibility check: every tree edge covered by some candidate.
+    {
+        probes::covered_mask_into(tools, &candidates, &mut rng, ledger, ws, &mut covered);
+        if (0..tree.n()).any(|vi| marked[vi] && !covered[vi]) {
+            return None;
+        }
+    }
+
+    let eps = config.epsilon;
+    let n = tree.n() as f64;
+    let w_max = g.max_weight().max(1) as f64;
+    let mut delta = n;
+    let delta_min = 1.0 / w_max;
+
+    while delta >= delta_min / (1.0 + eps) {
+        loop {
+            if !marked.iter().any(|&m| m) {
+                break;
+            }
+            probes::marked_cover_counts_into(
+                tools,
+                &candidates,
+                &cand_lca,
+                &marked,
+                ledger,
+                ws,
+                &mut counts,
+            );
+            ledger.charge("sc.broadcast", 2 * tools.bfs_depth as u64);
+            bucket.clear();
+            bucket.extend((0..candidates.len() as u32).filter(|&i| {
+                let i = i as usize;
+                !chosen_mask[i]
+                    && counts[i] > 0
+                    && counts[i] as f64 / weights[i].max(1.0) >= delta * (1.0 - eps)
+            }));
+            if bucket.is_empty() {
+                break;
+            }
+            bucket_edges.clear();
+            bucket_lcas.clear();
+            for &i in &bucket {
+                bucket_edges.push(candidates[i as usize]);
+                bucket_lcas.push(cand_lca[i as usize]);
+            }
+            probes::path_load_into(tools, &bucket_edges, &bucket_lcas, ledger, ws, &mut loads);
+            let d = (0..tree.n())
+                .filter(|&vi| marked[vi])
+                .map(|vi| loads[vi])
+                .max()
+                .unwrap_or(0)
+                .max(1);
+
+            let p = 1.0 / (2.0 * d as f64);
+            let mut progressed = false;
+            for _ in 0..config.reps {
+                repetitions += 1;
+                sample.clear();
+                sample.extend(bucket.iter().copied().filter(|_| rng.gen_bool(p)));
+                if sample.is_empty() {
+                    continue;
+                }
+                sample_edges.clear();
+                sample_edges.extend(sample.iter().map(|&i| candidates[i as usize]));
+                probes::covered_mask_into(tools, &sample_edges, &mut rng, ledger, ws, &mut covered);
+                ledger.charge("sc.broadcast", 2 * tools.bfs_depth as u64);
+                let newly: u32 =
+                    (0..tree.n()).filter(|&vi| marked[vi] && covered[vi]).count() as u32;
+                let sample_weight: f64 = sample.iter().map(|&i| weights[i as usize]).sum();
+                if (newly as f64) >= delta / 100.0 * sample_weight {
+                    for &i in &sample {
+                        chosen_mask[i as usize] = true;
+                    }
+                    for vi in 0..tree.n() {
+                        if covered[vi] {
+                            marked[vi] = false;
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        delta /= 1.0 + eps;
+    }
+
+    let mut fallbacks = 0u32;
+    if marked.iter().any(|&m| m) {
+        let lca_oracle = decss_tree::LcaOracle::new(tree);
+        let covers = |id: EdgeId, v: decss_graphs::VertexId| -> bool {
+            let e = g.edge(id);
+            let w = lca_oracle.lca(e.u, e.v);
+            (lca_oracle.is_ancestor(v, e.u) || lca_oracle.is_ancestor(v, e.v))
+                && lca_oracle.is_proper_ancestor(w, v)
+        };
+        for vi in 0..tree.n() {
+            if !marked[vi] {
+                continue;
+            }
+            let v = decss_graphs::VertexId(vi as u32);
+            ledger.charge("sc.fallback", tools.pass_cost());
+            let (_, i) = candidates
+                .iter()
+                .enumerate()
+                .filter(|&(_, &id)| covers(id, v))
+                .map(|(i, &id)| (g.weight(id), i))
+                .min()
+                .expect("feasibility was checked upfront");
+            chosen_mask[i] = true;
+            fallbacks += 1;
+            for x in 0..tree.n() {
+                if marked[x] && covers(candidates[i], decss_graphs::VertexId(x as u32)) {
+                    marked[x] = false;
+                }
+            }
+        }
+    }
+
+    let chosen: Vec<EdgeId> = (0..candidates.len())
+        .filter(|&i| chosen_mask[i])
+        .map(|i| candidates[i])
+        .collect();
+    let weight = g.weight_of(chosen.iter().copied());
+    Some(SetCoverResult { chosen, weight, repetitions, fallbacks })
 }

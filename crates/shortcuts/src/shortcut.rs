@@ -293,6 +293,101 @@ pub fn tree_restricted_pool(
     ShortcutQuality { alpha, beta, scheme: ShortcutScheme::TreeRestricted }
 }
 
+/// Per-part measurement of one level: both constructions' radii plus
+/// their `α` values — the retained state of the incremental solve path
+/// (a delta re-runs only the dirty parts' radii and recombines).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct LevelRadii {
+    /// Threshold-BFS radius of every part, in part order.
+    pub thr: Vec<u32>,
+    /// Tree-restricted radius of every part, in part order.
+    pub tr: Vec<u32>,
+    /// Threshold-BFS `α` (big-part count + 1, or 1).
+    pub thr_alpha: u32,
+    /// Tree-restricted `α` (max Steiner edge load + 1).
+    pub tr_alpha: u32,
+}
+
+impl LevelRadii {
+    /// Recombines exactly as [`best_shortcut_ws`] does: threshold-BFS
+    /// wins ties.
+    pub fn quality(&self) -> ShortcutQuality {
+        let a = ShortcutQuality {
+            alpha: self.thr_alpha,
+            beta: self.thr.iter().copied().max().unwrap_or(0),
+            scheme: ShortcutScheme::ThresholdBfs,
+        };
+        let b = ShortcutQuality {
+            alpha: self.tr_alpha,
+            beta: self.tr.iter().copied().max().unwrap_or(0),
+            scheme: ShortcutScheme::TreeRestricted,
+        };
+        if a.cost() <= b.cost() {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// [`best_shortcut_ws`] with the per-part radii captured instead of
+/// folded away — same loops, same `α` formulas, so
+/// `measure_level_radii(..).quality() == best_shortcut_ws(..)` (pinned
+/// by a unit test below).
+pub(crate) fn measure_level_radii(
+    g: &Graph,
+    bfs: &BfsTree,
+    partition: &Partition,
+    ws: &mut ShortcutWorkspace,
+) -> LevelRadii {
+    ws.ensure(g);
+    // Threshold-BFS pass (mirrors threshold_bfs_ws).
+    let threshold = (g.n() as f64).sqrt().ceil() as usize;
+    let tree_epoch = ws.bump();
+    let mut tree_edges = 0u32;
+    for e in bfs.tree_edges() {
+        ws.estamp[e.index()] = tree_epoch;
+        tree_edges += 1;
+    }
+    let mut thr = Vec::with_capacity(partition.len());
+    let mut big_parts = 0u32;
+    for pi in 0..partition.len() {
+        let hi_epoch = if partition.part(pi).len() >= threshold {
+            big_parts += 1;
+            Some(tree_epoch)
+        } else {
+            None
+        };
+        thr.push(part_radius_ws(g, partition, pi, hi_epoch, ws));
+    }
+    let thr_alpha = if big_parts > 0 && tree_edges > 0 {
+        big_parts + 1
+    } else {
+        1
+    };
+    // Tree-restricted pass (mirrors tree_restricted_ws).
+    let load_epoch = ws.bump();
+    ws.touched.clear();
+    let mut tr = Vec::with_capacity(partition.len());
+    for pi in 0..partition.len() {
+        let part = partition.part(pi);
+        let hi_epoch = steiner_into(bfs, part, ws);
+        for k in 0..ws.hi_buf.len() {
+            let e = ws.hi_buf[k].index();
+            if ws.lstamp[e] == load_epoch {
+                ws.eload[e] += 1;
+            } else {
+                ws.lstamp[e] = load_epoch;
+                ws.eload[e] = 1;
+                ws.touched.push(ws.hi_buf[k]);
+            }
+        }
+        tr.push(part_radius_ws(g, partition, pi, Some(hi_epoch), ws));
+    }
+    let tr_alpha = ws.touched.iter().map(|e| ws.eload[e.index()]).max().unwrap_or(0) + 1;
+    LevelRadii { thr, tr, thr_alpha, tr_alpha }
+}
+
 /// The minimal BFS-tree subtree spanning `part`: the union of tree paths
 /// from each vertex to the part's topmost common ancestor, pruned at
 /// already-visited vertices (linear in the Steiner tree size).
@@ -316,7 +411,7 @@ pub fn steiner_edges(bfs: &BfsTree, part: &[VertexId]) -> Vec<EdgeId> {
 /// Builds the Steiner union into `ws.hi_buf`, stamping the kept edges
 /// in `ws.estamp` with the returned epoch (the `H_i` membership test
 /// used by [`part_radius_ws`]).
-fn steiner_into(bfs: &BfsTree, part: &[VertexId], ws: &mut ShortcutWorkspace) -> u32 {
+pub(crate) fn steiner_into(bfs: &BfsTree, part: &[VertexId], ws: &mut ShortcutWorkspace) -> u32 {
     // Union of root paths, pruned at already-visited vertices.
     let visit_epoch = ws.bump();
     ws.steiner_buf.clear();
@@ -384,7 +479,7 @@ fn steiner_into(bfs: &BfsTree, part: &[VertexId], ws: &mut ShortcutWorkspace) ->
 /// adjacency; stops expanding once every part vertex has its distance
 /// (BFS distances are final on assignment, so the early exit cannot
 /// change the returned maximum).
-fn part_radius_ws(
+pub(crate) fn part_radius_ws(
     g: &Graph,
     partition: &Partition,
     pi: usize,
@@ -518,6 +613,33 @@ mod tests {
                 tree_restricted_ws(&g, &bfs, &p, &mut ws),
                 crate::naive::tree_restricted(&g, &bfs, &p)
             );
+        }
+    }
+
+    #[test]
+    fn measured_radii_recombine_to_best_shortcut() {
+        for (g, seed) in [
+            (gen::gnp_two_ec(96, 0.06, 24, 11), 11),
+            (gen::grid(9, 9, 16, 4), 4),
+            (gen::outerplanar_disk(80, 1.0, 24, 7), 7),
+        ] {
+            let tree = decss_tree::RootedTree::mst(&g);
+            let euler = decss_tree::EulerTour::new(&tree);
+            let hld = decss_tree::HeavyLight::new(&tree, &euler);
+            let h = crate::fragments::FragmentHierarchy::new(&tree, &hld);
+            let bfs = algo::bfs_tree(&g, tree.root());
+            let mut ws = ShortcutWorkspace::new(&g);
+            for d in 0..h.num_levels() {
+                let p = h.level_partition(&g, d);
+                let radii = measure_level_radii(&g, &bfs, &p, &mut ws);
+                assert_eq!(
+                    radii.quality(),
+                    best_shortcut_ws(&g, &bfs, &p, &mut ws),
+                    "seed {seed} level {d}"
+                );
+                assert_eq!(radii.thr.len(), p.len());
+                assert_eq!(radii.tr.len(), p.len());
+            }
         }
     }
 

@@ -121,6 +121,24 @@ impl<'a> ScTools<'a> {
         }
     }
 
+    /// Assembles tools from already-built parts — the incremental solve
+    /// path's constructor: [`crate::dynamic::DynamicInstance`] retains
+    /// the decomposition and per-level qualities across deltas and
+    /// rebuilds only what a delta touched, so nothing here is
+    /// recomputed. The caller guarantees the parts are exactly what
+    /// [`ScTools::new_with`] would have produced for `(graph, tree)`;
+    /// the `incremental_equivalence` suite pins that end to end.
+    pub fn from_parts(
+        graph: &'a Graph,
+        tree: &'a RootedTree,
+        hld: HeavyLight,
+        hierarchy: FragmentHierarchy,
+        level_quality: Vec<ShortcutQuality>,
+        bfs_depth: u32,
+    ) -> Self {
+        ScTools { graph, tree, hld, hierarchy, level_quality, bfs_depth }
+    }
+
     /// Rounds of one full pass over the hierarchy (one tool invocation):
     /// `Σ_levels (α_d + β_d)` plus a global broadcast.
     pub fn pass_cost(&self) -> u64 {

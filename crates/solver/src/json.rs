@@ -49,6 +49,40 @@ pub fn number_field(line: &str, key: &str) -> Option<f64> {
     rest.parse().ok()
 }
 
+/// Extracts the items of `"key": ["a", "b", ...]` from a JSON-ish
+/// line, undoing [`escape`] per item. `Some(vec![])` for an empty
+/// array; `None` when the key is absent or the array is malformed
+/// (unterminated, or holding non-string items).
+pub fn string_array_field(line: &str, key: &str) -> Option<Vec<String>> {
+    let pat = format!("\"{key}\": [");
+    let start = line.find(&pat)? + pat.len();
+    let mut chars = line[start..].chars();
+    let mut out = Vec::new();
+    loop {
+        let c = loop {
+            match chars.next()? {
+                c if c.is_whitespace() || c == ',' => continue,
+                c => break c,
+            }
+        };
+        match c {
+            ']' => return Some(out),
+            '"' => {
+                let mut item = String::new();
+                loop {
+                    match chars.next()? {
+                        '"' => break,
+                        '\\' => item.push(chars.next()?),
+                        ch => item.push(ch),
+                    }
+                }
+                out.push(item);
+            }
+            _ => return None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +101,18 @@ mod tests {
         assert_eq!(number_field(line, "b"), Some(-350.0));
         assert_eq!(number_field(line, "c"), None);
         assert_eq!(number_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn string_array_field_reads_items_and_rejects_malformed_arrays() {
+        let line = "{\"deltas\": [\"rw(3,9)\", \"del(5)\"], \"empty\": [], \"n\": 4}";
+        assert_eq!(
+            string_array_field(line, "deltas"),
+            Some(vec!["rw(3,9)".to_string(), "del(5)".to_string()])
+        );
+        assert_eq!(string_array_field(line, "empty"), Some(vec![]));
+        assert_eq!(string_array_field(line, "missing"), None);
+        assert_eq!(string_array_field("{\"a\": [\"x\"", "a"), None);
+        assert_eq!(string_array_field("{\"a\": [3, 4]}", "a"), None);
     }
 }

@@ -62,6 +62,13 @@ pub use report::SolveReport;
 pub use request::{SolveRequest, TraceLevel};
 pub use session::{inject_failures, SolverSession};
 
+// The delta vocabulary of [`SolveRequest::deltas`], re-exported so
+// consumers (the service, the CLI) speak it without depending on
+// `decss_shortcuts` directly.
+pub use decss_shortcuts::{
+    delta_fingerprint, mutate, DeltaError, DynamicInstance, GraphDelta, IncrementalStats,
+};
+
 // The one certified-ratio definition (0-lower-bound pins to 1.0),
 // shared with the legacy result types in `decss_core` /
 // `decss_shortcuts` — it lives in `decss_graphs::weight` because that

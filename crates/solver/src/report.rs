@@ -3,7 +3,7 @@
 use crate::json::escape;
 use decss_core::algorithm::TapStats;
 use decss_graphs::{weight, EdgeId, Weight};
-use decss_shortcuts::ShortcutQuality;
+use decss_shortcuts::{IncrementalStats, ShortcutQuality};
 use std::fmt::Write as _;
 
 /// The unified result of a solve: what used to be four incompatible
@@ -64,6 +64,13 @@ pub struct SolveReport {
     /// Edges removed by failure injection, as ids of the *original*
     /// graph (empty when the request asked for none).
     pub failed_edges: Vec<EdgeId>,
+    /// What the incremental engine re-ran, for delta-stream `shortcut`
+    /// solves (`None` for every other solve).
+    pub incremental: Option<IncrementalStats>,
+    /// Order-independent fingerprint of the solved (mutated) graph,
+    /// echoed for delta requests so callers can chain follow-up cache
+    /// keys without rehashing the graph.
+    pub fingerprint: Option<u64>,
     /// Whether the chosen subgraph was verified 2-edge-connected and
     /// spanning (the session re-checks every output).
     pub valid: bool,
@@ -150,6 +157,16 @@ impl SolveReport {
                 self.level_quality.len()
             );
         }
+        if let Some(inc) = self.incremental {
+            let _ = writeln!(
+                out,
+                "incremental: parts-redone={} levels-redone={} fell-back={}",
+                inc.parts_redone, inc.levels_redone, inc.fell_back
+            );
+        }
+        if let Some(fp) = self.fingerprint {
+            let _ = writeln!(out, "fingerprint: {fp:#018x}");
+        }
         let _ = writeln!(out, "wall-clock: {:.3} ms", self.wall_ms);
         for line in &self.trace {
             let _ = writeln!(out, "trace: {line}");
@@ -209,6 +226,17 @@ impl SolveReport {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
+        }
+        if let Some(inc) = self.incremental {
+            let _ = write!(
+                out,
+                ", \"incremental\": {{\"parts_redone\": {}, \"levels_redone\": {}, \
+                 \"fell_back\": {}}}",
+                inc.parts_redone, inc.levels_redone, inc.fell_back
+            );
+        }
+        if let Some(fp) = self.fingerprint {
+            let _ = write!(out, ", \"fingerprint\": {fp}");
         }
         // Last on purpose: the one nondeterministic field, so sweep
         // consumers can diff rows by stripping the tail.
@@ -303,6 +331,27 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("certified-ratio: n/a"), "{text}");
         assert!(!text.contains("certified-ratio: 1.000"), "{text}");
+    }
+
+    #[test]
+    fn incremental_block_and_fingerprint_render_before_wall_ms() {
+        let mut r = sample();
+        r.incremental =
+            Some(IncrementalStats { parts_redone: 3, levels_redone: 2, fell_back: false });
+        r.fingerprint = Some(42);
+        let fields = r.json_fields();
+        let inc = fields
+            .find("\"incremental\": {\"parts_redone\": 3, \"levels_redone\": 2, \"fell_back\": false}")
+            .expect("incremental block present");
+        let fp = fields.find("\"fingerprint\": 42").expect("fingerprint present");
+        let wall = fields.find("\"wall_ms\"").expect("wall_ms present");
+        assert!(inc < fp && fp < wall, "{fields}");
+        let text = r.render_text();
+        assert!(text.contains("incremental: parts-redone=3 levels-redone=2 fell-back=false"));
+        // Absent for non-delta solves.
+        let plain = sample();
+        assert!(!plain.json_fields().contains("incremental"));
+        assert!(!plain.json_fields().contains("fingerprint"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! [`SolveRequest`]: the one request schema every solver consumes.
 
 use decss_core::Variant;
+use decss_shortcuts::GraphDelta;
+use std::fmt::Write as _;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
@@ -70,7 +72,18 @@ pub struct SolveRequest {
     /// Edge-failure injection: remove up to this many seeded-random
     /// edges (keeping the graph 2-edge-connected) *before* solving, and
     /// report which ones fell. `0` (default) solves the graph as given.
+    /// Mutually exclusive with [`deltas`](SolveRequest::deltas).
     pub fail_edges: u32,
+    /// Edge deltas to apply to the input graph before solving, with
+    /// [`GraphDelta`]'s pre-batch-id semantics. For the `shortcut`
+    /// algorithm the session solves the mutated graph *incrementally*
+    /// against its retained
+    /// [`DynamicInstance`](decss_shortcuts::DynamicInstance) state (the
+    /// report's `incremental` block says what was redone); other
+    /// algorithms solve the mutated graph from scratch. Either way the
+    /// report's edge ids live in the mutated graph's id space. Empty
+    /// (default) solves the graph as given.
+    pub deltas: Vec<GraphDelta>,
     /// Wall-clock budget. Solvers poll it at phase boundaries
     /// (best-effort: a phase that is already running completes), and
     /// return [`SolveError::DeadlineExceeded`](crate::SolveError) once
@@ -95,6 +108,7 @@ impl SolveRequest {
             shards: 0,
             bandwidth: 1,
             fail_edges: 0,
+            deltas: Vec::new(),
             deadline: None,
             cancel: None,
             trace: TraceLevel::Silent,
@@ -137,6 +151,13 @@ impl SolveRequest {
         self
     }
 
+    /// Applies edge deltas to the graph before solving (incrementally,
+    /// for the `shortcut` algorithm).
+    pub fn deltas(mut self, deltas: Vec<GraphDelta>) -> Self {
+        self.deltas = deltas;
+        self
+    }
+
     /// Sets the wall-clock budget.
     pub fn deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
@@ -163,10 +184,31 @@ impl SolveRequest {
             Some(v) => format!("{v:?}").to_lowercase(),
         };
         let seed = self.seed.map_or("default".to_string(), |s| s.to_string());
-        format!(
+        let mut echo = format!(
             "epsilon={} variant={variant} seed={seed} shards={} bandwidth={} fail_edges={}",
             self.epsilon, self.shards, self.bandwidth, self.fail_edges
-        )
+        );
+        // Appended only when present, so delta-less echoes (and the
+        // cache keys / golden pins derived from them) stay unchanged.
+        if !self.deltas.is_empty() {
+            echo.push_str(" deltas=[");
+            for (i, d) in self.deltas.iter().enumerate() {
+                if i > 0 {
+                    echo.push(',');
+                }
+                let _ = match *d {
+                    GraphDelta::Reweight { edge, weight } => {
+                        write!(echo, "rw({},{weight})", edge.0)
+                    }
+                    GraphDelta::Delete { edge } => write!(echo, "del({})", edge.0),
+                    GraphDelta::Insert { u, v, weight } => {
+                        write!(echo, "ins({},{},{weight})", u.0, v.0)
+                    }
+                };
+            }
+            echo.push(']');
+        }
+        echo
     }
 }
 
@@ -201,6 +243,20 @@ mod tests {
         assert!(echo.contains("epsilon=0.5"), "{echo}");
         assert!(echo.contains("variant=basic"), "{echo}");
         assert!(echo.contains("seed=9"), "{echo}");
+    }
+
+    #[test]
+    fn delta_echo_is_appended_only_when_present() {
+        use decss_graphs::{EdgeId, VertexId};
+        let plain = SolveRequest::new("shortcut");
+        assert!(!plain.params_echo().contains("deltas"));
+        let req = plain.deltas(vec![
+            GraphDelta::Reweight { edge: EdgeId(3), weight: 17 },
+            GraphDelta::Delete { edge: EdgeId(5) },
+            GraphDelta::Insert { u: VertexId(2), v: VertexId(9), weight: 4 },
+        ]);
+        let echo = req.params_echo();
+        assert!(echo.ends_with("deltas=[rw(3,17),del(5),ins(2,9,4)]"), "{echo}");
     }
 
     #[test]

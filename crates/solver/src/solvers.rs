@@ -10,7 +10,7 @@ use decss_baselines::{cheapest_cover_tap, exact_two_ecss, greedy_tap};
 use decss_congest::ledger::RoundLedger;
 use decss_core::{approximate_two_ecss, TapConfig, TwoEcssConfig, Variant};
 use decss_graphs::{algo, EdgeId, Graph, Weight};
-use decss_shortcuts::{shortcut_two_ecss_pool, ShortcutConfig};
+use decss_shortcuts::{shortcut_two_ecss_pool, ShortcutConfig, ShortcutResult};
 use decss_tree::RootedTree;
 
 /// Factories for every built-in solver, in the registration order of
@@ -132,50 +132,64 @@ impl Solver for ShortcutSolver {
         cx: &mut SolveCx,
     ) -> Result<SolveReport, SolveError> {
         cx.checkpoint()?;
-        let mut config = ShortcutConfig::default();
-        config.setcover.epsilon = req.epsilon;
-        if let Some(seed) = req.seed {
-            config.setcover.seed = seed;
-        }
+        let config = shortcut_config(req);
         // The armed pool mirrors the request's `shards` hint; the pooled
         // pipeline is bit-identical to the sequential one at any size.
         let (pool, arena) = cx.pool_scratch();
         let res = shortcut_two_ecss_pool(g, &config, pool, arena)?;
         cx.checkpoint()?;
-        let mut trace = Vec::new();
-        if req.trace >= TraceLevel::Summary {
+        Ok(shortcut_report(res, req))
+    }
+}
+
+/// The request knobs folded into the shortcut pipeline's config — the
+/// one mapping, shared with the session's incremental delta path.
+pub(crate) fn shortcut_config(req: &SolveRequest) -> ShortcutConfig {
+    let mut config = ShortcutConfig::default();
+    config.setcover.epsilon = req.epsilon;
+    if let Some(seed) = req.seed {
+        config.setcover.seed = seed;
+    }
+    config
+}
+
+/// [`ShortcutResult`] → [`SolveReport`] assembly (label, trace, field
+/// mapping), shared by [`ShortcutSolver`] and the session's incremental
+/// delta path so both produce the identical report for the same result.
+pub(crate) fn shortcut_report(res: ShortcutResult, req: &SolveRequest) -> SolveReport {
+    let mut trace = Vec::new();
+    if req.trace >= TraceLevel::Summary {
+        trace.push(format!(
+            "levels={} measured-sc={} pass-cost={} repetitions={} fallbacks={}",
+            res.level_quality.len(),
+            res.measured_sc,
+            res.pass_cost,
+            res.repetitions,
+            res.fallbacks
+        ));
+        for (d, q) in res.level_quality.iter().enumerate() {
             trace.push(format!(
-                "levels={} measured-sc={} pass-cost={} repetitions={} fallbacks={}",
-                res.level_quality.len(),
-                res.measured_sc,
-                res.pass_cost,
-                res.repetitions,
-                res.fallbacks
+                "level {d}: alpha={} beta={} scheme={:?}",
+                q.alpha, q.beta, q.scheme
             ));
-            for (d, q) in res.level_quality.iter().enumerate() {
-                trace.push(format!(
-                    "level {d}: alpha={} beta={} scheme={:?}",
-                    q.alpha, q.beta, q.scheme
-                ));
-            }
         }
-        ledger_trace(&mut trace, req.trace, &res.ledger);
-        Ok(SolveReport {
-            algorithm: "shortcut".into(),
-            label: "shortcut (Theorem 1.2)".into(),
-            edges: res.edges.clone(),
-            weight: res.total_weight(),
-            mst_weight: Some(res.mst_weight),
-            augmentation_weight: Some(res.augmentation_weight),
-            lower_bound: res.lower_bound(),
-            rounds: Some(res.ledger.total_rounds()),
-            measured_sc: Some(res.measured_sc),
-            level_quality: res.level_quality,
-            pass_cost: Some(res.pass_cost),
-            fallbacks: Some(res.fallbacks),
-            trace,
-            ..SolveReport::default()
-        })
+    }
+    ledger_trace(&mut trace, req.trace, &res.ledger);
+    SolveReport {
+        algorithm: "shortcut".into(),
+        label: "shortcut (Theorem 1.2)".into(),
+        edges: res.edges.clone(),
+        weight: res.total_weight(),
+        mst_weight: Some(res.mst_weight),
+        augmentation_weight: Some(res.augmentation_weight),
+        lower_bound: res.lower_bound(),
+        rounds: Some(res.ledger.total_rounds()),
+        measured_sc: Some(res.measured_sc),
+        level_quality: res.level_quality,
+        pass_cost: Some(res.pass_cost),
+        fallbacks: Some(res.fallbacks),
+        trace,
+        ..SolveReport::default()
     }
 }
 

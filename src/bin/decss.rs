@@ -5,7 +5,7 @@
 //! ```text
 //! decss solve      --input net.graph [--algorithm NAME] [--epsilon 0.25] [--seed S]
 //!                  [--bandwidth B] [--fail-edges K] [--shards K] [--deadline-ms MS]
-//!                  [--trace summary|full] [--json]
+//!                  [--deltas "rw(3,9),del(5),ins(2,9,4)"] [--trace summary|full] [--json]
 //! decss algorithms [--names]                                    # list the solver registry
 //! decss gen        --family grid --n 100 --seed 7 [--max-weight 64]  # writes the format to stdout
 //! decss verify     --input net.graph --edges 0,3,7,...          # check a 2-ECSS
@@ -34,8 +34,8 @@ use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
 use decss::graphs::{algo, gen, io, EdgeId, Graph, VertexId};
 use decss::service::{ServiceConfig, SolveService};
-use decss::solver::json::{number_field, string_field};
-use decss::solver::{SolveReport, SolveRequest, SolverSession, TraceLevel};
+use decss::solver::json::{number_field, string_array_field, string_field};
+use decss::solver::{GraphDelta, SolveReport, SolveRequest, SolverSession, TraceLevel};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,7 +48,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  decss solve      --input FILE [--algorithm NAME] [--epsilon E] [--seed S] [--bandwidth B] [--fail-edges K] [--shards K] [--deadline-ms MS] [--trace summary|full] [--json]");
+            eprintln!("  decss solve      --input FILE [--algorithm NAME] [--epsilon E] [--seed S] [--bandwidth B] [--fail-edges K] [--shards K] [--deadline-ms MS] [--deltas LIST] [--trace summary|full] [--json]");
             eprintln!("  decss algorithms [--names]");
             eprintln!("  decss gen        --family NAME --n N [--seed S] [--max-weight W]");
             eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
@@ -123,10 +123,66 @@ fn request_from_flags(args: &[String], algorithm: &str) -> Result<SolveRequest, 
     Ok(req)
 }
 
+/// Parses one delta spec — the compact `rw(edge,weight)` / `del(edge)`
+/// / `ins(u,v,weight)` vocabulary (long names `reweight` / `delete` /
+/// `insert` also accepted) that `params_echo` renders and serve job
+/// files carry in their `"deltas"` arrays.
+fn parse_delta(spec: &str) -> Result<GraphDelta, String> {
+    let spec = spec.trim();
+    let bad =
+        || format!("bad delta {spec:?} (expected rw(edge,weight), del(edge), or ins(u,v,weight))");
+    let (op, rest) = spec.split_once('(').ok_or_else(bad)?;
+    let args: Vec<u64> = rest
+        .strip_suffix(')')
+        .ok_or_else(bad)?
+        .split(',')
+        .map(|x| x.trim().parse::<u64>().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    match (op.trim(), args.as_slice()) {
+        ("rw" | "reweight", &[edge, weight]) => {
+            Ok(GraphDelta::Reweight { edge: EdgeId(edge as u32), weight })
+        }
+        ("del" | "delete", &[edge]) => Ok(GraphDelta::Delete { edge: EdgeId(edge as u32) }),
+        ("ins" | "insert", &[u, v, weight]) => {
+            Ok(GraphDelta::Insert { u: VertexId(u as u32), v: VertexId(v as u32), weight })
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn parse_deltas<'a>(specs: impl Iterator<Item = &'a str>) -> Result<Vec<GraphDelta>, String> {
+    specs.map(parse_delta).collect()
+}
+
+/// Splits a `--deltas` list on the commas *between* specs (the commas
+/// inside `rw(3,9)` stay put).
+fn split_delta_list(list: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in list.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(list[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(list[start..].trim());
+    out.retain(|s| !s.is_empty());
+    out
+}
+
 fn solve(args: &[String]) -> Result<(), String> {
     let g = load(args)?;
     let algorithm = flag(args, "--algorithm").unwrap_or("improved");
-    let req = request_from_flags(args, algorithm)?;
+    let mut req = request_from_flags(args, algorithm)?;
+    if let Some(list) = flag(args, "--deltas") {
+        req = req.deltas(parse_deltas(split_delta_list(list).into_iter())?);
+    }
     let mut session = SolverSession::new();
     let report = session.solve(&g, &req).map_err(|e| e.to_string())?;
     if args.iter().any(|a| a == "--json") {
@@ -415,7 +471,11 @@ struct JobSpec {
 /// a generated one (`"family"` + `"n"`, optional `"seed"` /
 /// `"max_weight"`) or a graph file (`"input"`) — and optionally the
 /// request knobs `"epsilon"`, `"bandwidth"`, `"fail_edges"`,
-/// `"shards"`, `"deadline_ms"`. Identical instance specs share one
+/// `"shards"`, `"deadline_ms"`, and `"deltas"` (an array of
+/// `"rw(edge,weight)"` / `"del(edge)"` / `"ins(u,v,weight)"` specs
+/// mutating the instance before the solve — applied incrementally for
+/// the `shortcut` algorithm, and keyed in the cache under the mutated
+/// graph's chained fingerprint). Identical instance specs share one
 /// in-memory graph.
 fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
     let mut specs: Vec<JobSpec> = Vec::new();
@@ -467,6 +527,16 @@ fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
         }
         if let Some(ms) = num("deadline_ms")? {
             req = req.deadline(Duration::from_millis(ms as u64));
+        }
+        match string_array_field(line, "deltas") {
+            Some(specs) => {
+                req = req.deltas(parse_deltas(specs.iter().map(String::as_str)).map_err(&at)?);
+            }
+            None if line.contains("\"deltas\"") => return Err(at(
+                "malformed \"deltas\" field (expected `\"deltas\": [\"rw(edge,weight)\", ...]`)"
+                    .into(),
+            )),
+            None => {}
         }
         let seed = match num("seed")? {
             Some(s) => {

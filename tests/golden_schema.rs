@@ -329,3 +329,101 @@ fn serve_document_schema_is_pinned() {
     assert!(!ok);
     assert!(err.contains("malformed \"fail_edges\""), "{err}");
 }
+
+#[test]
+fn delta_job_rows_pin_the_incremental_schema() {
+    use decss::graphs::gen;
+    use decss::tree::RootedTree;
+
+    // The exact graph serve builds for {family: grid, n: 36, seed: 2}
+    // (max_weight defaults to 64): a raised non-tree edge can never
+    // flip the MST, so the job must take the incremental path without
+    // a fallback.
+    let g = gen::grid(6, 6, 64, 2);
+    let tree = RootedTree::mst(&g);
+    let edge = g
+        .edge_ids()
+        .find(|&e| !tree.is_tree_edge(e))
+        .expect("a grid has non-tree edges");
+    let weight = g.weight(edge) + 7;
+
+    let dir = std::env::temp_dir().join("decss-golden-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let jobs_path = dir.join("delta_jobs.json");
+    std::fs::write(
+        &jobs_path,
+        format!(
+            "[\n  {{\"family\": \"grid\", \"n\": 36, \"seed\": 2, \"algorithm\": \"shortcut\", \
+             \"deltas\": [\"rw({e},{weight})\"]}},\n  {{\"family\": \"grid\", \"n\": 36, \
+             \"seed\": 2, \"algorithm\": \"shortcut\", \"deltas\": [\"rw({e},{weight})\"]}}\n]\n",
+            e = edge.index(),
+        ),
+    )
+    .expect("write jobs file");
+    let (out, err, ok) = decss(&["serve", "--jobs", jobs_path.to_str().expect("utf8 path")]);
+    assert!(ok, "delta serve failed: {err}");
+
+    // Delta rows carry the report's incremental block and the chained
+    // fingerprint, wedged (in that order) between the solver fields and
+    // the trailing wall_ms.
+    let rows: Vec<&str> = out.lines().filter(|l| l.contains("\"job\"")).collect();
+    assert_eq!(rows.len(), 2);
+    let want: Vec<String> = [
+        "job",
+        "family",
+        "requested_n",
+        "seed",
+        "cache_hit",
+        "algorithm",
+        "n",
+        "m",
+        "edges",
+        "weight",
+        "lower_bound",
+        "certified_ratio",
+        "valid",
+        "rounds",
+        "measured_sc",
+        "alpha",
+        "beta",
+        "pass_cost",
+        "fallbacks",
+        "incremental",
+        "parts_redone",
+        "levels_redone",
+        "fell_back",
+        "fingerprint",
+        "wall_ms",
+    ]
+    .map(String::from)
+    .to_vec();
+    for row in &rows {
+        assert_eq!(keys_of(row), want, "delta row schema drifted: {row}");
+        assert!(
+            row.contains("\"incremental\": {\"parts_redone\": "),
+            "incremental block shape drifted: {row}"
+        );
+        assert!(
+            row.contains("\"fell_back\": false"),
+            "a raised non-tree edge fell back: {row}"
+        );
+        assert!(
+            number_field(row, "fingerprint").is_some(),
+            "fingerprint must be emitted: {row}"
+        );
+    }
+    // Resubmitting the same delta batch chains onto the mutated
+    // fingerprint: the duplicate job is a cache hit (single worker, so
+    // deterministically the second row).
+    assert!(rows[0].contains("\"cache_hit\": false"), "{}", rows[0]);
+    assert!(rows[1].contains("\"cache_hit\": true"), "{}", rows[1]);
+    // And the two reports agree byte-for-byte once wall_ms and the row
+    // echo are stripped.
+    let stripped = |row: &str, id: &str| {
+        strip_wall_ms(row)
+            .replace("\"cache_hit\": true", "\"cache_hit\": _")
+            .replace("\"cache_hit\": false", "\"cache_hit\": _")
+            .replace(id, "\"job\": _")
+    };
+    assert_eq!(stripped(rows[0], "\"job\": 0"), stripped(rows[1], "\"job\": 1"));
+}
