@@ -1,0 +1,147 @@
+//! Wall-clock of the network tier (`decss-net`):
+//!
+//! * `net/parse` — the HTTP request parser alone, on a representative
+//!   solve POST and on a worst-case header-heavy request (the per-byte
+//!   cost of the hardening).
+//! * `net/healthz/p50|p99` — request/response round trips over a real
+//!   loopback socket against a warm server, no solve involved: the
+//!   tier's pure overhead (connect + parse + route + respond).
+//! * `net/solve/p50|p99` — end-to-end `POST /solve` latency with the
+//!   instance cache off, so every request pays queue + dispatch +
+//!   solve; the delta against `service/dispatch single` in
+//!   `BENCH_service.json` is the HTTP tax.
+//!
+//! The p50/p99 rows are hand-collected latency percentiles pushed as
+//! measurement rows (mean_ns carries the percentile; min/max carry the
+//! sample extremes), because tail latency — not the mean — is what the
+//! load-shedding and deadline machinery protects.
+//!
+//! Measurements dump to `BENCH_net.json` (override with
+//! `DECSS_BENCH_JSON`) for the perf regression gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Measurement};
+use decss_net::client::Client;
+use decss_net::http::{parse_request, Limits, Parse};
+use decss_net::server::{NetConfig, NetHandle, NetServer};
+use decss_service::ServiceConfig;
+use std::time::Instant;
+
+const SOLVE_LINE: &str = r#"{"algorithm": "greedy", "family": "grid", "n": 64, "seed": 5}"#;
+
+fn solve_post() -> Vec<u8> {
+    let mut head = format!(
+        "POST /solve HTTP/1.1\r\nhost: decss\r\nx-decss-client: bench\r\ncontent-length: {}\r\n\r\n",
+        SOLVE_LINE.len()
+    );
+    head.push_str(SOLVE_LINE);
+    head.into_bytes()
+}
+
+fn header_heavy_post() -> Vec<u8> {
+    let mut head = String::from("POST /jobs HTTP/1.1\r\n");
+    for i in 0..60 {
+        head.push_str(&format!("x-filler-{i}: {}\r\n", "v".repeat(80)));
+    }
+    head.push_str("content-length: 0\r\n\r\n");
+    head.into_bytes()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/parse");
+    group.sample_size(20);
+    let limits = Limits::default();
+    for (label, bytes) in [("solve_post", solve_post()), ("headers60", header_heavy_post())] {
+        group.bench_with_input(BenchmarkId::new(label, bytes.len()), &bytes, |b, bytes| {
+            b.iter(|| match parse_request(bytes, &limits) {
+                Ok(Parse::Ready { request, .. }) => request.headers.len(),
+                _ => panic!("bench request must parse"),
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Runs `samples` request round trips and returns the sorted latencies
+/// in nanoseconds.
+fn collect_latencies(handle: &NetHandle, samples: usize, mut one: impl FnMut(&Client)) -> Vec<f64> {
+    let client = Client::new(handle.addr()).with_client_id("bench");
+    // Warmup: fill the OS socket caches and the service's warm session.
+    for _ in 0..3 {
+        one(&client);
+    }
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            one(&client);
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ns
+}
+
+/// Pushes `p50`/`p99` rows for a sorted latency sample.
+fn push_percentiles(c: &mut Criterion, id_base: &str, ns: &[f64]) {
+    let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    for (tag, q) in [("p50", 0.50), ("p99", 0.99)] {
+        c.measurements.push(Measurement {
+            id: format!("{id_base}/{tag}"),
+            mean_ns: pick(q),
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+            iters: ns.len() as u64,
+        });
+    }
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    // Sample counts follow the criterion sample-time knob loosely: the
+    // quick CI smoke (DECSS_BENCH_SAMPLE_MS=5) takes fewer samples than
+    // a local baseline run.
+    let quick = std::env::var("DECSS_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .is_some_and(|ms| ms < 20);
+    let (health_samples, solve_samples) = if quick { (40, 15) } else { (200, 60) };
+
+    // Cache off: every solve request pays the full path.
+    let handle = NetServer::start(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        ServiceConfig::default()
+            .workers(1)
+            .cache_capacity(0)
+            .queue_capacity(16),
+    )
+    .expect("bench server starts");
+
+    let health = collect_latencies(&handle, health_samples, |client| {
+        assert_eq!(client.get("/healthz").expect("healthz answers").status, 200);
+    });
+    push_percentiles(c, "net/healthz", &health);
+
+    let solve = collect_latencies(&handle, solve_samples, |client| {
+        let resp = client.post("/solve", SOLVE_LINE).expect("solve answers");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    });
+    push_percentiles(c, "net/solve", &solve);
+
+    let summary = handle.drain(std::time::Duration::ZERO);
+    assert!(summary.service.audit.is_ok(), "bench drain must audit cleanly");
+    assert_eq!(summary.slot_leaks(), 0, "bench drain must not leak slots");
+}
+
+criterion_group!(parse_benches, bench_parse);
+
+// Custom main instead of criterion_main!: the round-trip percentiles
+// are hand-pushed rows, and after the run everything dumps to
+// BENCH_net.json for the perf gate.
+fn main() {
+    let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json").to_string()
+    });
+    let mut c = Criterion::default();
+    parse_benches(&mut c);
+    bench_round_trips(&mut c);
+    decss_bench::benchjson::dump("net", &c.measurements, &path);
+}

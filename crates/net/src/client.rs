@@ -1,0 +1,175 @@
+//! A small blocking HTTP/1.1 client for the tier's own tests, the
+//! chaos harness, and scripted probes — one connection per request
+//! (`Connection: close`), strict response framing via
+//! `Content-Length`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// The client: an address, an optional client id (sent as
+/// `x-decss-client` for quota accounting), and an I/O timeout.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    client_id: Option<String>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with a 10 s timeout and no client id.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr, client_id: None, timeout: Duration::from_secs(10) }
+    }
+
+    /// Sets the `x-decss-client` id.
+    pub fn with_client_id(mut self, id: impl Into<String>) -> Self {
+        self.client_id = Some(id.into());
+        self
+    }
+
+    /// Sets the per-request I/O timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> Result<Response, String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a body.
+    pub fn post(&self, path: &str, body: &str) -> Result<Response, String> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    /// One request-response round trip on a fresh connection.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Response, String> {
+        let mut stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: decss\r\nconnection: close\r\n");
+        if let Some(id) = &self.client_id {
+            head.push_str(&format!("x-decss-client: {id}\r\n"));
+        }
+        let body = body.unwrap_or(b"");
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        stream.write_all(head.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        stream.write_all(body).map_err(|e| format!("write: {e}"))?;
+        read_response(&mut stream)
+    }
+}
+
+/// Reads and parses one response from `stream`.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let head_len = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("response head exceeds 64 KiB".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(format!("connection closed mid-head ({} bytes)", buf.len())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response head")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header {line:?}"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or("response lacks content-length")?;
+    let mut body = buf[head_len..].to_vec();
+    while body.len() < length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(format!(
+                    "connection closed mid-body ({} of {length} bytes)",
+                    body.len()
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    body.truncate(length);
+    Ok(Response { status, headers, body })
+}
+
+/// Sends raw bytes on a fresh connection — the chaos harness's tool
+/// for truncated, malformed, and stalled requests. Returns whatever the
+/// server sent back before closing (possibly nothing).
+pub fn raw_exchange(
+    addr: SocketAddr,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<Vec<u8>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    if !payload.is_empty() {
+        stream.write_all(payload).map_err(|e| format!("write: {e}"))?;
+    }
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(out),
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            // A timeout just ends the observation window.
+            Err(_) => return Ok(out),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic fault injection for the network tier — the test-only
+//! knob the chaos harness turns to prove the server's accounting
+//! survives I/O failures it cannot reproduce on demand from outside
+//! (accept-time errors, mid-write connection loss on the *server*
+//! side).
+//!
+//! A [`FaultPlan`] names global accept/write indices to fail; the
+//! default plan is empty (production behavior). Faults are injected at
+//! exactly two seams:
+//!
+//! * **accept-time**: the accepted socket is dropped before it reaches
+//!   the connection pool — as if the kernel returned `ECONNABORTED`;
+//! * **write-time**: a response write sends only half its bytes and
+//!   then severs the connection — as if the peer vanished mid-reply.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which global accept/write events to fail. Indices count from 0 over
+/// the server's lifetime.
+#[derive(Clone, Default, Debug)]
+pub struct FaultPlan {
+    /// Accept indices whose connection is dropped before serving.
+    pub accept_errors: Vec<u64>,
+    /// Response-write indices that half-write then sever.
+    pub write_errors: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan failing the given accept indices.
+    pub fn failing_accepts(indices: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            accept_errors: indices.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan failing the given response-write indices.
+    pub fn failing_writes(indices: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            write_errors: indices.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.accept_errors.is_empty() && self.write_errors.is_empty()
+    }
+}
+
+/// Runtime counters walking a [`FaultPlan`]: each accept/write draws
+/// the next index and asks the plan whether to fail it.
+#[derive(Default, Debug)]
+pub struct FaultClock {
+    accepts: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FaultClock {
+    /// Draws the next accept index and reports whether to drop it.
+    pub fn fail_this_accept(&self, plan: &FaultPlan) -> bool {
+        let index = self.accepts.fetch_add(1, Ordering::Relaxed);
+        plan.accept_errors.contains(&index)
+    }
+
+    /// Draws the next write index and reports whether to sever it.
+    pub fn fail_this_write(&self, plan: &FaultPlan) -> bool {
+        let index = self.writes.fetch_add(1, Ordering::Relaxed);
+        plan.write_errors.contains(&index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_fire_at_their_indices_only() {
+        let plan = FaultPlan { accept_errors: vec![1], write_errors: vec![0, 2] };
+        let clock = FaultClock::default();
+        assert!(!clock.fail_this_accept(&plan)); // accept 0
+        assert!(clock.fail_this_accept(&plan)); // accept 1
+        assert!(!clock.fail_this_accept(&plan)); // accept 2
+        assert!(clock.fail_this_write(&plan)); // write 0
+        assert!(!clock.fail_this_write(&plan)); // write 1
+        assert!(clock.fail_this_write(&plan)); // write 2
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::failing_accepts([3]).is_empty());
+        assert!(!FaultPlan::failing_writes([3]).is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! A strict, incremental HTTP/1.1 request parser and response writer.
+//!
+//! The workspace is offline (no hyper/tokio), so the network tier
+//! hand-rolls the small slice of HTTP it needs — and hardens it: every
+//! input either parses, asks for more bytes, or is rejected with a
+//! structured 4xx/5xx [`HttpError`]. The parser never panics on
+//! malformed input, never buffers past its [`Limits`], and is
+//! *prefix-closed*: a prefix of a valid request is never an error, only
+//! [`Parse::NeedMore`] — the property the fuzz suite
+//! (`tests/parser_fuzz.rs`) pins under random truncation and mutation.
+//!
+//! Deliberate restrictions (each rejected with a structured status, not
+//! ignored): `Transfer-Encoding` is not implemented (501 — a body needs
+//! an exact `Content-Length`), conflicting or non-numeric
+//! `Content-Length` values are 400, and protocol versions other than
+//! HTTP/1.0 / 1.1 are 505.
+
+/// Caps on what the parser will buffer — the "no unbounded buffering"
+/// half of the robustness contract.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Max bytes of request head (request line + headers + blank line).
+    pub max_head_bytes: usize,
+    /// Max number of header lines.
+    pub max_headers: usize,
+    /// Max declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased; the body is raw
+/// bytes (exactly `Content-Length` of them).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method token, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path plus query), starting with `/`.
+    pub target: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection must close after this request
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+}
+
+/// A structured parse/handling rejection: the HTTP status to answer
+/// with plus a short machine-readable detail for the JSON error body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HttpError {
+    /// The 4xx/5xx status code.
+    pub status: u16,
+    /// One-line detail, safe to embed in a JSON string (ASCII, no
+    /// quotes beyond what [`crate::jobs`]' escaping handles).
+    pub detail: String,
+}
+
+impl HttpError {
+    fn new(status: u16, detail: impl Into<String>) -> Self {
+        HttpError { status, detail: detail.into() }
+    }
+}
+
+/// Outcome of a parse attempt over the bytes buffered so far.
+#[derive(Debug)]
+pub enum Parse {
+    /// The buffer holds a prefix of a (potentially) valid request —
+    /// read more bytes and try again.
+    NeedMore,
+    /// A complete request; `consumed` bytes of the buffer belong to it
+    /// (drain them before parsing the next pipelined request).
+    Ready {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+}
+
+/// Finds the end of the request head: the index *after* the
+/// `\r\n\r\n` terminator, if it is in `buf`.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.')
+}
+
+/// Attempts to parse one request from `buf`.
+///
+/// Returns [`Parse::NeedMore`] while the buffer holds only a prefix,
+/// [`Parse::Ready`] once a whole request (head + declared body) is
+/// buffered, and a structured [`HttpError`] for anything that can never
+/// become valid: oversized heads (431), malformed framing (400),
+/// unsupported transfer encodings (501), oversized bodies (413), or
+/// unsupported protocol versions (505).
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parse, HttpError> {
+    let head_len = match head_end(buf) {
+        Some(end) if end > limits.max_head_bytes => {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds {} bytes", limits.max_head_bytes),
+            ));
+        }
+        Some(end) => end,
+        None if buf.len() >= limits.max_head_bytes => {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds {} bytes", limits.max_head_bytes),
+            ));
+        }
+        None => return Ok(Parse::NeedMore),
+    };
+    let head = &buf[..head_len - 4];
+    let head = std::str::from_utf8(head)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    if head
+        .bytes()
+        .any(|b| b != b'\r' && b != b'\n' && b.is_ascii_control() && b != b'\t')
+    {
+        return Err(HttpError::new(400, "control bytes in request head"));
+    }
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                "malformed request line (expected `METHOD TARGET HTTP/1.1`)",
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, format!("malformed method {method:?}")));
+    }
+    if !target.starts_with('/') || !target.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        return Err(HttpError::new(400, "malformed request target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::new(505, format!("unsupported protocol {version:?}"))),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        // `split("\r\n")` leaves a bare CR or LF inside the line — a
+        // classic header-smuggling vector; reject instead of trimming.
+        if line.bytes().any(|b| b == b'\r' || b == b'\n') {
+            return Err(HttpError::new(400, "bare CR or LF in request head"));
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::new(
+                431,
+                format!("more than {} header lines", limits.max_headers),
+            ));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "header line without a colon"))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::new(400, format!("malformed header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::new(
+            501,
+            "transfer-encoding is not supported; send an exact content-length",
+        ));
+    }
+    let mut content_length: u64 = 0;
+    let mut seen_length: Option<&str> = None;
+    for (name, value) in &headers {
+        if name != "content-length" {
+            continue;
+        }
+        if let Some(prev) = seen_length {
+            if prev != value {
+                return Err(HttpError::new(400, "conflicting content-length headers"));
+            }
+            continue;
+        }
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::new(400, format!("malformed content-length {value:?}")));
+        }
+        content_length = value
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("malformed content-length {value:?}")))?;
+        seen_length = Some(value);
+    }
+    if content_length > limits.max_body_bytes as u64 {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "declared body of {content_length} bytes exceeds {}",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+
+    let total = head_len + content_length as usize;
+    if buf.len() < total {
+        return Ok(Parse::NeedMore);
+    }
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+        body: buf[head_len..total].to_vec(),
+    };
+    Ok(Parse::Ready { request, consumed: total })
+}
+
+/// Canonical reason phrases for the statuses this tier answers with.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response with an exact `Content-Length` (the tier
+/// never chunks) and an explicit `Connection` header.
+pub fn response(status: u16, body: &[u8], close: bool, extra: &[(&str, String)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", status_text(status)).as_bytes());
+    out.extend_from_slice(b"content-type: application/json\r\n");
+    out.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if close {
+        b"connection: close\r\n".as_slice()
+    } else {
+        b"connection: keep-alive\r\n"
+    });
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// The JSON error body every rejection carries:
+/// `{"error": CODE, "detail": ..., EXTRA}`.
+pub fn error_body(code: &str, detail: &str, extra: &[(&str, String)]) -> Vec<u8> {
+    let mut body = format!(
+        "{{\"error\": \"{}\", \"detail\": \"{}\"",
+        decss_solver::json::escape(code),
+        decss_solver::json::escape(detail)
+    );
+    for (name, value) in extra {
+        body.push_str(&format!(", \"{name}\": {value}"));
+    }
+    body.push('}');
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// Renders a structured rejection as a full response.
+pub fn error_response(err: &HttpError, code: &str, close: bool) -> Vec<u8> {
+    response(err.status, &error_body(code, &err.detail, &[]), close, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Parse, HttpError> {
+        parse_request(bytes, &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_and_a_post_with_body() {
+        let get = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        match parse(get).unwrap() {
+            Parse::Ready { request, consumed } => {
+                assert_eq!(request.method, "GET");
+                assert_eq!(request.target, "/healthz");
+                assert!(request.http11);
+                assert_eq!(request.header("host"), Some("x"));
+                assert_eq!(consumed, get.len());
+                assert!(!request.wants_close());
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        let post = b"POST /solve HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODYextra";
+        match parse(post).unwrap() {
+            Parse::Ready { request, consumed } => {
+                assert_eq!(request.body, b"BODY");
+                assert_eq!(consumed, post.len() - 5, "pipelined bytes stay in the buffer");
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_request_is_need_more() {
+        let full = b"POST /jobs HTTP/1.1\r\nx-decss-client: a\r\ncontent-length: 6\r\n\r\nabcdef";
+        for cut in 0..full.len() {
+            match parse(&full[..cut]) {
+                Ok(Parse::NeedMore) => {}
+                other => panic!("prefix of {cut} bytes: expected NeedMore, got {other:?}"),
+            }
+        }
+        assert!(matches!(parse(full), Ok(Parse::Ready { .. })));
+    }
+
+    #[test]
+    fn structured_rejections() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"get /x HTTP/1.1\r\n\r\n", 400),             // lowercase method
+            (b"GET x HTTP/1.1\r\n\r\n", 400),              // target without /
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),             // unsupported version
+            (b"GET /x HTTP/1.1 extra\r\n\r\n", 400),       // 4-part request line
+            (b"GET /x HTTP/1.1\r\nno-colon\r\n\r\n", 400), // header without colon
+            (b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n", 400), // space in header name
+            (b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 400),
+            (
+                b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\n",
+                400,
+            ),
+            (b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 501),
+            (b"POST /x HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n", 413),
+            (b"GET /x\xff HTTP/1.1\r\n\r\n", 400), // non-UTF-8 head
+        ];
+        for (bytes, status) in cases {
+            match parse(bytes) {
+                Err(e) => {
+                    assert_eq!(e.status, *status, "input {:?}", String::from_utf8_lossy(bytes))
+                }
+                other => panic!("expected {status}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_heads_reject_instead_of_buffering() {
+        let limits = Limits { max_head_bytes: 64, ..Limits::default() };
+        // No terminator and already past the cap: reject now.
+        let flood = vec![b'A'; 65];
+        assert_eq!(parse_request(&flood, &limits).unwrap_err().status, 431);
+        // Terminator present but past the cap: same verdict.
+        let mut long = b"GET /x HTTP/1.1\r\nh: ".to_vec();
+        long.extend(std::iter::repeat_n(b'v', 64));
+        long.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&long, &limits).unwrap_err().status, 431);
+        // Under the cap and unterminated: still a prefix.
+        assert!(matches!(
+            parse_request(b"GET /x HT", &limits).unwrap(),
+            Parse::NeedMore
+        ));
+    }
+
+    #[test]
+    fn header_count_is_capped() {
+        let limits = Limits { max_headers: 3, ..Limits::default() };
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..4 {
+            req.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        assert_eq!(parse_request(&req, &limits).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        let old_keep = b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n";
+        for (bytes, wants_close) in [(close.as_slice(), true), (old, true), (old_keep, false)] {
+            match parse(bytes).unwrap() {
+                Parse::Ready { request, .. } => assert_eq!(request.wants_close(), wants_close),
+                other => panic!("expected Ready, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_frame_exactly() {
+        let body =
+            error_body("overloaded", "job queue is full", &[("retry_after_ms", "40".into())]);
+        let bytes = response(429, &body, true, &[]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains(&format!("content-length: {}\r\n", body.len())));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\"retry_after_ms\": 40}\n"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-client token-bucket quotas, keyed by the `x-decss-client`
+//! request header (clients without one share the `"anon"` bucket).
+//!
+//! Each bucket refills continuously at `refill_per_sec` tokens up to a
+//! `burst` cap; a job admission costs one token. A denied admission
+//! returns how long the client must wait for the next token — the
+//! `retry_after_ms` the 429 response carries.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Sizing of every client's bucket.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Steady-state admissions per second per client.
+    pub refill_per_sec: f64,
+    /// Bucket capacity: how many admissions a client can burst.
+    pub burst: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig { refill_per_sec: 50.0, burst: 20.0 }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// The table of per-client buckets.
+pub struct QuotaTable {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl QuotaTable {
+    /// An empty table; buckets materialize full on first sight of a
+    /// client id.
+    pub fn new(config: QuotaConfig) -> Self {
+        QuotaTable { config, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Tries to take one token from `client`'s bucket. On refusal,
+    /// returns the milliseconds until a token will be available.
+    pub fn admit(&self, client: &str) -> Result<(), u64> {
+        self.admit_at(client, Instant::now())
+    }
+
+    /// [`admit`](QuotaTable::admit) against an explicit clock (tests).
+    pub fn admit_at(&self, client: &str, now: Instant) -> Result<(), u64> {
+        let mut buckets = self.buckets.lock().expect("quota lock");
+        let bucket = buckets
+            .entry(client.to_string())
+            .or_insert_with(|| Bucket { tokens: self.config.burst, last: now });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.config.refill_per_sec).min(self.config.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let wait_ms = (deficit / self.config.refill_per_sec.max(1e-9) * 1e3).ceil() as u64;
+            Err(wait_ms.max(1))
+        }
+    }
+
+    /// Distinct clients seen so far.
+    pub fn clients(&self) -> usize {
+        self.buckets.lock().expect("quota lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_refill() {
+        let table = QuotaTable::new(QuotaConfig { refill_per_sec: 10.0, burst: 3.0 });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(table.admit_at("a", t0), Ok(()));
+        }
+        // Bucket empty: the wait for one token at 10/s is 100 ms.
+        let wait = table.admit_at("a", t0).unwrap_err();
+        assert!((90..=110).contains(&wait), "wait = {wait}");
+        // 150 ms later a token has refilled.
+        assert_eq!(table.admit_at("a", t0 + Duration::from_millis(150)), Ok(()));
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let table = QuotaTable::new(QuotaConfig { refill_per_sec: 1.0, burst: 1.0 });
+        let t0 = Instant::now();
+        assert_eq!(table.admit_at("a", t0), Ok(()));
+        assert!(table.admit_at("a", t0).is_err(), "a's bucket is dry");
+        assert_eq!(table.admit_at("b", t0), Ok(()), "b has its own bucket");
+        assert_eq!(table.clients(), 2);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let table = QuotaTable::new(QuotaConfig { refill_per_sec: 1000.0, burst: 2.0 });
+        let t0 = Instant::now();
+        assert_eq!(table.admit_at("a", t0), Ok(()));
+        // An hour of refill still only holds `burst` tokens.
+        let later = t0 + Duration::from_secs(3600);
+        assert_eq!(table.admit_at("a", later), Ok(()));
+        assert_eq!(table.admit_at("a", later), Ok(()));
+        assert!(table.admit_at("a", later).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Property fuzzing of the HTTP request parser — the front door of the
+//! network tier. Whatever bytes arrive, [`parse_request`] must return
+//! one of exactly three things: `NeedMore` (incomplete input),
+//! `Ready` (a fully framed request), or a *structured* error from the
+//! known status set — never panic, and never buffer without bound
+//! (every `NeedMore` answer is within the configured caps plus the
+//! declared body length).
+
+use decss_net::http::{parse_request, Limits, Parse};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statuses the parser is allowed to produce.
+const PARSER_STATUSES: [u16; 5] = [400, 413, 431, 501, 505];
+
+/// A deterministic, valid POST with `extra_headers` filler headers and
+/// a `body_len`-byte printable body.
+fn valid_request(seed: u64, body_len: usize, extra_headers: usize) -> (Vec<u8>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut head = String::from("POST /solve HTTP/1.1\r\nhost: decss\r\n");
+    for i in 0..extra_headers {
+        head.push_str(&format!("x-extra-{i}: value-{}\r\n", rng.gen_range(0u32..1_000)));
+    }
+    head.push_str(&format!("content-length: {body_len}\r\n\r\n"));
+    let head_len = head.len();
+    let mut bytes = head.into_bytes();
+    bytes.extend((0..body_len).map(|_| rng.gen_range(b' '..=b'~')));
+    (bytes, head_len)
+}
+
+/// The contract every input must satisfy: a classified outcome, never a
+/// panic, errors only from the known set and always with a detail.
+fn classify(buf: &[u8], limits: &Limits) -> &'static str {
+    match parse_request(buf, limits) {
+        Ok(Parse::NeedMore) => "need-more",
+        Ok(Parse::Ready { consumed, .. }) => {
+            assert!(consumed <= buf.len(), "consumed past the buffer");
+            "ready"
+        }
+        Err(e) => {
+            assert!(
+                PARSER_STATUSES.contains(&e.status),
+                "unknown parser status {} ({})",
+                e.status,
+                e.detail
+            );
+            assert!(!e.detail.is_empty(), "structured errors explain themselves");
+            "rejected"
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefix-closedness: the parser never rejects a prefix of a valid
+    /// request — truncation looks like "more bytes coming", and the
+    /// full request parses with every byte accounted for.
+    #[test]
+    fn every_truncation_of_a_valid_request_is_need_more(
+        seed in 0u64..1_000,
+        body_len in 0usize..200,
+        extra_headers in 0usize..6,
+        cut_seed in 0u64..1_000,
+    ) {
+        let limits = Limits::default();
+        let (bytes, head_len) = valid_request(seed, body_len, extra_headers);
+        let mut rng = StdRng::seed_from_u64(cut_seed);
+        for _ in 0..16 {
+            let cut = rng.gen_range(0usize..bytes.len());
+            prop_assert_eq!(
+                classify(&bytes[..cut], &limits),
+                "need-more",
+                "a {}-byte prefix of a {}-byte valid request must not error",
+                cut,
+                bytes.len()
+            );
+        }
+        match parse_request(&bytes, &limits) {
+            Ok(Parse::Ready { request, consumed }) => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(request.body.len(), body_len);
+                prop_assert_eq!(consumed, head_len + body_len);
+                prop_assert_eq!(request.method.as_str(), "POST");
+            }
+            other => prop_assert!(false, "valid request did not parse: {:?}", other.is_ok()),
+        }
+    }
+
+    /// Header mutation: flipping random bytes of a valid request yields
+    /// a classified outcome, never a panic or an unknown status.
+    #[test]
+    fn random_mutations_always_classify(
+        seed in 0u64..1_000,
+        body_len in 0usize..120,
+        extra_headers in 0usize..6,
+        mutations in 1usize..8,
+        mutate_seed in 0u64..10_000,
+    ) {
+        let limits = Limits::default();
+        let (mut bytes, _) = valid_request(seed, body_len, extra_headers);
+        let mut rng = StdRng::seed_from_u64(mutate_seed);
+        for _ in 0..mutations {
+            let at = rng.gen_range(0usize..bytes.len());
+            bytes[at] = rng.gen_range(0u8..=255);
+        }
+        classify(&bytes, &limits); // the asserts inside are the property
+    }
+
+    /// Pure garbage classifies too.
+    #[test]
+    fn garbage_bytes_always_classify(len in 1usize..600, seed in 0u64..10_000) {
+        let limits = Limits::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        classify(&bytes, &limits);
+    }
+
+    /// Body-length lies: a head declaring `n` bytes stays `NeedMore`
+    /// until exactly `n` body bytes arrived, then consumes exactly the
+    /// head plus `n` — trailing surplus is left for the next request.
+    #[test]
+    fn content_length_framing_is_exact(
+        declared in 0usize..150,
+        surplus in 0usize..40,
+    ) {
+        let limits = Limits::default();
+        let head = format!("POST /jobs HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let mut bytes = head.clone().into_bytes();
+        bytes.extend(std::iter::repeat_n(b'x', declared + surplus));
+        for short in 0..declared.min(8) {
+            let cut = head.len() + short;
+            prop_assert_eq!(classify(&bytes[..cut], &limits), "need-more");
+        }
+        match parse_request(&bytes, &limits) {
+            Ok(Parse::Ready { request, consumed }) => {
+                prop_assert_eq!(consumed, head.len() + declared);
+                prop_assert_eq!(request.body.len(), declared);
+            }
+            _ => prop_assert!(false, "framed request did not parse"),
+        }
+    }
+
+    /// No unbounded buffering: with small caps, a terminator-less flood
+    /// is rejected (431) as soon as the head cap is reached, and a
+    /// declared body beyond the cap is rejected (413) from the head
+    /// alone — the parser never asks for more bytes than the caps
+    /// allow.
+    #[test]
+    fn floods_hit_the_caps(len in 0usize..2_000, seed in 0u64..1_000) {
+        let limits = Limits { max_head_bytes: 256, max_headers: 8, max_body_bytes: 512 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Printable junk with no \r\n\r\n terminator.
+        let flood: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+        match parse_request(&flood, &limits) {
+            Ok(Parse::NeedMore) => prop_assert!(
+                flood.len() < limits.max_head_bytes,
+                "parser buffered {} bytes past the {}-byte head cap",
+                flood.len(),
+                limits.max_head_bytes
+            ),
+            Ok(Parse::Ready { .. }) => prop_assert!(false, "junk cannot frame a request"),
+            Err(e) => prop_assert_eq!(e.status, 431),
+        }
+        let lie = format!(
+            "POST /solve HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            limits.max_body_bytes + 1
+        );
+        match parse_request(lie.as_bytes(), &limits) {
+            Err(e) => prop_assert_eq!(e.status, 413),
+            _ => prop_assert!(false, "an oversized declared body must be rejected from the head"),
+        }
+    }
+}

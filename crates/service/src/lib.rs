@@ -53,8 +53,8 @@ pub mod stats;
 pub use cache::InstanceCache;
 pub use key::{graph_fingerprint, JobKey};
 pub use log::{EventKind, LogEvent, ServiceLog};
-pub use queue::JobQueue;
-pub use service::{JobOutcome, JobResult, ServiceConfig, SolveService};
+pub use queue::{JobQueue, PushError};
+pub use service::{DrainSummary, JobOutcome, JobResult, ServiceConfig, SolveService, SubmitError};
 pub use stats::{LatencyHistogram, Stats};
 
 use std::fmt;

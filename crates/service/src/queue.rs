@@ -13,6 +13,27 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// Why a non-blocking [`JobQueue::try_push`] refused an item; the item
+/// rides back in the variant so the caller keeps ownership.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity right now. A load-shedding caller turns
+    /// this into a fast "retry later" instead of blocking.
+    Full(T),
+    /// The queue was closed (the service is draining): no push will
+    /// ever succeed again.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
 /// A bounded multi-producer multi-consumer FIFO queue.
 ///
 /// * [`push`](JobQueue::push) blocks while the queue is at capacity
@@ -51,17 +72,60 @@ impl<T> JobQueue<T> {
     /// Enqueues `item`, blocking while the queue is full. Returns
     /// `Err(item)` if the queue was closed before space opened up.
     pub fn push(&self, item: T) -> Result<(), T> {
+        self.push_with(item, || {}).map_err(PushError::into_inner)
+    }
+
+    /// [`push`](JobQueue::push), plus an `on_accept` hook that runs
+    /// *under the queue lock* after admission is decided but before the
+    /// item becomes visible to poppers. A submitter can record
+    /// bookkeeping (an audit-log "submitted" event, counters) that is
+    /// guaranteed to be ordered before anything a popper records about
+    /// the item — and guaranteed *not* to run when the push is refused.
+    pub fn push_with(&self, item: T, on_accept: impl FnOnce()) -> Result<(), PushError<T>> {
         let mut inner = self.inner.lock().expect("queue lock");
         while inner.items.len() >= self.capacity && !inner.closed {
             inner = self.not_full.wait(inner).expect("queue lock");
         }
         if inner.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
+        on_accept();
         inner.items.push_back(item);
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Non-blocking push: enqueues `item` if a slot is free *right
+    /// now*, otherwise returns [`PushError::Full`] immediately — one
+    /// mutex acquisition, no condvar wait, O(1). This is the
+    /// load-shedding entry point: a full queue becomes a fast reject
+    /// the caller can answer with "retry later" instead of a stalled
+    /// accept loop.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.try_push_with(item, || {})
+    }
+
+    /// [`try_push`](JobQueue::try_push) with the same `on_accept` hook
+    /// as [`push_with`](JobQueue::push_with).
+    pub fn try_push_with(&self, item: T, on_accept: impl FnOnce()) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        on_accept();
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Whether [`close`](JobQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
     }
 
     /// Dequeues the oldest item, blocking while the queue is empty.
@@ -138,5 +202,50 @@ mod tests {
     #[test]
     fn capacity_is_at_least_one() {
         assert_eq!(JobQueue::<u8>::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn try_push_rejects_a_full_queue_without_waiting() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        // The queue is full and nothing will ever pop: a blocking push
+        // would park on the backpressure condvar forever. try_push must
+        // come back immediately instead — the shed path cannot block.
+        let started = std::time::Instant::now();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // O(1): one uncontended mutex acquisition. The generous bound
+        // (well under any condvar-wait timescale) keeps the pin about
+        // "did not wait", not scheduler noise.
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(100),
+            "try_push blocked on a full queue"
+        );
+        // A pop frees a slot and try_push succeeds again.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn try_push_distinguishes_closed_from_full() {
+        let q = JobQueue::new(4);
+        q.close();
+        assert!(matches!(q.try_push(1), Err(PushError::Closed(1))));
+        assert!(q.is_closed());
+        assert_eq!(PushError::Full(7).into_inner(), 7);
+    }
+
+    #[test]
+    fn on_accept_runs_only_for_admitted_items() {
+        let q = JobQueue::new(1);
+        let mut accepted = 0;
+        assert!(q.try_push_with(1, || accepted += 1).is_ok());
+        assert!(q.try_push_with(2, || accepted += 1).is_err());
+        q.close();
+        assert!(q.push_with(3, || accepted += 1).is_err());
+        assert_eq!(accepted, 1, "rejected pushes must not run the hook");
     }
 }

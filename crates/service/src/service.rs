@@ -5,7 +5,7 @@
 use crate::cache::{InstanceCache, Lookup};
 use crate::key::JobKey;
 use crate::log::{EventKind, ServiceLog};
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, PushError};
 use crate::stats::{LatencyHistogram, Stats};
 use crate::JobId;
 use decss_graphs::Graph;
@@ -105,6 +105,40 @@ pub struct JobOutcome {
 /// What [`SolveService::join`] yields per job.
 pub type JobResult = Result<JobOutcome, SolveError>;
 
+/// Why [`SolveService::try_submit`] refused a job without queueing it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The job queue is at capacity right now — shed the job (answer
+    /// "retry later") or back off and retry. Nothing was enqueued,
+    /// logged, or counted.
+    QueueFull,
+    /// The service is draining ([`SolveService::drain`] was called):
+    /// intake is closed permanently.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::Draining => write!(f, "service is draining"),
+        }
+    }
+}
+
+/// What [`SolveService::drain`] returns: the final [`Stats`] snapshot
+/// (queue empty, every accepted job finished) plus the audit verdict of
+/// the [`ServiceLog`] over the whole service lifetime.
+#[derive(Clone, Debug)]
+pub struct DrainSummary {
+    /// Final counters — `queue_depth` is 0 and `completed + failed ==
+    /// submitted` by the time `drain` returns.
+    pub stats: Stats,
+    /// [`ServiceLog::audit`] over the full log: `Ok(jobs)` when every
+    /// accepted job has exactly one submit → start → finish lifecycle.
+    pub audit: Result<usize, String>,
+}
+
 struct Job {
     id: JobId,
     graph: Arc<Graph>,
@@ -167,7 +201,11 @@ struct Shared {
 /// ```
 pub struct SolveService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker handles, behind a mutex so [`drain`](SolveService::drain)
+    /// can join them through a shared reference (the network tier holds
+    /// the service in an `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
     next_id: AtomicU64,
     config: ServiceConfig,
 }
@@ -201,8 +239,15 @@ impl SolveService {
                     .spawn(move || worker_loop(&shared, index, registry, pool_cap))
                     .expect("spawn service worker")
             })
-            .collect();
-        SolveService { shared, workers, next_id: AtomicU64::new(0), config }
+            .collect::<Vec<_>>();
+        let worker_count = workers.len();
+        SolveService {
+            shared,
+            workers: Mutex::new(workers),
+            worker_count,
+            next_id: AtomicU64::new(0),
+            config,
+        }
     }
 
     /// A service with the default sizing ([`ServiceConfig::default`]).
@@ -218,6 +263,48 @@ impl SolveService {
     /// queued when it runs out is rejected with
     /// [`SolveError::ExpiredInQueue`] instead of being solved late.
     pub fn submit(&self, graph: Arc<Graph>, req: SolveRequest) -> JobId {
+        let (id, job) = self.prepare(graph, req);
+        let cancel = Arc::clone(&job.cancel);
+        let shared = &self.shared;
+        let pushed = shared
+            .queue
+            .push_with(job, || Self::record_accept(shared, id, cancel));
+        if pushed.is_err() {
+            // The service started draining: intake is closed for good.
+            // The job was never accepted (no log event, no counters), so
+            // the audit stays clean; the caller still gets a result.
+            self.deposit(id, Err(SolveError::Rejected("service is draining".into())));
+        }
+        id
+    }
+
+    /// Non-blocking submit: enqueues the job if a queue slot is free
+    /// *right now*, otherwise rejects in O(1) — one mutex acquisition,
+    /// never a wait on the backpressure condvar. This is the
+    /// load-shedding entry point: a front-end answering network traffic
+    /// turns [`SubmitError::QueueFull`] into a fast 429-style "retry
+    /// later" instead of stalling its accept loop.
+    ///
+    /// A rejected job leaves no trace: no [`JobId`] is consumed, nothing
+    /// lands in the [`ServiceLog`], and no counter moves — the audit
+    /// invariant covers exactly the accepted jobs.
+    pub fn try_submit(&self, graph: Arc<Graph>, req: SolveRequest) -> Result<JobId, SubmitError> {
+        let (id, job) = self.prepare(graph, req);
+        let cancel = Arc::clone(&job.cancel);
+        let shared = &self.shared;
+        match shared
+            .queue
+            .try_push_with(job, || Self::record_accept(shared, id, cancel))
+        {
+            Ok(()) => Ok(id),
+            Err(PushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(PushError::Closed(_)) => Err(SubmitError::Draining),
+        }
+    }
+
+    /// Builds the queued job (id allocation, key, deadline rebasing) —
+    /// shared between the blocking and non-blocking submit paths.
+    fn prepare(&self, graph: Arc<Graph>, req: SolveRequest) -> (JobId, Job) {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let key = JobKey::new(&graph, &req);
         let deadline = if self.config.deadline_from_submit {
@@ -226,19 +313,22 @@ impl SolveService {
             None
         };
         let cancel = req.cancel.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
-        self.shared
-            .cancels
-            .lock()
-            .expect("cancel lock")
-            .insert(id.0, Arc::clone(&cancel));
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.log.record(id, EventKind::Submitted);
-        let job = Job { id, graph, req, key, deadline, cancel };
-        self.shared
-            .queue
-            .push(job)
-            .unwrap_or_else(|_| unreachable!("queue only closes when the service drops"));
-        id
+        (id, Job { id, graph, req, key, deadline, cancel })
+    }
+
+    /// Admission bookkeeping, run under the queue lock by `push_with` /
+    /// `try_push_with` so the `Submitted` log event is sequenced before
+    /// any worker's `Started` — and never recorded for a rejected job.
+    fn record_accept(shared: &Shared, id: JobId, cancel: Arc<AtomicBool>) {
+        shared.cancels.lock().expect("cancel lock").insert(id.0, cancel);
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.log.record(id, EventKind::Submitted);
+    }
+
+    /// Stores a result for a job that never reached a worker.
+    fn deposit(&self, id: JobId, result: JobResult) {
+        self.shared.results.lock().expect("results lock").insert(id.0, result);
+        self.shared.result_ready.notify_all();
     }
 
     /// Submits a batch in order; returns the ids in the same order.
@@ -287,7 +377,7 @@ impl SolveService {
     /// rate, and per-algorithm latency histograms.
     pub fn stats(&self) -> Stats {
         Stats {
-            workers: self.workers.len(),
+            workers: self.worker_count,
             queue_capacity: self.shared.queue.capacity(),
             queue_depth: self.shared.queue.depth(),
             cache_capacity: self.config.cache_capacity,
@@ -305,12 +395,31 @@ impl SolveService {
     pub fn log(&self) -> &ServiceLog {
         &self.shared.log
     }
-}
 
-impl Drop for SolveService {
-    fn drop(&mut self) {
+    /// Graceful drain: close intake, run the backlog dry, join the
+    /// workers, and return the final [`Stats`] plus the audit verdict
+    /// of the [`ServiceLog`] (see [`DrainSummary`]).
+    ///
+    /// * New submissions fail from this point on —
+    ///   [`try_submit`](SolveService::try_submit) returns
+    ///   [`SubmitError::Draining`], blocking
+    ///   [`submit`](SolveService::submit) deposits a
+    ///   [`SolveError::Rejected`] result.
+    /// * Every job already accepted is still solved (or rejected by its
+    ///   own deadline/cancellation) and can be
+    ///   [`join`](SolveService::join)ed as usual, before or after
+    ///   `drain` returns.
+    /// * Idempotent, and safe through a shared reference: the CLI's
+    ///   file mode and the network tier shut down through this same
+    ///   path, so their semantics are identical by construction.
+    pub fn drain(&self) -> DrainSummary {
         self.shared.queue.close();
-        for worker in self.workers.drain(..) {
+        Self::join_workers(&mut self.workers.lock().expect("workers lock"));
+        DrainSummary { stats: self.stats(), audit: self.shared.log.audit() }
+    }
+
+    fn join_workers(workers: &mut Vec<JoinHandle<()>>) {
+        for worker in workers.drain(..) {
             let joined = worker.join();
             // Re-raise a worker panic on the owner — unless we are
             // already unwinding (double panic would abort).
@@ -320,6 +429,15 @@ impl Drop for SolveService {
                 }
             }
         }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        // After an explicit drain the handle list is already empty.
+        let mut workers = self.workers.lock().expect("workers lock");
+        Self::join_workers(&mut workers);
     }
 }
 
@@ -693,6 +811,76 @@ mod tests {
         assert!(results.iter().all(|r| r.as_ref().unwrap().report.valid));
         assert_eq!(service.log().audit(), Ok(8));
         assert_eq!(service.stats().completed, 8);
+    }
+
+    #[test]
+    fn try_submit_sheds_a_full_queue_without_blocking_or_logging() {
+        // One worker held by a big job, a queue of 1 already holding a
+        // second job: the third submission finds no slot and must come
+        // back immediately with QueueFull — leaving no trace in the
+        // log, the counters, or the cancels table.
+        let service = SolveService::new(ServiceConfig::default().workers(1).queue_capacity(1));
+        let big = Arc::new(gen::grid(100, 100, 32, 3));
+        let blocker = service.submit(Arc::clone(&big), SolveRequest::new("shortcut"));
+        let queued = service.submit(grid(), SolveRequest::new("improved"));
+        // Wait until the queue really holds the second job (the worker
+        // may not have dequeued the blocker yet at submit return).
+        while service.stats().queue_depth == 0
+            && service.shared.completed.load(Ordering::Relaxed) == 0
+        {
+            std::thread::yield_now();
+        }
+        let started = Instant::now();
+        let shed = service.try_submit(grid(), SolveRequest::new("greedy"));
+        // Either the queue was still full (the expected path while the
+        // blocker runs) or the worker raced ahead; only the full case
+        // pins the contract.
+        if let Err(e) = shed {
+            assert_eq!(e, SubmitError::QueueFull);
+            assert!(
+                started.elapsed() < std::time::Duration::from_millis(100),
+                "try_submit must not wait on the backpressure condvar"
+            );
+        }
+        assert!(service.join(blocker).is_ok());
+        assert!(service.join(queued).is_ok());
+        let accepted = 2 + u64::from(shed.is_ok());
+        assert_eq!(service.stats().submitted, accepted);
+        assert_eq!(
+            service.log().audit(),
+            Ok(accepted as usize),
+            "shed jobs leave no log trace"
+        );
+    }
+
+    #[test]
+    fn drain_runs_the_backlog_dry_and_closes_intake() {
+        let service = SolveService::new(ServiceConfig::default().workers(2).cache_capacity(8));
+        let g = grid();
+        let jobs = service.submit_batch(vec![
+            (Arc::clone(&g), SolveRequest::new("improved")),
+            (Arc::clone(&g), SolveRequest::new("greedy")),
+            (Arc::clone(&g), SolveRequest::new("greedy")),
+        ]);
+        let summary = service.drain();
+        assert_eq!(summary.stats.queue_depth, 0);
+        assert_eq!(summary.stats.completed + summary.stats.failed, 3);
+        assert_eq!(summary.audit, Ok(3));
+        // Joining after the drain still hands out every result.
+        for result in service.join_all(&jobs) {
+            assert!(result.unwrap().report.valid);
+        }
+        // Intake is closed for good, on both submit paths.
+        assert_eq!(
+            service.try_submit(Arc::clone(&g), SolveRequest::new("improved")),
+            Err(SubmitError::Draining)
+        );
+        let late = service.submit(Arc::clone(&g), SolveRequest::new("improved"));
+        assert!(matches!(service.join(late), Err(SolveError::Rejected(_))));
+        // The rejected submissions never entered the audited lifecycle.
+        assert_eq!(service.log().audit(), Ok(3));
+        // Draining again is a no-op with the same verdict.
+        assert_eq!(service.drain().audit, Ok(3));
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum SolveError {
     /// one poisoned job cannot wedge a batch). The message carries the
     /// panic payload when it was a string.
     Internal(String),
+    /// A service refused to take the job at all — its intake was
+    /// closed (draining for shutdown) or shed under load — so the
+    /// solve never entered a queue. Distinct from
+    /// [`ExpiredInQueue`](SolveError::ExpiredInQueue): a rejected job
+    /// was never accepted, an expired one was accepted and starved.
+    Rejected(String),
 }
 
 impl fmt::Display for SolveError {
@@ -68,6 +74,7 @@ impl fmt::Display for SolveError {
                 write!(f, "solve deadline expired while the job was queued")
             }
             SolveError::Internal(msg) => write!(f, "internal solver failure: {msg}"),
+            SolveError::Rejected(reason) => write!(f, "job rejected: {reason}"),
         }
     }
 }
@@ -107,6 +114,7 @@ mod tests {
             SolveError::DeadlineExceeded,
             SolveError::ExpiredInQueue,
             SolveError::Internal("sliced bread panic".into()),
+            SolveError::Rejected("service is draining".into()),
         ] {
             assert!(!format!("{e}").is_empty());
         }

@@ -15,7 +15,11 @@
 //!                  [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] \
 //!                  [--cache-cap N] [--out runs.json]
 //! decss serve      --jobs jobs.json [--workers K] [--cache-cap N] [--queue-cap N] \
-//!                  [--out reports.json]
+//!                  [--out reports.json] [--keep-going]
+//! decss serve      --listen 127.0.0.1:8080 [--workers K] [--cache-cap N] [--queue-cap N] \
+//!                  [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] \
+//!                  [--quota-rps R] [--quota-burst B] [--grace-ms MS]
+//! decss netstress  [--seed S] [--ops N] [--threads K] [--workers K] [--queue-cap N] [--faults]
 //! ```
 //!
 //! Every algorithm subcommand routes through the unified
@@ -23,19 +27,28 @@
 //! [`Registry`](decss::solver::Registry) (see `decss algorithms` for the
 //! vocabulary), and all reports render through the one `SolveReport`
 //! schema (text or `--json`). The batch subcommands — `serve`, which
-//! reads a JSON array of job specs, and `scenario`, which expands a
-//! family × size × seed sweep grid — both run their jobs through a
-//! [`SolveService`](decss::service::SolveService) worker pool, so they
-//! get multi-worker dispatch, duplicate-job caching, queue-time
+//! reads a JSON array of job specs (or, with `--listen`, serves the same
+//! dialect over HTTP until SIGTERM drains it), and `scenario`, which
+//! expands a family × size × seed sweep grid — both run their jobs
+//! through a [`SolveService`](decss::service::SolveService) worker pool,
+//! so they get multi-worker dispatch, duplicate-job caching, queue-time
 //! deadlines, and per-algorithm latency stats for free, and emit one
-//! JSON document of reports plus service stats.
+//! JSON document of reports plus service stats. `netstress` turns the
+//! network tier's chaos harness on a self-hosted server and fails on any
+//! contract violation.
+//!
+//! Exit codes: `0` — success (or partial failure under `--keep-going`);
+//! `2` — the batch completed but some jobs failed (the document still
+//! covers the whole batch); `1` — infrastructure error (bad flags,
+//! unreadable files, a failed drain audit, chaos violations).
 
 use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
-use decss::graphs::{algo, gen, io, EdgeId, Graph, VertexId};
+use decss::graphs::{algo, io, EdgeId, Graph, VertexId};
+use decss::net::jobs::{self, FileAccess};
+use decss::net::{signal, stress, NetConfig, NetServer, QuotaConfig, StressConfig};
 use decss::service::{ServiceConfig, SolveService};
-use decss::solver::json::{number_field, string_array_field, string_field};
-use decss::solver::{GraphDelta, SolveReport, SolveRequest, SolverSession, TraceLevel};
+use decss::solver::{SolveReport, SolveRequest, SolverSession, TraceLevel};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,7 +56,7 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -54,10 +67,13 @@ fn main() -> ExitCode {
             eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
             eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K|auto] [--root R] [--bursts B]");
             eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] [--cache-cap N] [--out FILE]");
-            eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE]");
+            eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE] [--keep-going]");
+            eprintln!("  decss serve      --listen ADDR [--workers K] [--cache-cap N] [--queue-cap N] [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] [--quota-rps R] [--quota-burst B] [--grace-ms MS]");
+            eprintln!("  decss netstress  [--seed S] [--ops N] [--threads K] [--workers K] [--queue-cap N] [--faults]");
             eprintln!();
             eprintln!("run `decss algorithms` for the solver registry NAMEs.");
-            ExitCode::from(2)
+            eprintln!("exit codes: 0 ok, 2 some jobs failed, 1 infrastructure error.");
+            ExitCode::from(1)
         }
     }
 }
@@ -82,7 +98,7 @@ fn load(args: &[String]) -> Result<Graph, String> {
     io::parse_graph(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(|s| s.as_str()) {
         Some("solve") => solve(&args[1..]),
         Some("algorithms") => algorithms(&args[1..]),
@@ -91,8 +107,9 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate") => simulate(&args[1..]),
         Some("scenario") => scenario(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("netstress") => netstress(&args[1..]),
         _ => Err(
-            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve"
+            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve | netstress"
                 .into(),
         ),
     }
@@ -123,65 +140,12 @@ fn request_from_flags(args: &[String], algorithm: &str) -> Result<SolveRequest, 
     Ok(req)
 }
 
-/// Parses one delta spec — the compact `rw(edge,weight)` / `del(edge)`
-/// / `ins(u,v,weight)` vocabulary (long names `reweight` / `delete` /
-/// `insert` also accepted) that `params_echo` renders and serve job
-/// files carry in their `"deltas"` arrays.
-fn parse_delta(spec: &str) -> Result<GraphDelta, String> {
-    let spec = spec.trim();
-    let bad =
-        || format!("bad delta {spec:?} (expected rw(edge,weight), del(edge), or ins(u,v,weight))");
-    let (op, rest) = spec.split_once('(').ok_or_else(bad)?;
-    let args: Vec<u64> = rest
-        .strip_suffix(')')
-        .ok_or_else(bad)?
-        .split(',')
-        .map(|x| x.trim().parse::<u64>().map_err(|_| bad()))
-        .collect::<Result<_, _>>()?;
-    match (op.trim(), args.as_slice()) {
-        ("rw" | "reweight", &[edge, weight]) => {
-            Ok(GraphDelta::Reweight { edge: EdgeId(edge as u32), weight })
-        }
-        ("del" | "delete", &[edge]) => Ok(GraphDelta::Delete { edge: EdgeId(edge as u32) }),
-        ("ins" | "insert", &[u, v, weight]) => {
-            Ok(GraphDelta::Insert { u: VertexId(u as u32), v: VertexId(v as u32), weight })
-        }
-        _ => Err(bad()),
-    }
-}
-
-fn parse_deltas<'a>(specs: impl Iterator<Item = &'a str>) -> Result<Vec<GraphDelta>, String> {
-    specs.map(parse_delta).collect()
-}
-
-/// Splits a `--deltas` list on the commas *between* specs (the commas
-/// inside `rw(3,9)` stay put).
-fn split_delta_list(list: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in list.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                out.push(list[start..i].trim());
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push(list[start..].trim());
-    out.retain(|s| !s.is_empty());
-    out
-}
-
-fn solve(args: &[String]) -> Result<(), String> {
+fn solve(args: &[String]) -> Result<ExitCode, String> {
     let g = load(args)?;
     let algorithm = flag(args, "--algorithm").unwrap_or("improved");
     let mut req = request_from_flags(args, algorithm)?;
     if let Some(list) = flag(args, "--deltas") {
-        req = req.deltas(parse_deltas(split_delta_list(list).into_iter())?);
+        req = req.deltas(jobs::parse_deltas(jobs::split_delta_list(list).into_iter())?);
     }
     let mut session = SolverSession::new();
     let report = session.solve(&g, &req).map_err(|e| e.to_string())?;
@@ -190,13 +154,13 @@ fn solve(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", report.render_text());
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Lists the solver registry: the stable `--algorithm` vocabulary.
 /// `--names` prints bare names only (one per line; CI drives the
 /// registry-wide smoke test with it).
-fn algorithms(args: &[String]) -> Result<(), String> {
+fn algorithms(args: &[String]) -> Result<ExitCode, String> {
     let session = SolverSession::new();
     if args.iter().any(|a| a == "--names") {
         for name in session.registry().names() {
@@ -208,7 +172,7 @@ fn algorithms(args: &[String]) -> Result<(), String> {
             println!("  {:<16} {}", solver.name(), solver.description());
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Runs a message-level protocol on the round simulator and prints the
@@ -216,7 +180,7 @@ fn algorithms(args: &[String]) -> Result<(), String> {
 /// `--shards auto` the adaptive one, which shards only rounds whose
 /// message volume amortises the barrier cost (bit-identical results
 /// either way; pure performance knobs on multicore hosts).
-fn simulate(args: &[String]) -> Result<(), String> {
+fn simulate(args: &[String]) -> Result<ExitCode, String> {
     let g = load(args)?;
     let protocol = flag(args, "--protocol").ok_or("--protocol NAME is required")?;
     let engine = match flag(args, "--shards") {
@@ -279,10 +243,10 @@ fn simulate(args: &[String]) -> Result<(), String> {
         "rounds/sec: {:.0}",
         report.rounds as f64 / elapsed.as_secs_f64().max(1e-9)
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn generate(args: &[String]) -> Result<(), String> {
+fn generate(args: &[String]) -> Result<ExitCode, String> {
     let family = flag(args, "--family").ok_or("--family NAME is required")?;
     let n: usize = flag(args, "--n")
         .ok_or("--n N is required")?
@@ -290,32 +254,9 @@ fn generate(args: &[String]) -> Result<(), String> {
         .map_err(|_| "bad --n")?;
     let seed: u64 = parse_flag(args, "--seed", 0)?;
     let w: u64 = parse_flag(args, "--max-weight", 64)?;
-    let g = instance_by_label(family, n, w, seed)?;
+    let g = jobs::instance_by_label(family, n, w, seed)?;
     print!("{}", io::format_graph(&g));
-    Ok(())
-}
-
-/// Builds a generated instance by family label (the `gen` vocabulary:
-/// every `gen::Family` plus the extra named constructions).
-fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph, String> {
-    Ok(match family {
-        "broom" => gen::broom_two_ec(n, w, seed),
-        "hard-sqrt" => gen::hard_sqrt_two_ec(n, w, seed),
-        "tree-chords" => gen::tree_plus_chords(n, n / 2, w, seed),
-        other => {
-            let fam =
-                gen::Family::ALL
-                    .into_iter()
-                    .find(|f| f.label() == other)
-                    .ok_or_else(|| {
-                        format!(
-                            "unknown family {other}; options: {}, broom, hard-sqrt, tree-chords",
-                            gen::Family::ALL.map(|f| f.label()).join(", ")
-                        )
-                    })?;
-            gen::instance(fam, n, w, seed)
-        }
-    })
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Runs the family × size × seed sweep through a [`SolveService`] (any
@@ -328,7 +269,7 @@ fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph,
 /// stay in grid order and are byte-identical to a single-session sweep
 /// except `wall_ms`). Per-run progress goes to stderr so the JSON
 /// stays clean.
-fn scenario(args: &[String]) -> Result<(), String> {
+fn scenario(args: &[String]) -> Result<ExitCode, String> {
     fn list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
         s.split(',')
             .map(|x| x.trim().parse::<T>().map_err(|_| format!("bad {what} entry {x:?}")))
@@ -409,26 +350,28 @@ fn scenario(args: &[String]) -> Result<(), String> {
             .cache_capacity(cache_cap)
             .deadline_from_submit(false),
     );
-    let mut jobs = Vec::new();
+    let mut submissions = Vec::new();
     let mut labels = Vec::new();
     for &family in &families {
         for &n in &sizes {
             for &seed in &seeds {
-                let g = Arc::new(instance_by_label(family, n, w, seed)?);
+                let g = Arc::new(jobs::instance_by_label(family, n, w, seed)?);
                 for &algorithm in &algorithms {
                     eprintln!("scenario: {family} n={n} seed={seed} {algorithm} ...");
                     // The run seed drives every randomized part of the
                     // run: instance generation (above), the shortcut
                     // sampling, and failure injection.
                     let req = request_from_flags(args, algorithm)?.seed(seed);
-                    jobs.push(service.submit(Arc::clone(&g), req));
+                    submissions.push(service.submit(Arc::clone(&g), req));
                     labels.push((family, n, seed, algorithm));
                 }
             }
         }
     }
     let mut rows: Vec<String> = Vec::new();
-    for (result, (family, n, seed, algorithm)) in service.join_all(&jobs).into_iter().zip(labels) {
+    for (result, (family, n, seed, algorithm)) in
+        service.join_all(&submissions).into_iter().zip(labels)
+    {
         let outcome = result.map_err(|e| format!("{family} n={n} seed={seed} {algorithm}: {e}"))?;
         rows.push(format!(
             "    {{\"family\": \"{family}\", \"requested_n\": {n}, \"seed\": {seed}, {}}}",
@@ -452,155 +395,26 @@ fn scenario(args: &[String]) -> Result<(), String> {
         }
         None => print!("{json}"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-/// One parsed job spec from a `--jobs` file: the instance, the request,
-/// and the echo fields its output row carries.
-struct JobSpec {
-    /// Family label or input path (row echo).
-    family: String,
-    requested_n: usize,
-    seed: u64,
-    graph: Arc<Graph>,
-    req: SolveRequest,
-}
-
-/// Parses a `decss serve --jobs` file: a JSON array with one job object
-/// per line. Each job names an `"algorithm"` plus an instance — either
-/// a generated one (`"family"` + `"n"`, optional `"seed"` /
-/// `"max_weight"`) or a graph file (`"input"`) — and optionally the
-/// request knobs `"epsilon"`, `"bandwidth"`, `"fail_edges"`,
-/// `"shards"`, `"deadline_ms"`, and `"deltas"` (an array of
-/// `"rw(edge,weight)"` / `"del(edge)"` / `"ins(u,v,weight)"` specs
-/// mutating the instance before the solve — applied incrementally for
-/// the `shortcut` algorithm, and keyed in the cache under the mutated
-/// graph's chained fingerprint). Identical instance specs share one
-/// in-memory graph.
-fn parse_job_specs(text: &str) -> Result<Vec<JobSpec>, String> {
-    let mut specs: Vec<JobSpec> = Vec::new();
-    let mut graphs: std::collections::HashMap<String, Arc<Graph>> =
-        std::collections::HashMap::new();
-    for (idx, line) in text.lines().enumerate() {
-        let line = line.trim();
-        let at = |msg: String| format!("jobs line {}: {msg}", idx + 1);
-        if !line.contains("\"algorithm\"") {
-            if line.contains('{') {
-                return Err(at("job object lacks an \"algorithm\" field".into()));
-            }
-            continue; // array brackets / blank lines
-        }
-        if line.matches('{').count() > 1 {
-            // A compacted array (e.g. `jq -c` output) would otherwise
-            // silently collapse into one job built from the first
-            // occurrence of each field.
-            return Err(at(
-                "multiple job objects on one line; the format is one job object per line".into(),
-            ));
-        }
-        let algorithm = string_field(line, "algorithm")
-            .ok_or_else(|| at("malformed \"algorithm\" field".into()))?;
-        // A key that is present but fails the strict `"key": value`
-        // scan must error, not silently drop the knob — a swallowed
-        // `fail_edges` or `deadline_ms` changes what the job *means*.
-        let num = |key: &str| -> Result<Option<f64>, String> {
-            match number_field(line, key) {
-                Some(v) => Ok(Some(v)),
-                None if line.contains(&format!("\"{key}\"")) => Err(at(format!(
-                    "malformed \"{key}\" field (expected `\"{key}\": <number>`)"
-                ))),
-                None => Ok(None),
-            }
-        };
-        let mut req = SolveRequest::new(&algorithm);
-        if let Some(e) = num("epsilon")? {
-            req = req.epsilon(e);
-        }
-        if let Some(b) = num("bandwidth")? {
-            req = req.bandwidth(b as u32);
-        }
-        if let Some(k) = num("fail_edges")? {
-            req = req.fail_edges(k as u32);
-        }
-        if let Some(s) = num("shards")? {
-            req = req.shards(s as usize);
-        }
-        if let Some(ms) = num("deadline_ms")? {
-            req = req.deadline(Duration::from_millis(ms as u64));
-        }
-        match string_array_field(line, "deltas") {
-            Some(specs) => {
-                req = req.deltas(parse_deltas(specs.iter().map(String::as_str)).map_err(&at)?);
-            }
-            None if line.contains("\"deltas\"") => return Err(at(
-                "malformed \"deltas\" field (expected `\"deltas\": [\"rw(edge,weight)\", ...]`)"
-                    .into(),
-            )),
-            None => {}
-        }
-        let seed = match num("seed")? {
-            Some(s) => {
-                req = req.seed(s as u64);
-                s as u64
-            }
-            None => 0,
-        };
-        if line.contains("\"input\"") && string_field(line, "input").is_none() {
-            return Err(at("malformed \"input\" field (expected `\"input\": \"PATH\"`)".into()));
-        }
-        let (family, requested_n, graph) = if let Some(path) = string_field(line, "input") {
-            let graph = match graphs.get(&path) {
-                Some(g) => Arc::clone(g),
-                None => {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| at(format!("reading {path}: {e}")))?;
-                    let g = Arc::new(
-                        io::parse_graph(&text).map_err(|e| at(format!("parsing {path}: {e}")))?,
-                    );
-                    graphs.insert(path.clone(), Arc::clone(&g));
-                    g
-                }
-            };
-            (path, graph.n(), graph)
-        } else {
-            let family = string_field(line, "family")
-                .ok_or_else(|| at("job needs \"family\" + \"n\" or \"input\"".into()))?;
-            let n = num("n")?
-                .ok_or_else(|| at(format!("family {family:?} needs an \"n\" field")))?
-                as usize;
-            let w = num("max_weight")?.map_or(64, |w| w as u64);
-            let memo = format!("{family}:{n}:{w}:{seed}");
-            let graph = match graphs.get(&memo) {
-                Some(g) => Arc::clone(g),
-                None => {
-                    let g = Arc::new(instance_by_label(&family, n, w, seed).map_err(at)?);
-                    graphs.insert(memo, Arc::clone(&g));
-                    g
-                }
-            };
-            (family, n, graph)
-        };
-        specs.push(JobSpec { family, requested_n, seed, graph, req });
-    }
-    if specs.is_empty() {
-        return Err(
-            "no job specs found (expected a JSON array with one job object per line)".into(),
-        );
-    }
-    Ok(specs)
-}
-
-/// Batch-solves a job file through a [`SolveService`] and emits one
-/// JSON document: a `"service"` stats header (queue/cache counters, hit
-/// rate, per-algorithm latency histograms) plus one row per job, in
+/// Batch-solves a job file through a [`SolveService`] (`--jobs`), or —
+/// with `--listen ADDR` — serves the same job dialect over HTTP until a
+/// termination signal drains it. File mode emits one JSON document: a
+/// `"service"` stats header (queue/cache counters, hit rate,
+/// per-algorithm latency histograms) plus one row per job, in
 /// submission order — report fields for completed jobs, an `"error"`
-/// field for failed ones. Exit status is nonzero when any job failed,
-/// but the document always covers the whole batch.
-fn serve(args: &[String]) -> Result<(), String> {
-    let jobs_path = flag(args, "--jobs").ok_or("--jobs FILE.json is required")?;
+/// field for failed ones. The document always covers the whole batch;
+/// exit status is 2 when some jobs failed (0 under `--keep-going`), 1
+/// only for infrastructure errors.
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    if let Some(listen) = flag(args, "--listen") {
+        return serve_network(args, listen);
+    }
+    let jobs_path = flag(args, "--jobs").ok_or("--jobs FILE.json or --listen ADDR is required")?;
     let text =
         std::fs::read_to_string(jobs_path).map_err(|e| format!("reading {jobs_path}: {e}"))?;
-    let specs = parse_job_specs(&text)?;
+    let specs = jobs::parse_job_specs(&text, FileAccess::Allowed)?;
     let workers: usize = parse_flag(args, "--workers", 1)?;
     let cache_cap: usize = parse_flag(args, "--cache-cap", 128)?;
     let queue_cap: usize = parse_flag(args, "--queue-cap", 256)?;
@@ -611,7 +425,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             .cache_capacity(cache_cap)
             .queue_capacity(queue_cap),
     );
-    let jobs: Vec<_> = specs
+    let submissions: Vec<_> = specs
         .iter()
         .map(|s| {
             eprintln!(
@@ -621,63 +435,137 @@ fn serve(args: &[String]) -> Result<(), String> {
             service.submit(Arc::clone(&s.graph), s.req.clone())
         })
         .collect();
-    let results = service.join_all(&jobs);
+    let results = service.join_all(&submissions);
 
     let mut failed = 0usize;
     let mut rows = Vec::new();
     for (i, (spec, result)) in specs.iter().zip(&results).enumerate() {
-        let echo = format!(
-            "\"job\": {i}, \"family\": \"{}\", \"requested_n\": {}, \"seed\": {}",
-            decss::solver::json::escape(&spec.family),
-            spec.requested_n,
-            spec.seed
-        );
-        rows.push(match result {
-            Ok(outcome) => format!(
-                "    {{{echo}, \"cache_hit\": {}, {}}}",
-                outcome.cache_hit,
-                outcome.report.json_fields()
-            ),
-            Err(e) => {
-                failed += 1;
-                format!(
-                    "    {{{echo}, \"error\": \"{}\"}}",
-                    decss::solver::json::escape(&e.to_string())
-                )
-            }
-        });
+        if result.is_err() {
+            failed += 1;
+        }
+        rows.push(jobs::job_row(i, spec, result));
     }
-    let stats = service.stats();
-    // Host echo: nproc plus the per-worker pool-thread cap (how many
-    // threads a job's "shards" hint can actually get on this run).
-    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let pool_cap = (nproc / workers.max(1)).max(1);
-    let json = format!(
-        "{{\n  \"service\": {{{}, \"nproc\": {nproc}, \"pool_cap\": {pool_cap}}},\n  \"jobs\": [\n{}\n  ]\n}}\n",
-        stats.json_fields(),
-        rows.join(",\n")
-    );
+    // The backlog is already joined; drain closes intake, stops the
+    // workers, and audits the service log — the same shutdown path the
+    // network tier takes, so file mode gets the same accountability.
+    let summary = service.drain();
+    let json = jobs::report_document(&summary.stats, &rows);
     match flag(args, "--out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!(
                 "serve: wrote {} job reports to {path} ({} cache hits)",
                 rows.len(),
-                stats.cache_hits
+                summary.stats.cache_hits
             );
         }
         None => print!("{json}"),
     }
+    summary.audit.map_err(|e| format!("service log audit failed: {e}"))?;
     if failed > 0 {
-        return Err(format!(
-            "{failed} of {} jobs failed (see the report rows)",
-            rows.len()
-        ));
+        eprintln!("serve: {failed} of {} jobs failed (see the report rows)", rows.len());
+        if args.iter().any(|a| a == "--keep-going") {
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Ok(ExitCode::from(2));
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn verify(args: &[String]) -> Result<(), String> {
+/// The network tier: bind `--listen ADDR`, serve `/healthz`, `/ready`,
+/// `/stats`, `POST /solve`, and `POST /jobs` until SIGTERM or SIGINT,
+/// then drain gracefully — `/ready` flips to 503, in-flight requests
+/// finish, the backlog runs dry, and the final audited accounting goes
+/// to stderr. Exits 0 on a clean drain, 1 on an audit failure or a
+/// connection-slot leak.
+fn serve_network(args: &[String], listen: &str) -> Result<ExitCode, String> {
+    let workers: usize = parse_flag(args, "--workers", 2)?;
+    let cache_cap: usize = parse_flag(args, "--cache-cap", 128)?;
+    let queue_cap: usize = parse_flag(args, "--queue-cap", 64)?;
+    let max_conns: usize = parse_flag(args, "--max-conns", 8)?;
+    let read_ms: u64 = parse_flag(args, "--read-timeout-ms", 5_000)?;
+    let write_ms: u64 = parse_flag(args, "--write-timeout-ms", 5_000)?;
+    let grace_ms: u64 = parse_flag(args, "--grace-ms", 150)?;
+    let mut net = NetConfig::default()
+        .max_connections(max_conns)
+        .read_timeout(Duration::from_millis(read_ms))
+        .write_timeout(Duration::from_millis(write_ms));
+    if let Some(rps) = flag(args, "--quota-rps") {
+        let refill_per_sec: f64 = rps.parse().map_err(|_| format!("bad --quota-rps {rps}"))?;
+        let burst: f64 = parse_flag(args, "--quota-burst", (refill_per_sec * 2.0).max(1.0))?;
+        net = net.quota(QuotaConfig { refill_per_sec, burst });
+    }
+    let service = ServiceConfig::default()
+        .workers(workers)
+        .cache_capacity(cache_cap)
+        .queue_capacity(queue_cap);
+
+    signal::reset();
+    signal::install_handlers();
+    let handle = NetServer::start(listen, net, service)?;
+    eprintln!("serve: listening on http://{}", handle.addr());
+    eprintln!("serve: GET /healthz /ready /stats; POST /solve /jobs; SIGTERM drains");
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("serve: shutdown signal received; draining ...");
+    let summary = handle.drain(Duration::from_millis(grace_ms));
+    eprintln!(
+        "serve: drained; {} connections accepted ({} refused busy), {} requests, {} jobs done, {} shed",
+        summary.net.accepted,
+        summary.net.refused_busy,
+        summary.net.requests,
+        summary.service.stats.completed,
+        summary.net.shed,
+    );
+    for (client, jobs_done) in &summary.clients {
+        eprintln!("serve: client {client}: {jobs_done} jobs");
+    }
+    let audited = summary
+        .service
+        .audit
+        .as_ref()
+        .map_err(|e| format!("service log audit failed: {e}"))?;
+    if summary.slot_leaks() != 0 {
+        return Err(format!(
+            "connection slot leak: accepted {} != closed {}",
+            summary.net.accepted, summary.net.conns_closed
+        ));
+    }
+    eprintln!("serve: audit clean ({audited} jobs accounted); bye");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the network tier's chaos harness against a self-hosted server:
+/// seeded threads mix well-formed solves with truncated requests,
+/// stalled writers, garbage, disconnects, duplicate storms, and
+/// overload waves (`--faults` adds injected accept/write failures),
+/// then the run drains and verifies report byte-identity, slot-leak
+/// freedom, and clean audit. Exits 0 on a contract-clean run, 1
+/// otherwise.
+fn netstress(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = StressConfig::default();
+    config.seed = parse_flag(args, "--seed", config.seed)?;
+    config.ops = parse_flag(args, "--ops", config.ops)?;
+    config.threads = parse_flag(args, "--threads", config.threads)?;
+    config.service = config
+        .service
+        .clone()
+        .workers(parse_flag(args, "--workers", 2)?)
+        .queue_capacity(parse_flag(args, "--queue-cap", 3)?);
+    if args.iter().any(|a| a == "--faults") {
+        config.net = config.net.clone().fault(stress::default_fault_plan());
+    }
+    let report = stress::chaos(config);
+    print!("{}", report.render());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, String> {
     let g = load(args)?;
     let list = flag(args, "--edges").ok_or("--edges ID[,ID...] is required")?;
     let edges: Vec<EdgeId> = list
@@ -712,5 +600,5 @@ fn verify(args: &[String]) -> Result<(), String> {
     if !report.valid {
         return Err("the given edge set is not a spanning 2-edge-connected subgraph".into());
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

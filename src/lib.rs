@@ -25,7 +25,12 @@
 //! * [`service`] — the batch solve service on the solver API: a
 //!   [`SolveService`](service::SolveService) worker pool with a bounded
 //!   job queue, instance cache, accountability log, and per-algorithm
-//!   latency stats (`decss serve` and the `scenario` sweeps run on it).
+//!   latency stats (`decss serve` and the `scenario` sweeps run on it),
+//! * [`net`] — the hardened HTTP front-end on the service: bounded
+//!   connection pool, strict request parsing, load shedding with retry
+//!   hints, per-client quotas, graceful SIGTERM drain, and the
+//!   fault-injection chaos harness (`decss serve --listen` and
+//!   `decss netstress`).
 //!
 //! # Quickstart
 //!
@@ -57,6 +62,7 @@ pub use decss_baselines as baselines;
 pub use decss_congest as congest;
 pub use decss_core as core;
 pub use decss_graphs as graphs;
+pub use decss_net as net;
 pub use decss_service as service;
 pub use decss_shortcuts as shortcuts;
 pub use decss_solver as solver;

@@ -281,3 +281,69 @@ fn bad_usage_is_reported() {
     assert!(!ok);
     assert!(err.contains("reading"));
 }
+
+/// Like [`decss`] but returns the raw exit code — the batch exit
+/// contract distinguishes partial failure (2) from infrastructure
+/// errors (1).
+fn decss_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_decss"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn serve_exit_codes_distinguish_partial_failure_from_infrastructure() {
+    // A clean batch exits 0.
+    let ok_path = tempfile(
+        "jobs-exit-ok.json",
+        "[\n{\"algorithm\": \"greedy\", \"family\": \"grid\", \"n\": 16}\n]",
+    );
+    let (_, _, code) = decss_code(&["serve", "--jobs", ok_path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+
+    // A batch with a failing job still reports every row, but exits 2.
+    let mixed = concat!(
+        "[\n",
+        "{\"algorithm\": \"greedy\", \"family\": \"grid\", \"n\": 16},\n",
+        "{\"algorithm\": \"no-such-algorithm\", \"family\": \"grid\", \"n\": 16}\n",
+        "]"
+    );
+    let mixed_path = tempfile("jobs-exit-mixed.json", mixed);
+    let mixed_path = mixed_path.to_str().unwrap();
+    let (out, err, code) = decss_code(&["serve", "--jobs", mixed_path]);
+    assert_eq!(code, Some(2), "partial failure is exit 2\nstderr: {err}");
+    assert_eq!(
+        out.matches("\"job\":").count(),
+        2,
+        "the document covers the whole batch: {out}"
+    );
+    assert!(out.contains("\"error\""), "{out}");
+    assert!(err.contains("1 of 2 jobs failed"), "{err}");
+
+    // --keep-going downgrades partial failure to success.
+    let (out, _, code) = decss_code(&["serve", "--jobs", mixed_path, "--keep-going"]);
+    assert_eq!(code, Some(0), "--keep-going accepts partial failure");
+    assert!(out.contains("\"error\""), "{out}");
+
+    // Infrastructure errors (unreadable input, bad flags) exit 1.
+    let (_, err, code) = decss_code(&["serve", "--jobs", "/no/such/jobs.json"]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("reading"), "{err}");
+    let (_, err, code) = decss_code(&["no-such-subcommand"]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn netstress_smoke_passes_the_contract() {
+    let (out, err, code) =
+        decss_code(&["netstress", "--seed", "11", "--ops", "12", "--threads", "3"]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("netstress: PASS"), "{out}");
+}
