@@ -1,0 +1,161 @@
+//! Wall-clock of the persistence tier (`decss-persist`):
+//!
+//! * `persist/encode/N` / `persist/decode/N` — the pure wire format on
+//!   a warm state of N cache entries (dense reports, full log tail):
+//!   the in-memory serialization cost a snapshot timer pays with the
+//!   service still running.
+//! * `persist/write/N` / `persist/read/N` — the same states through
+//!   the atomic file path (tmp + fsync + rename) and back: what a
+//!   drain-time snapshot and a startup restore actually cost.
+//!
+//! Measurements dump to `BENCH_persist.json` (override with
+//! `DECSS_BENCH_JSON`) for the perf regression gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use decss_graphs::EdgeId;
+use decss_persist::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot};
+use decss_service::{EventKind, JobId, JobKey, LogEvent, WarmState};
+use decss_solver::SolveReport;
+
+/// A dense, representative report — every optional section populated,
+/// sized like a mid-size shortcut solve.
+fn report(i: u64) -> SolveReport {
+    SolveReport {
+        algorithm: "shortcut".into(),
+        label: format!("grid-{i}"),
+        params: "eps=0.25 seed=7".into(),
+        n: 256,
+        m: 480,
+        edges: (0..300u32).map(EdgeId).collect(),
+        weight: 4_800 + i,
+        mst_weight: Some(3_900),
+        augmentation_weight: Some(900 + i),
+        lower_bound: 3_700.5,
+        guarantee: Some(1.29),
+        rounds: Some(12_000 + i),
+        bandwidth: 1,
+        measured_sc: Some(31),
+        pass_cost: Some(88),
+        fallbacks: Some(0),
+        failed_edges: vec![EdgeId(3), EdgeId(17)],
+        fingerprint: Some(0xFEED_0000 ^ i),
+        valid: true,
+        wall_ms: 1.25,
+        trace: vec!["layering: 4 levels".into(), "tap: 31 segments".into()],
+        ..SolveReport::default()
+    }
+}
+
+/// A warm state of `entries` cache slots plus a full-lifecycle log tail
+/// (3 events per job) — the shape a real drain snapshot has.
+fn state_with(entries: u64) -> WarmState {
+    let mut log = Vec::new();
+    for job in 0..entries {
+        let base = job * 40;
+        log.push(LogEvent {
+            seq: 0,
+            job: JobId(job),
+            at_us: base,
+            kind: EventKind::Submitted,
+        });
+        log.push(LogEvent {
+            seq: 0,
+            job: JobId(job),
+            at_us: base + 10,
+            kind: EventKind::Started { worker: (job % 4) as usize },
+        });
+        log.push(LogEvent {
+            seq: 0,
+            job: JobId(job),
+            at_us: base + 30,
+            kind: EventKind::Finished { cache_hit: false, ok: true },
+        });
+    }
+    for (seq, event) in log.iter_mut().enumerate() {
+        event.seq = seq as u64;
+    }
+    WarmState {
+        next_job_id: entries,
+        submitted: entries,
+        completed: entries,
+        failed: 0,
+        cache_hits: 0,
+        cache_misses: entries,
+        cache: (0..entries)
+            .map(|i| {
+                (
+                    JobKey {
+                        fingerprint: 0xABCD_0000 ^ i,
+                        request: format!("shortcut eps=0.25 seed={i}"),
+                    },
+                    report(i),
+                )
+            })
+            .collect(),
+        log,
+    }
+}
+
+const SIZES: [u64; 3] = [8, 64, 256];
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist/encode");
+    group.sample_size(20);
+    for n in SIZES {
+        let state = state_with(n);
+        group.bench_with_input(BenchmarkId::new("entries", n), &state, |b, state| {
+            b.iter(|| encode_snapshot(state).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("persist/decode");
+    group.sample_size(20);
+    for n in SIZES {
+        let bytes = encode_snapshot(&state_with(n));
+        group.bench_with_input(BenchmarkId::new("entries", n), &bytes, |b, bytes| {
+            b.iter(|| decode_snapshot(bytes).expect("bench snapshot decodes").cache.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_file(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("decss-bench-persist");
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let mut group = c.benchmark_group("persist/write");
+    group.sample_size(10);
+    for n in SIZES {
+        let state = state_with(n);
+        let path = dir.join(format!("write-{n}.snap"));
+        group.bench_with_input(BenchmarkId::new("entries", n), &state, |b, state| {
+            b.iter(|| write_snapshot(&path, state).expect("bench snapshot writes"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("persist/read");
+    group.sample_size(20);
+    for n in SIZES {
+        let path = dir.join(format!("read-{n}.snap"));
+        write_snapshot(&path, &state_with(n)).expect("bench snapshot seeds");
+        group.bench_with_input(BenchmarkId::new("entries", n), &path, |b, path| {
+            b.iter(|| read_snapshot(path).expect("bench snapshot reads").cache.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(persist_benches, bench_wire, bench_file);
+
+// Custom main instead of criterion_main!: after the run it dumps the
+// measurements to BENCH_persist.json for the perf gate.
+fn main() {
+    let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json").to_string()
+    });
+    let mut c = Criterion::default();
+    persist_benches(&mut c);
+    decss_bench::benchjson::dump("persist", &c.measurements, &path);
+}

@@ -27,6 +27,7 @@ pub mod http;
 pub mod jobs;
 pub mod quota;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod stress;
 
@@ -35,5 +36,8 @@ pub use fault::{FaultClock, FaultPlan};
 pub use http::{HttpError, Limits, Parse, Request};
 pub use jobs::{parse_job_specs, FileAccess, JobSpec};
 pub use quota::{QuotaConfig, QuotaTable};
-pub use server::{NetConfig, NetHandle, NetServer, NetSnapshot, NetSummary};
+pub use server::{NetConfig, NetHandle, NetServer, NetSnapshot, NetSummary, PersistConfig};
+pub use shard::{
+    rendezvous_pick, rendezvous_score, ShardConfig, ShardHandle, ShardServer, ShardSummary,
+};
 pub use stress::{chaos, ChaosReport, StressConfig};

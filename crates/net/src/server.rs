@@ -31,10 +31,36 @@ use decss_solver::SolveError;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Persistence knobs: where to restore warm state from at startup and
+/// where (and how often) to snapshot it. All `None` by default — a
+/// server without a snapshot path behaves exactly as before this tier
+/// existed.
+#[derive(Clone, Debug, Default)]
+pub struct PersistConfig {
+    /// Snapshot to restore at startup. Any [`decss_persist`] error is a
+    /// *clean cold start* (logged to stderr), never a refusal to serve.
+    pub restore_path: Option<PathBuf>,
+    /// Where to write snapshots: on drain always, plus on the interval
+    /// timer when [`snapshot_interval`](Self::snapshot_interval) is set.
+    pub snapshot_path: Option<PathBuf>,
+    /// Periodic snapshot cadence (requires a snapshot path). Interval
+    /// snapshots are audit-consistent: in-flight jobs are excluded by
+    /// the warm-state export.
+    pub snapshot_interval: Option<Duration>,
+}
+
+impl PersistConfig {
+    /// Whether any snapshot will ever be written.
+    pub fn armed(&self) -> bool {
+        self.snapshot_path.is_some()
+    }
+}
 
 /// Knobs of the network tier (the solve pool itself is sized by the
 /// [`ServiceConfig`] passed to [`NetServer::start`]).
@@ -65,6 +91,9 @@ pub struct NetConfig {
     pub submit_retries: u32,
     /// Pause between `POST /jobs` submit retries.
     pub submit_retry_delay: Duration,
+    /// Warm-state persistence (restore at start, snapshot on drain and
+    /// on a timer). Default: fully disabled.
+    pub persist: PersistConfig,
 }
 
 impl Default for NetConfig {
@@ -79,6 +108,7 @@ impl Default for NetConfig {
             fault: FaultPlan::none(),
             submit_retries: 200,
             submit_retry_delay: Duration::from_millis(5),
+            persist: PersistConfig::default(),
         }
     }
 }
@@ -111,6 +141,25 @@ impl NetConfig {
     /// Installs a fault-injection plan (tests/chaos only).
     pub fn fault(mut self, plan: FaultPlan) -> Self {
         self.fault = plan;
+        self
+    }
+
+    /// Restores warm state from `path` at startup (errors = cold start).
+    pub fn restore_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist.restore_path = Some(path.into());
+        self
+    }
+
+    /// Snapshots warm state to `path` on drain (and on the interval
+    /// timer if one is set).
+    pub fn snapshot_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Also snapshots every `interval` while serving.
+    pub fn snapshot_interval(mut self, interval: Duration) -> Self {
+        self.persist.snapshot_interval = Some(interval);
         self
     }
 }
@@ -244,6 +293,10 @@ pub struct NetSummary {
     pub service: DrainSummary,
     /// Jobs accepted per client id, sorted by id.
     pub clients: Vec<(String, u64)>,
+    /// Outcome of the final snapshot written after the service drained:
+    /// `None` when persistence is not armed, otherwise the snapshot
+    /// size in bytes or the error rendered as a string.
+    pub snapshot: Option<Result<u64, String>>,
 }
 
 impl NetSummary {
@@ -261,6 +314,26 @@ impl NetSummary {
     }
 }
 
+/// What the last snapshot write did, for `/stats` metadata.
+struct LastSnapshotWrite {
+    at: Instant,
+    ok: bool,
+}
+
+/// Persistence runtime state alongside the static [`PersistConfig`].
+#[derive(Default)]
+struct PersistState {
+    /// `Some(n)` when startup restored `n` cache entries.
+    restored_entries: Mutex<Option<usize>>,
+    last_write: Mutex<Option<LastSnapshotWrite>>,
+}
+
+impl Default for LastSnapshotWrite {
+    fn default() -> Self {
+        LastSnapshotWrite { at: Instant::now(), ok: false }
+    }
+}
+
 /// The server state shared by the accept loop and connection workers.
 pub struct NetServer {
     service: SolveService,
@@ -269,10 +342,12 @@ pub struct NetServer {
     conns: JobQueue<TcpStream>,
     draining: AtomicBool,
     stop_accept: AtomicBool,
+    stop_snapshot: AtomicBool,
     counters: NetCounters,
     quota: Option<QuotaTable>,
     fault_clock: FaultClock,
     clients: Mutex<HashMap<String, u64>>,
+    persist: PersistState,
 }
 
 /// The running server: the accept thread plus connection workers.
@@ -282,6 +357,7 @@ pub struct NetHandle {
     server: Arc<NetServer>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    snapshot_timer: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -305,13 +381,35 @@ impl NetServer {
             conns: JobQueue::new(max_conns),
             draining: AtomicBool::new(false),
             stop_accept: AtomicBool::new(false),
+            stop_snapshot: AtomicBool::new(false),
             counters: NetCounters::default(),
             quota,
             fault_clock: FaultClock::default(),
             clients: Mutex::new(HashMap::new()),
+            persist: PersistState::default(),
             addr: local,
             config,
         });
+        // Restore warm state before the first connection can land a
+        // job: any persistence error (missing file, torn write, foreign
+        // bytes) degrades to a clean cold start — a snapshot is an
+        // optimization, never a liveness dependency.
+        if let Some(path) = server.config.persist.restore_path.clone() {
+            match decss_persist::read_snapshot(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|state| server.service.restore_warm_state(state))
+            {
+                Ok(entries) => {
+                    *server.persist.restored_entries.lock().expect("persist lock") = Some(entries);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "decss-net: restore from {} failed ({e}); starting cold",
+                        path.display()
+                    );
+                }
+            }
+        }
         let workers = (0..max_conns)
             .map(|index| {
                 let server = Arc::clone(&server);
@@ -328,7 +426,22 @@ impl NetServer {
                 .spawn(move || accept_loop(&server, listener))
                 .map_err(|e| format!("spawning accept loop: {e}"))?
         };
-        Ok(NetHandle { server, accept: Some(accept), workers })
+        let snapshot_timer = match (
+            &server.config.persist.snapshot_path,
+            server.config.persist.snapshot_interval,
+        ) {
+            (Some(_), Some(interval)) => {
+                let server = Arc::clone(&server);
+                Some(
+                    std::thread::Builder::new()
+                        .name("decss-snapshot".into())
+                        .spawn(move || snapshot_timer_loop(&server, interval))
+                        .map_err(|e| format!("spawning snapshot timer: {e}"))?,
+                )
+            }
+            _ => None,
+        };
+        Ok(NetHandle { server, accept: Some(accept), workers, snapshot_timer })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -384,6 +497,48 @@ impl NetServer {
         out
     }
 
+    /// Exports the warm state and writes it to the configured snapshot
+    /// path, recording the outcome for `/stats`. Callers arm this only
+    /// when a path is configured.
+    fn write_warm_snapshot(&self) -> Result<u64, String> {
+        let path = self
+            .config
+            .persist
+            .snapshot_path
+            .as_ref()
+            .expect("snapshot path configured");
+        let result = decss_persist::write_snapshot(path, &self.service.export_warm_state())
+            .map_err(|e| e.to_string());
+        *self.persist.last_write.lock().expect("persist lock") =
+            Some(LastSnapshotWrite { at: Instant::now(), ok: result.is_ok() });
+        result
+    }
+
+    /// The `"snapshot"` metadata object for `/stats`, or `None` when
+    /// persistence is not armed and nothing was restored.
+    fn snapshot_metadata(&self) -> Option<String> {
+        let restored = *self.persist.restored_entries.lock().expect("persist lock");
+        let path = self.config.persist.snapshot_path.as_ref().or(self
+            .config
+            .persist
+            .restore_path
+            .as_ref())?;
+        let (age_ms, last_write_ok) = match &*self.persist.last_write.lock().expect("persist lock")
+        {
+            Some(write) => (
+                write.at.elapsed().as_millis().to_string(),
+                if write.ok { "true" } else { "false" }.to_string(),
+            ),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        let restored = restored.map_or("null".to_string(), |n| n.to_string());
+        Some(format!(
+            "\"path\": \"{}\", \"age_ms\": {age_ms}, \"last_write_ok\": {last_write_ok}, \
+             \"restored_entries\": {restored}",
+            escape(&path.display().to_string()),
+        ))
+    }
+
     /// How long a shed client should wait before retrying: roughly the
     /// time for the backlog to drain at the observed per-job latency.
     fn retry_hint_ms(&self) -> u64 {
@@ -423,8 +578,12 @@ impl NetHandle {
             std::thread::sleep(grace);
         }
         self.server.stop_accept.store(true, Ordering::SeqCst);
+        self.server.stop_snapshot.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(timer) = self.snapshot_timer.take() {
+            let _ = timer.join();
         }
         // The accept loop closed the connection queue on exit; workers
         // finish their in-flight connection, drain the short backlog,
@@ -433,10 +592,19 @@ impl NetHandle {
             let _ = worker.join();
         }
         let service = self.server.service.drain();
+        // The final snapshot comes *after* the drain, so it captures the
+        // fully settled state: every lifecycle complete, cache warm.
+        let snapshot = self
+            .server
+            .config
+            .persist
+            .armed()
+            .then(|| self.server.write_warm_snapshot());
         NetSummary {
             net: self.server.counters.snapshot(),
             service,
             clients: self.server.sorted_clients(),
+            snapshot,
         }
     }
 }
@@ -487,6 +655,25 @@ fn accept_loop(server: &Arc<NetServer>, listener: TcpListener) {
     server.conns.close();
 }
 
+/// The interval snapshot thread: sleeps in short slices (so shutdown is
+/// prompt), writing a snapshot every `interval`. Write failures are
+/// logged and retried next tick — a full disk must not take the server
+/// down. The final authoritative snapshot is the post-drain one.
+fn snapshot_timer_loop(server: &Arc<NetServer>, interval: Duration) {
+    let slice = Duration::from_millis(50).min(interval);
+    let mut next = Instant::now() + interval;
+    while !server.stop_snapshot.load(Ordering::SeqCst) {
+        if Instant::now() < next {
+            std::thread::sleep(slice);
+            continue;
+        }
+        if let Err(e) = server.write_warm_snapshot() {
+            eprintln!("decss-net: interval snapshot failed: {e}");
+        }
+        next = Instant::now() + interval;
+    }
+}
+
 fn refuse_busy(server: &Arc<NetServer>, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(server.config.write_timeout));
     let body = http::error_body(
@@ -507,7 +694,7 @@ fn conn_worker(server: &Arc<NetServer>) {
     }
 }
 
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     Request(Request),
     CleanClose,
     Hangup,
@@ -516,17 +703,22 @@ enum ReadOutcome {
     IdleDrain,
 }
 
-fn read_one_request(
-    server: &NetServer,
+/// Reads one request off `stream` under `read_timeout`, polling
+/// `draining` so idle keep-alive connections let go during a drain.
+/// Shared by the serve tier and the shard front tier.
+pub(crate) fn read_request_with(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
     kept_alive: bool,
+    read_timeout: Duration,
+    limits: &Limits,
+    draining: &dyn Fn() -> bool,
 ) -> ReadOutcome {
-    let deadline = Instant::now() + server.config.read_timeout;
+    let deadline = Instant::now() + read_timeout;
     let mut chunk = [0u8; 8192];
     loop {
         if !buf.is_empty() {
-            match http::parse_request(buf, &server.config.limits) {
+            match http::parse_request(buf, limits) {
                 Ok(Parse::Ready { request, consumed }) => {
                     buf.drain(..consumed);
                     return ReadOutcome::Request(request);
@@ -538,7 +730,7 @@ fn read_one_request(
         if Instant::now() >= deadline {
             return ReadOutcome::Timeout;
         }
-        if kept_alive && buf.is_empty() && server.is_draining() {
+        if kept_alive && buf.is_empty() && draining() {
             // An idle keep-alive connection during drain: close now
             // instead of holding the worker for the full deadline. A
             // *partial* request keeps its full budget — in-flight work
@@ -574,6 +766,22 @@ fn read_one_request(
             }
         }
     }
+}
+
+fn read_one_request(
+    server: &NetServer,
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    kept_alive: bool,
+) -> ReadOutcome {
+    read_request_with(
+        stream,
+        buf,
+        kept_alive,
+        server.config.read_timeout,
+        &server.config.limits,
+        &|| server.is_draining(),
+    )
 }
 
 /// Writes `bytes`, honoring the write deadline and the fault plan.
@@ -707,8 +915,14 @@ fn stats_doc(server: &NetServer) -> String {
         .map(|(id, jobs)| format!("\"{}\": {jobs}", escape(&id)))
         .collect::<Vec<_>>()
         .join(", ");
+    // Servers without persistence emit exactly the pre-persistence
+    // document — the key only appears when there is something to say.
+    let snapshot = server
+        .snapshot_metadata()
+        .map(|fields| format!("  \"snapshot\": {{{fields}}},\n"))
+        .unwrap_or_default();
     format!(
-        "{{\n  \"ready\": {},\n  \"service\": {{{}}},\n  \"net\": {{{}}},\n  \"clients\": {{{clients}}}\n}}\n",
+        "{{\n  \"ready\": {},\n  \"service\": {{{}}},\n  \"net\": {{{}}},\n{snapshot}  \"clients\": {{{clients}}}\n}}\n",
         !server.is_draining(),
         service.json_fields(),
         net.json_fields(),

@@ -1,0 +1,827 @@
+//! The fingerprint-sharded front tier: one lightweight HTTP process
+//! routing jobs across N `decss serve --listen` backends.
+//!
+//! Routing is **rendezvous hashing** (highest-random-weight) on the
+//! job's graph fingerprint: every front tier with the same backend set
+//! picks the same owner for a key, and adding or removing a backend
+//! only remaps the keys that backend itself owned — the rest of the
+//! fleet keeps its warm caches. The scoring function is exposed pure
+//! ([`rendezvous_pick`]) so tests can precompute the expected split.
+//!
+//! Health is tracked two ways: a background probe thread polls each
+//! backend's `/ready`, and the routing path marks a backend unhealthy
+//! the moment a forward fails (transport error or `503 draining`) and
+//! re-routes the job to the next-highest scorer. A draining backend
+//! therefore hands its keys off without dropping a single in-flight
+//! job — the drain-then-handoff contract pinned by `tests/shard.rs`.
+
+use crate::client::Client;
+use crate::http::{self, Limits, Request};
+use crate::jobs::{self, FileAccess};
+use crate::server::{read_request_with, ReadOutcome};
+use decss_service::{JobKey, JobQueue, PushError};
+use decss_solver::json::escape;
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the backend label: the per-backend half of the
+/// rendezvous score.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: the bit mixer that turns `label ^ key` into a
+/// uniformly distributed score.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous score of `(backend label, fingerprint)`. Pure and
+/// stable: the same pair scores the same everywhere, forever (the
+/// routing table is a function, not state).
+pub fn rendezvous_score(label: &str, fingerprint: u64) -> u64 {
+    mix64(fnv64(label) ^ mix64(fingerprint))
+}
+
+/// Picks the owner of `fingerprint` among `labels`: the index of the
+/// highest [`rendezvous_score`], ties broken by the larger label so the
+/// choice is independent of list order. Returns `None` for an empty
+/// candidate set.
+///
+/// The property that makes this the sharding function: removing one
+/// label only remaps the keys *that label owned* (every other key's
+/// argmax is unchanged), and adding one back restores exactly its own
+/// keys.
+pub fn rendezvous_pick<'a>(
+    labels: impl IntoIterator<Item = &'a str>,
+    fingerprint: u64,
+) -> Option<usize> {
+    labels
+        .into_iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            (rendezvous_score(a, fingerprint), *a).cmp(&(rendezvous_score(b, fingerprint), *b))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Knobs of the front tier.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Connection workers (and the connection pool bound).
+    pub max_connections: usize,
+    /// Per-request read deadline (slow-loris cutoff).
+    pub read_timeout: Duration,
+    /// Per-response write deadline.
+    pub write_timeout: Duration,
+    /// Requests served per connection before it is closed.
+    pub keep_alive_requests: u32,
+    /// Parser caps.
+    pub limits: Limits,
+    /// Cadence of the background `/ready` probe of each backend.
+    pub probe_interval: Duration,
+    /// I/O timeout for one forwarded request to a backend.
+    pub forward_timeout: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            max_connections: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            keep_alive_requests: 64,
+            limits: Limits::default(),
+            probe_interval: Duration::from_millis(250),
+            forward_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Sets the connection-worker count.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets the backend `/ready` probe cadence.
+    pub fn probe_interval(mut self, d: Duration) -> Self {
+        self.probe_interval = d;
+        self
+    }
+
+    /// Sets the per-forward I/O timeout.
+    pub fn forward_timeout(mut self, d: Duration) -> Self {
+        self.forward_timeout = d;
+        self
+    }
+}
+
+/// One backend as the front tier sees it.
+pub struct BackendState {
+    addr: SocketAddr,
+    label: String,
+    healthy: AtomicBool,
+    routed: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl BackendState {
+    /// The routing label (the address string as given).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The backend address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the backend is currently considered healthy.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+}
+
+/// Monotonic counters of the front tier.
+#[derive(Default, Debug)]
+pub struct ShardCounters {
+    /// Connections handed to the pool.
+    pub accepted: AtomicU64,
+    /// Connections refused with `503 busy`.
+    pub refused_busy: AtomicU64,
+    /// Requests fully parsed.
+    pub requests: AtomicU64,
+    /// Jobs forwarded to a backend (first attempt).
+    pub routed: AtomicU64,
+    /// Jobs re-routed after a backend failure or drain.
+    pub rerouted: AtomicU64,
+    /// Jobs answered `503 no_backend` (no healthy backend left).
+    pub no_backend: AtomicU64,
+    /// Requests rejected by the parser.
+    pub parse_errors: AtomicU64,
+    /// Connections cut off at the read deadline.
+    pub timeouts: AtomicU64,
+    /// Connections the peer abandoned.
+    pub hangups: AtomicU64,
+    /// Connections fully finished.
+    pub conns_closed: AtomicU64,
+}
+
+/// A point-in-time copy of [`ShardCounters`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ShardSnapshot {
+    /// See [`ShardCounters::accepted`].
+    pub accepted: u64,
+    /// See [`ShardCounters::refused_busy`].
+    pub refused_busy: u64,
+    /// See [`ShardCounters::requests`].
+    pub requests: u64,
+    /// See [`ShardCounters::routed`].
+    pub routed: u64,
+    /// See [`ShardCounters::rerouted`].
+    pub rerouted: u64,
+    /// See [`ShardCounters::no_backend`].
+    pub no_backend: u64,
+    /// See [`ShardCounters::parse_errors`].
+    pub parse_errors: u64,
+    /// See [`ShardCounters::timeouts`].
+    pub timeouts: u64,
+    /// See [`ShardCounters::hangups`].
+    pub hangups: u64,
+    /// See [`ShardCounters::conns_closed`].
+    pub conns_closed: u64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused_busy: self.refused_busy.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+            rerouted: self.rerouted.load(Ordering::Relaxed),
+            no_backend: self.no_backend.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            hangups: self.hangups.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ShardSnapshot {
+    /// Renders the counters as JSON object fields (no braces).
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"accepted\": {}, \"refused_busy\": {}, \"requests\": {}, \
+             \"routed\": {}, \"rerouted\": {}, \"no_backend\": {}, \
+             \"parse_errors\": {}, \"timeouts\": {}, \"hangups\": {}, \
+             \"conns_closed\": {}",
+            self.accepted,
+            self.refused_busy,
+            self.requests,
+            self.routed,
+            self.rerouted,
+            self.no_backend,
+            self.parse_errors,
+            self.timeouts,
+            self.hangups,
+            self.conns_closed,
+        )
+    }
+}
+
+/// One backend's final accounting in a [`ShardSummary`].
+#[derive(Clone, Debug)]
+pub struct BackendReport {
+    /// The routing label.
+    pub label: String,
+    /// The backend address.
+    pub addr: SocketAddr,
+    /// Health at drain time.
+    pub healthy: bool,
+    /// Jobs this backend answered for the front tier.
+    pub routed: u64,
+    /// Forward failures charged to this backend.
+    pub errors: u64,
+}
+
+/// What a completed front-tier drain reports.
+#[derive(Debug)]
+pub struct ShardSummary {
+    /// Final front-tier counters.
+    pub net: ShardSnapshot,
+    /// Per-backend accounting, in configuration order.
+    pub backends: Vec<BackendReport>,
+}
+
+impl ShardSummary {
+    /// Jobs answered across all backends — equals `net.routed` when no
+    /// job was dropped.
+    pub fn routed_total(&self) -> u64 {
+        self.backends.iter().map(|b| b.routed).sum()
+    }
+}
+
+/// The front-tier state shared by the accept loop, connection workers,
+/// and the probe thread.
+pub struct ShardServer {
+    config: ShardConfig,
+    addr: SocketAddr,
+    backends: Vec<BackendState>,
+    conns: JobQueue<TcpStream>,
+    draining: AtomicBool,
+    stop_accept: AtomicBool,
+    stop_probe: AtomicBool,
+    counters: ShardCounters,
+}
+
+/// The running front tier. [`drain`](ShardHandle::drain) (or drop)
+/// shuts it down.
+pub struct ShardHandle {
+    server: Arc<ShardServer>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    probe: Option<JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Binds `addr` and starts routing to `backends` (address strings,
+    /// e.g. `"127.0.0.1:7101"`). Backends start healthy — the probe
+    /// thread and the routing path correct that within one interval.
+    pub fn start(
+        addr: &str,
+        backends: &[String],
+        config: ShardConfig,
+    ) -> Result<ShardHandle, String> {
+        if backends.is_empty() {
+            return Err("decss shard needs at least one backend".into());
+        }
+        let backends = backends
+            .iter()
+            .map(|b| {
+                let parsed: SocketAddr =
+                    b.parse().map_err(|e| format!("backend address {b:?}: {e}"))?;
+                Ok(BackendState {
+                    addr: parsed,
+                    label: b.clone(),
+                    healthy: AtomicBool::new(true),
+                    routed: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        let local = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+        let max_conns = config.max_connections.max(1);
+        let server = Arc::new(ShardServer {
+            conns: JobQueue::new(max_conns),
+            draining: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            stop_probe: AtomicBool::new(false),
+            counters: ShardCounters::default(),
+            addr: local,
+            backends,
+            config,
+        });
+        let workers = (0..max_conns)
+            .map(|index| {
+                let server = Arc::clone(&server);
+                std::thread::Builder::new()
+                    .name(format!("decss-shard-conn-{index}"))
+                    .spawn(move || conn_worker(&server))
+                    .map_err(|e| format!("spawning connection worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("decss-shard-accept".into())
+                .spawn(move || accept_loop(&server, listener))
+                .map_err(|e| format!("spawning accept loop: {e}"))?
+        };
+        let probe = {
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("decss-shard-probe".into())
+                .spawn(move || probe_loop(&server))
+                .map_err(|e| format!("spawning probe thread: {e}"))?
+        };
+        Ok(ShardHandle { server, accept: Some(accept), workers, probe: Some(probe) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configured backends.
+    pub fn backends(&self) -> &[BackendState] {
+        &self.backends
+    }
+
+    /// Current front-tier counters.
+    pub fn counters(&self) -> ShardSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Flips `/ready` to 503 and refuses new jobs.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The owner of `fingerprint` among currently-healthy backends:
+    /// `(index, label)` per [`rendezvous_pick`], or `None` when every
+    /// backend is down.
+    pub fn route(&self, fingerprint: u64) -> Option<usize> {
+        let healthy: Vec<(usize, &str)> = self
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_healthy())
+            .map(|(i, b)| (i, b.label.as_str()))
+            .collect();
+        rendezvous_pick(healthy.iter().map(|(_, l)| *l), fingerprint).map(|pick| healthy[pick].0)
+    }
+
+    /// Forwards `body` to the owner of `fingerprint` as a single-job
+    /// `POST /solve`, failing over (and marking backends unhealthy) on
+    /// transport errors and `503 draining` answers. Returns the backend
+    /// answer, or an error string when no healthy backend is left.
+    fn forward_job(
+        &self,
+        fingerprint: u64,
+        body: &str,
+        client: Option<&str>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let mut first_attempt = true;
+        loop {
+            let Some(index) = self.route(fingerprint) else {
+                self.counters.no_backend.fetch_add(1, Ordering::Relaxed);
+                return Err("no healthy backend".into());
+            };
+            let backend = &self.backends[index];
+            if first_attempt {
+                self.counters.routed.fetch_add(1, Ordering::Relaxed);
+                first_attempt = false;
+            } else {
+                self.counters.rerouted.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut c = Client::new(backend.addr).with_timeout(self.config.forward_timeout);
+            if let Some(id) = client {
+                c = c.with_client_id(id);
+            }
+            match c.post("/solve", body) {
+                // A draining backend refuses intake with 503: take it
+                // out of rotation and hand its keys to the next scorer.
+                Ok(resp) if resp.status == 503 => {
+                    backend.healthy.store(false, Ordering::SeqCst);
+                    backend.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(resp) => {
+                    backend.routed.fetch_add(1, Ordering::Relaxed);
+                    return Ok((resp.status, resp.body));
+                }
+                Err(_) => {
+                    backend.healthy.store(false, Ordering::SeqCst);
+                    backend.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl ShardHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr
+    }
+
+    /// The shared front-tier state.
+    pub fn server(&self) -> &Arc<ShardServer> {
+        &self.server
+    }
+
+    /// Graceful drain: `/ready` flips first, the listener closes after
+    /// `grace`, in-flight requests finish, and the accounting comes
+    /// back.
+    pub fn drain(mut self, grace: Duration) -> ShardSummary {
+        self.shutdown(grace)
+    }
+
+    fn shutdown(&mut self, grace: Duration) -> ShardSummary {
+        self.server.begin_drain();
+        if !grace.is_zero() {
+            std::thread::sleep(grace);
+        }
+        self.server.stop_accept.store(true, Ordering::SeqCst);
+        self.server.stop_probe.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(probe) = self.probe.take() {
+            let _ = probe.join();
+        }
+        ShardSummary {
+            net: self.server.counters.snapshot(),
+            backends: self
+                .server
+                .backends
+                .iter()
+                .map(|b| BackendReport {
+                    label: b.label.clone(),
+                    addr: b.addr,
+                    healthy: b.is_healthy(),
+                    routed: b.routed.load(Ordering::Relaxed),
+                    errors: b.errors.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            let _ = self.shutdown(Duration::ZERO);
+        }
+    }
+}
+
+fn probe_loop(server: &Arc<ShardServer>) {
+    let slice = Duration::from_millis(50).min(server.config.probe_interval);
+    let timeout = server.config.forward_timeout.min(Duration::from_secs(1));
+    let mut next = Instant::now(); // first probe immediately
+    while !server.stop_probe.load(Ordering::SeqCst) {
+        if Instant::now() < next {
+            std::thread::sleep(slice);
+            continue;
+        }
+        for backend in &server.backends {
+            let up = Client::new(backend.addr)
+                .with_timeout(timeout)
+                .get("/ready")
+                .is_ok_and(|r| r.status == 200);
+            backend.healthy.store(up, Ordering::SeqCst);
+        }
+        next = Instant::now() + server.config.probe_interval;
+    }
+}
+
+fn accept_loop(server: &Arc<ShardServer>, listener: TcpListener) {
+    while !server.stop_accept.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                match server.conns.try_push(stream) {
+                    Ok(()) => {
+                        server.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(PushError::Full(mut stream) | PushError::Closed(mut stream)) => {
+                        server.counters.refused_busy.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(server.config.write_timeout));
+                        let body =
+                            http::error_body("busy", "connection pool is full; retry shortly", &[]);
+                        let _ = stream.write_all(&http::response(503, &body, true, &[]));
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                }
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    server.conns.close();
+}
+
+fn conn_worker(server: &Arc<ShardServer>) {
+    while let Some(stream) = server.conns.pop() {
+        serve_connection(server, stream);
+        server.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn write_response(server: &ShardServer, stream: &mut TcpStream, bytes: &[u8]) -> bool {
+    let _ = stream.set_write_timeout(Some(server.config.write_timeout));
+    match stream.write_all(bytes) {
+        Ok(()) => true,
+        Err(_) => {
+            server.counters.hangups.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+fn serve_connection(server: &Arc<ShardServer>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut served = 0u32;
+    loop {
+        let outcome = read_request_with(
+            &mut stream,
+            &mut buf,
+            served > 0,
+            server.config.read_timeout,
+            &server.config.limits,
+            &|| server.is_draining(),
+        );
+        match outcome {
+            ReadOutcome::Request(request) => {
+                server.counters.requests.fetch_add(1, Ordering::Relaxed);
+                served += 1;
+                let close = request.wants_close()
+                    || served >= server.config.keep_alive_requests
+                    || server.is_draining();
+                let (status, body) = handle_request(server, &request);
+                let bytes = http::response(status, &body, close, &[]);
+                if !write_response(server, &mut stream, &bytes) {
+                    return;
+                }
+                if close {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            ReadOutcome::CleanClose | ReadOutcome::IdleDrain => return,
+            ReadOutcome::Hangup => {
+                server.counters.hangups.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Timeout => {
+                server.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                let body = http::error_body(
+                    "timeout",
+                    "request not completed within the read deadline",
+                    &[],
+                );
+                write_response(server, &mut stream, &http::response(408, &body, true, &[]));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            ReadOutcome::Bad(err) => {
+                server.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    server,
+                    &mut stream,
+                    &http::error_response(&err, "bad_request", true),
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_request(server: &Arc<ShardServer>, req: &Request) -> (u16, Vec<u8>) {
+    let path = req.target.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" | "/ready" | "/stats" if req.method != "GET" => (
+            405,
+            http::error_body("method_not_allowed", &format!("{path} takes GET"), &[]),
+        ),
+        "/solve" | "/jobs" if req.method != "POST" => (
+            405,
+            http::error_body("method_not_allowed", &format!("{path} takes POST"), &[]),
+        ),
+        "/healthz" => (200, b"{\"ok\": true}\n".to_vec()),
+        "/ready" => {
+            let up = server.backends.iter().filter(|b| b.is_healthy()).count();
+            if server.is_draining() {
+                (503, http::error_body("draining", "front tier is draining", &[]))
+            } else if up == 0 {
+                (503, http::error_body("no_backend", "no healthy backend", &[]))
+            } else {
+                (
+                    200,
+                    format!("{{\"ready\": true, \"backends_up\": {up}}}\n").into_bytes(),
+                )
+            }
+        }
+        "/stats" => (200, stats_doc(server).into_bytes()),
+        "/solve" => route_one(server, req),
+        "/jobs" => route_batch(server, req),
+        _ => (404, http::error_body("not_found", &format!("no route {path}"), &[])),
+    }
+}
+
+fn stats_doc(server: &ShardServer) -> String {
+    let backends = server
+        .backends
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{\"label\": \"{}\", \"healthy\": {}, \"routed\": {}, \"errors\": {}}}",
+                escape(&b.label),
+                b.is_healthy(),
+                b.routed.load(Ordering::Relaxed),
+                b.errors.load(Ordering::Relaxed),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"ready\": {},\n  \"shard\": {{{}}},\n  \"backends\": [\n{backends}\n  ]\n}}\n",
+        !server.is_draining(),
+        server.counters.snapshot().json_fields(),
+    )
+}
+
+/// The fingerprints of the job lines in `body`, paired with the lines
+/// themselves — the routing keys. Parsing is strict ([`FileAccess::
+/// Denied`]), so a front tier rejects exactly what a backend would.
+fn keyed_job_lines(body: &str) -> Result<Vec<(u64, String)>, String> {
+    let specs = jobs::parse_job_specs(body, FileAccess::Denied)?;
+    let lines: Vec<&str> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.contains("\"algorithm\""))
+        .collect();
+    // parse_job_specs yields one spec per job line, in order.
+    debug_assert_eq!(specs.len(), lines.len());
+    Ok(specs
+        .iter()
+        .zip(lines)
+        .map(|(spec, line)| (JobKey::new(&spec.graph, &spec.req).fingerprint, line.to_string()))
+        .collect())
+}
+
+fn route_one(server: &Arc<ShardServer>, req: &Request) -> (u16, Vec<u8>) {
+    if server.is_draining() {
+        return (503, http::error_body("draining", "intake is closed", &[]));
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return (400, http::error_body("bad_encoding", "body is not valid UTF-8", &[]));
+    };
+    let keyed = match keyed_job_lines(body) {
+        Ok(keyed) => keyed,
+        Err(e) => return (400, http::error_body("bad_job", &e, &[])),
+    };
+    if keyed.len() != 1 {
+        return (
+            400,
+            http::error_body(
+                "bad_job",
+                "POST /solve takes exactly one job; POST /jobs runs batches",
+                &[],
+            ),
+        );
+    }
+    let (fingerprint, line) = &keyed[0];
+    match server.forward_job(*fingerprint, &format!("[\n{line}\n]"), req.header("x-decss-client")) {
+        Ok((status, body)) => (status, body),
+        Err(e) => (503, http::error_body("no_backend", &e, &[])),
+    }
+}
+
+fn route_batch(server: &Arc<ShardServer>, req: &Request) -> (u16, Vec<u8>) {
+    if server.is_draining() {
+        return (503, http::error_body("draining", "intake is closed", &[]));
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return (400, http::error_body("bad_encoding", "body is not valid UTF-8", &[]));
+    };
+    let keyed = match keyed_job_lines(body) {
+        Ok(keyed) => keyed,
+        Err(e) => return (400, http::error_body("bad_jobs", &e, &[])),
+    };
+    let client = req.header("x-decss-client");
+    let rows: Vec<String> = keyed
+        .iter()
+        .enumerate()
+        .map(|(index, (fingerprint, line))| {
+            match server.forward_job(*fingerprint, &format!("[\n{line}\n]"), client) {
+                Ok((_, answer)) => {
+                    // The backend row carries `"job": 0` (it saw a
+                    // single-job document); restore the batch index.
+                    let row = String::from_utf8_lossy(&answer).trim().to_string();
+                    format!(
+                        "    {}",
+                        row.replacen("\"job\": 0,", &format!("\"job\": {index},"), 1)
+                    )
+                }
+                Err(e) => format!("    {{\"job\": {index}, \"error\": \"{}\"}}", escape(&e)),
+            }
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"shard\": {{{}}},\n  \"jobs\": [\n{}\n  ]\n}}\n",
+        server.counters.snapshot().json_fields(),
+        rows.join(",\n"),
+    );
+    (200, doc.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_stable_and_order_independent() {
+        let labels = ["a:1", "b:2", "c:3"];
+        for fp in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let pick = rendezvous_pick(labels.iter().copied(), fp).unwrap();
+            // Reversing the list picks the same label.
+            let rev: Vec<&str> = labels.iter().rev().copied().collect();
+            let pick_rev = rendezvous_pick(rev.iter().copied(), fp).unwrap();
+            assert_eq!(labels[pick], rev[pick_rev], "fp {fp:#x}");
+        }
+        assert_eq!(rendezvous_pick(std::iter::empty(), 7), None);
+    }
+
+    #[test]
+    fn removing_a_backend_only_remaps_its_own_keys() {
+        let full = ["s:1", "s:2", "s:3", "s:4"];
+        let without_third: Vec<&str> = full.iter().copied().filter(|l| *l != "s:3").collect();
+        let mut remapped = 0usize;
+        for fp in 0u64..2_000 {
+            let key = crate::shard::mix64(fp.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let before = full[rendezvous_pick(full.iter().copied(), key).unwrap()];
+            let after = without_third[rendezvous_pick(without_third.iter().copied(), key).unwrap()];
+            if before == "s:3" {
+                remapped += 1; // its keys must move somewhere
+            } else {
+                assert_eq!(before, after, "key {key:#x} moved although its owner stayed");
+            }
+        }
+        // Sanity: the removed backend owned a nontrivial share (~1/4).
+        assert!((300..700).contains(&remapped), "owned {remapped} of 2000");
+    }
+
+    #[test]
+    fn scores_spread_keys_roughly_evenly() {
+        let labels = ["x:1", "y:2", "z:3"];
+        let mut counts = [0usize; 3];
+        for fp in 0u64..3_000 {
+            let key = mix64(fp.wrapping_add(0x1234_5678));
+            counts[rendezvous_pick(labels.iter().copied(), key).unwrap()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!((600..1400).contains(c), "backend {i} owns {c} of 3000");
+        }
+    }
+}

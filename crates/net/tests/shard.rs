@@ -1,0 +1,204 @@
+//! The drain-then-handoff contract of the shard front tier: two
+//! backends split jobs by graph fingerprint along the precomputed
+//! rendezvous mapping; when one backend drains mid-stream, the front
+//! tier re-routes its keys to the survivor and **zero jobs drop** —
+//! every submission comes back as a valid row and every completed job
+//! is audited on exactly one backend.
+
+use decss_net::client::Client;
+use decss_net::jobs::{self, FileAccess};
+use decss_net::server::{NetConfig, NetHandle, NetServer};
+use decss_net::shard::{rendezvous_pick, ShardConfig, ShardServer};
+use decss_service::{JobKey, ServiceConfig};
+use std::time::Duration;
+
+fn backend() -> NetHandle {
+    let service = ServiceConfig::default()
+        .workers(2)
+        .queue_capacity(8)
+        .cache_capacity(32);
+    NetServer::start("127.0.0.1:0", NetConfig::default(), service).expect("backend starts")
+}
+
+/// The fingerprint of a one-job document, exactly as the front tier
+/// computes it.
+fn fingerprint_of(line: &str) -> u64 {
+    let doc = format!("[\n{line}\n]");
+    let specs = jobs::parse_job_specs(&doc, FileAccess::Denied).expect("spec parses");
+    JobKey::new(&specs[0].graph, &specs[0].req).fingerprint
+}
+
+fn job_line(seed: u64) -> String {
+    format!(r#"{{"algorithm": "greedy", "family": "grid", "n": 16, "seed": {seed}}}"#)
+}
+
+/// Collects `want` job lines owned by backend `owner` under the
+/// rendezvous mapping over `labels` — the test's precomputed split.
+fn jobs_owned_by(labels: &[String], owner: usize, want: usize, seeds: &mut u64) -> Vec<String> {
+    let mut out = Vec::new();
+    while out.len() < want {
+        let line = job_line(*seeds);
+        *seeds += 1;
+        let pick = rendezvous_pick(labels.iter().map(String::as_str), fingerprint_of(&line))
+            .expect("nonempty backend set");
+        if pick == owner {
+            out.push(line);
+        }
+        assert!(*seeds < 10_000, "seed search runaway");
+    }
+    out
+}
+
+#[test]
+fn two_backends_split_by_fingerprint_and_survive_a_mid_stream_drain() {
+    let a = backend();
+    let b = backend();
+    let labels = vec![a.addr().to_string(), b.addr().to_string()];
+    let front = ShardServer::start(
+        "127.0.0.1:0",
+        &labels,
+        ShardConfig::default()
+            .probe_interval(Duration::from_millis(50))
+            .forward_timeout(Duration::from_secs(10)),
+    )
+    .expect("front tier starts");
+    let client = Client::new(front.addr()).with_client_id("shard-test");
+
+    // Phase 1: three jobs per backend, chosen by the precomputed
+    // rendezvous mapping. All must land on their owner.
+    let mut seeds = 0u64;
+    let a_jobs = jobs_owned_by(&labels, 0, 3, &mut seeds);
+    let b_jobs = jobs_owned_by(&labels, 1, 3, &mut seeds);
+    for line in a_jobs.iter().chain(&b_jobs) {
+        let resp = client
+            .post("/solve", &format!("[\n{line}\n]"))
+            .expect("phase-1 solve");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert!(!resp.text().contains("\"error\""), "{}", resp.text());
+    }
+    assert_eq!(a.server().service().stats().completed, 3, "A owns its three keys");
+    assert_eq!(b.server().service().stats().completed, 3, "B owns its three keys");
+
+    // Phase 2: backend A drains mid-stream (grace window running) while
+    // six more jobs arrive — three of them owned by the draining A.
+    let a_phase2 = jobs_owned_by(&labels, 0, 3, &mut seeds);
+    let b_phase2 = jobs_owned_by(&labels, 1, 3, &mut seeds);
+    let drainer = std::thread::spawn(move || a.drain(Duration::from_millis(300)));
+    for line in a_phase2.iter().chain(&b_phase2) {
+        let resp = client
+            .post("/solve", &format!("[\n{line}\n]"))
+            .expect("phase-2 solve");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert!(!resp.text().contains("\"error\""), "{}", resp.text());
+    }
+    let summary_a = drainer.join().expect("drain thread");
+    assert!(summary_a.service.audit.is_ok(), "{summary_a:?}");
+    assert_eq!(
+        summary_a.service.stats.completed, 3,
+        "A audits exactly its phase-1 jobs"
+    );
+
+    // The survivor picked up all of phase 2: its keys plus A's.
+    let summary_b = b.drain(Duration::ZERO);
+    assert!(summary_b.service.audit.is_ok(), "{summary_b:?}");
+    assert_eq!(
+        summary_b.service.stats.completed, 9,
+        "B audits its six jobs plus A's three re-routed ones"
+    );
+
+    let front_summary = front.drain(Duration::ZERO);
+    assert_eq!(front_summary.net.routed, 12, "every job was routed exactly once");
+    assert_eq!(front_summary.net.no_backend, 0, "zero dropped jobs");
+    assert!(
+        front_summary.net.rerouted >= 1,
+        "A's drain must have forced at least one failover: {front_summary:?}"
+    );
+    assert_eq!(
+        front_summary.routed_total(),
+        12,
+        "per-backend accounting covers every job: {front_summary:?}"
+    );
+    let a_report = &front_summary.backends[0];
+    assert!(!a_report.healthy, "the probe saw A drain");
+}
+
+#[test]
+fn batches_route_per_job_and_reindex_rows() {
+    let a = backend();
+    let b = backend();
+    let labels = vec![a.addr().to_string(), b.addr().to_string()];
+    let front = ShardServer::start("127.0.0.1:0", &labels, ShardConfig::default())
+        .expect("front tier starts");
+    let client = Client::new(front.addr());
+
+    let mut seeds = 100u64;
+    let mut lines = jobs_owned_by(&labels, 0, 2, &mut seeds);
+    lines.extend(jobs_owned_by(&labels, 1, 2, &mut seeds));
+    let body = format!("[\n{}\n]", lines.join(",\n"));
+    let resp = client.post("/jobs", &body).expect("batch");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let text = resp.text();
+    for index in 0..lines.len() {
+        assert!(
+            text.contains(&format!("\"job\": {index},")),
+            "row {index} re-indexed: {text}"
+        );
+    }
+    assert!(!text.contains("\"error\""), "{text}");
+    assert!(text.contains("\"shard\""), "{text}");
+    assert_eq!(a.server().service().stats().completed, 2);
+    assert_eq!(b.server().service().stats().completed, 2);
+
+    // Front-tier probes and stats.
+    let ready = client.get("/ready").expect("ready");
+    assert_eq!(ready.status, 200);
+    assert!(ready.text().contains("\"backends_up\": 2"), "{}", ready.text());
+    let stats = client.get("/stats").expect("stats").text();
+    assert!(stats.contains("\"backends\""), "{stats}");
+    assert!(stats.contains("\"routed\": 4"), "{stats}");
+
+    drop(front);
+    assert!(a.drain(Duration::ZERO).service.audit.is_ok());
+    assert!(b.drain(Duration::ZERO).service.audit.is_ok());
+}
+
+#[test]
+fn a_front_tier_with_no_healthy_backend_sheds_instead_of_hanging() {
+    // A backend that exists only long enough to be configured.
+    let dead = backend();
+    let labels = vec![dead.addr().to_string()];
+    assert!(dead.drain(Duration::ZERO).service.audit.is_ok());
+    let front = ShardServer::start(
+        "127.0.0.1:0",
+        &labels,
+        ShardConfig::default()
+            .probe_interval(Duration::from_millis(30))
+            .forward_timeout(Duration::from_millis(500)),
+    )
+    .expect("front tier starts");
+    let client = Client::new(front.addr());
+    let resp = client
+        .post(
+            "/solve",
+            r#"[{"algorithm": "greedy", "family": "grid", "n": 16, "seed": 1}]"#,
+        )
+        .expect("answered, not hung");
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(resp.text().contains("no_backend"), "{}", resp.text());
+    // Once the probe notices, /ready reports the outage too.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let ready = client.get("/ready").expect("ready");
+        if ready.status == 503 {
+            assert!(ready.text().contains("no_backend"), "{}", ready.text());
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "probe never flipped /ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let summary = front.drain(Duration::ZERO);
+    // Depending on whether the probe beat the solve, the job either got
+    // one doomed route attempt or none — but it was shed either way.
+    assert!(summary.net.routed <= 1, "{summary:?}");
+    assert_eq!(summary.net.no_backend, 1);
+}

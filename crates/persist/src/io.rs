@@ -1,0 +1,114 @@
+//! Snapshot file I/O: atomic writes (sibling temp file + fsync +
+//! rename) and whole-file reads.
+
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+use crate::PersistError;
+use decss_service::WarmState;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `state` to `path` atomically: the full image goes to a
+/// sibling `<path>.tmp`, is flushed *and fsynced*, and only then
+/// renamed over `path` (a same-directory rename is atomic on POSIX).
+/// A crash at any point leaves either the old snapshot or the new one —
+/// never a torn file. Returns the snapshot size in bytes.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] for any filesystem failure; the temp file is
+/// removed on a best-effort basis when the write fails partway.
+pub fn write_snapshot(path: &Path, state: &WarmState) -> Result<u64, PersistError> {
+    let bytes = encode_snapshot(state);
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let io = |op: &str, e: std::io::Error| PersistError::Io(format!("{op} {}: {e}", tmp.display()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io("create", e))?;
+        file.write_all(&bytes).map_err(|e| io("write", e))?;
+        // fsync before the rename: otherwise the rename can land while
+        // the data has not, and a crash yields a valid-looking name
+        // pointing at garbage — exactly the torn write the format's
+        // checksum exists to catch, but better never to create one.
+        file.sync_all().map_err(|e| io("fsync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| PersistError::Io(format!("rename to {}: {e}", path.display())))?;
+        // Persist the rename itself (the directory entry). Failure here
+        // is not fatal: the data is safe, only the name could revert.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(bytes.len() as u64)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads and decodes the snapshot at `path`.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the file cannot be read, otherwise
+/// whatever [`decode_snapshot`] finds wrong with the bytes. Callers in
+/// the serving tier treat *any* error as a cold start.
+pub fn read_snapshot(path: &Path) -> Result<WarmState, PersistError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| PersistError::Io(format!("read {}: {e}", path.display())))?;
+    decode_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("decss-persist-io-tests");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_round_trip_and_no_tmp_residue() {
+        let path = scratch("round-trip.snap");
+        let state = WarmState {
+            next_job_id: 3,
+            submitted: 3,
+            completed: 3,
+            ..WarmState::default()
+        };
+        let bytes = write_snapshot(&path, &state).expect("write");
+        assert_eq!(bytes, std::fs::metadata(&path).expect("snapshot exists").len());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "tmp renamed away");
+        let decoded = read_snapshot(&path).expect("read");
+        assert_eq!(decoded.next_job_id, 3);
+        // Overwrite in place: the second write replaces the first.
+        let bigger = WarmState { next_job_id: 9, ..state };
+        write_snapshot(&path, &bigger).expect("rewrite");
+        assert_eq!(read_snapshot(&path).expect("reread").next_job_id, 9);
+    }
+
+    #[test]
+    fn a_missing_file_is_a_structured_io_error() {
+        let missing = scratch("never-written.snap");
+        let _ = std::fs::remove_file(&missing);
+        assert!(matches!(read_snapshot(&missing), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn an_unwritable_target_fails_without_a_panic() {
+        let path = std::path::Path::new("/nonexistent-dir-decss/x.snap");
+        assert!(matches!(
+            write_snapshot(path, &WarmState::default()),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,416 @@
+//! The snapshot format: a 28-byte header (magic, version, payload
+//! length, CRC-64) followed by the encoded [`WarmState`] payload.
+//!
+//! Field-by-field, explicit encoding — no reflection, no derive — so
+//! the on-disk layout is exactly what this module says and a schema
+//! change is a *conscious* version bump. The [`SolveReport`] schema is
+//! pinned by `tests/golden_schema.rs` at the workspace root; this codec
+//! mirrors it field for field (`f64`s travel by bit pattern, so a
+//! report round-trips byte-identically).
+
+use crate::wire::{crc64, Dec, Enc};
+use crate::PersistError;
+use decss_core::algorithm::TapStats;
+use decss_graphs::EdgeId;
+use decss_service::JobId;
+use decss_service::{EventKind, JobKey, LogEvent, WarmState};
+use decss_shortcuts::{IncrementalStats, ShortcutQuality, ShortcutScheme};
+use decss_solver::SolveReport;
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"DECSSNAP";
+
+/// The single format generation this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header size: magic (8) + version (4) + payload length (8) + CRC (8).
+const HEADER_LEN: usize = 28;
+
+/// Encodes `state` into a complete snapshot file image (header +
+/// checksummed payload).
+pub fn encode_snapshot(state: &WarmState) -> Vec<u8> {
+    let mut payload = Enc::new();
+    encode_state(&mut payload, state);
+    let payload = payload.into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a snapshot file image, validating frame, version, and
+/// checksum before touching a single payload field.
+///
+/// # Errors
+///
+/// Every hostile shape maps to a structured [`PersistError`]:
+/// zero-length and short files, foreign magic, other format versions,
+/// checksum mismatches, and any in-payload inconsistency.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<WarmState, PersistError> {
+    if bytes.is_empty() {
+        return Err(PersistError::ZeroLength);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(PersistError::Truncated { needed: HEADER_LEN, have: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch { found: version, supported: FORMAT_VERSION });
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    let declared = usize::try_from(declared)
+        .map_err(|_| PersistError::Malformed(format!("payload length {declared} overflows")))?;
+    if payload.len() < declared {
+        return Err(PersistError::Truncated { needed: HEADER_LEN + declared, have: bytes.len() });
+    }
+    if payload.len() > declared {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after the declared payload",
+            payload.len() - declared
+        )));
+    }
+    let computed = crc64(payload);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { stored, computed });
+    }
+    let mut dec = Dec::new(payload);
+    let state = decode_state(&mut dec)?;
+    if dec.remaining() != 0 {
+        return Err(PersistError::Malformed(format!(
+            "{} undecoded payload bytes",
+            dec.remaining()
+        )));
+    }
+    Ok(state)
+}
+
+fn encode_state(e: &mut Enc, state: &WarmState) {
+    e.u64(state.next_job_id);
+    e.u64(state.submitted);
+    e.u64(state.completed);
+    e.u64(state.failed);
+    e.u64(state.cache_hits);
+    e.u64(state.cache_misses);
+    e.seq(&state.cache, |e, (key, report)| {
+        e.u64(key.fingerprint);
+        e.str(&key.request);
+        encode_report(e, report);
+    });
+    e.seq(&state.log, encode_event);
+}
+
+fn decode_state(d: &mut Dec<'_>) -> Result<WarmState, PersistError> {
+    let next_job_id = d.u64()?;
+    let submitted = d.u64()?;
+    let completed = d.u64()?;
+    let failed = d.u64()?;
+    let cache_hits = d.u64()?;
+    let cache_misses = d.u64()?;
+    let cache = d.seq(16, "cache entries", |d| {
+        let key = JobKey { fingerprint: d.u64()?, request: d.str()? };
+        let report = decode_report(d)?;
+        Ok((key, report))
+    })?;
+    // Smallest event on the wire: seq + job + at_us + a 1-byte tag.
+    let log = d.seq(25, "log events", decode_event)?;
+    Ok(WarmState {
+        next_job_id,
+        submitted,
+        completed,
+        failed,
+        cache_hits,
+        cache_misses,
+        cache,
+        log,
+    })
+}
+
+fn encode_event(e: &mut Enc, event: &LogEvent) {
+    e.u64(event.seq);
+    e.u64(event.job.0);
+    e.u64(event.at_us);
+    match event.kind {
+        EventKind::Submitted => e.u8(0),
+        EventKind::Started { worker } => {
+            e.u8(1);
+            e.usize(worker);
+        }
+        EventKind::Finished { cache_hit, ok } => {
+            e.u8(2);
+            e.bool(cache_hit);
+            e.bool(ok);
+        }
+    }
+}
+
+fn decode_event(d: &mut Dec<'_>) -> Result<LogEvent, PersistError> {
+    let seq = d.u64()?;
+    let job = JobId(d.u64()?);
+    let at_us = d.u64()?;
+    let kind = match d.u8()? {
+        0 => EventKind::Submitted,
+        1 => EventKind::Started { worker: d.usize()? },
+        2 => EventKind::Finished { cache_hit: d.bool()?, ok: d.bool()? },
+        other => return Err(PersistError::Malformed(format!("event kind tag {other}"))),
+    };
+    Ok(LogEvent { seq, job, at_us, kind })
+}
+
+fn encode_report(e: &mut Enc, r: &SolveReport) {
+    e.str(&r.algorithm);
+    e.str(&r.label);
+    e.str(&r.params);
+    e.usize(r.n);
+    e.usize(r.m);
+    e.seq(&r.edges, |e, id| e.u32(id.0));
+    e.u64(r.weight);
+    e.opt(&r.mst_weight, |e, w| e.u64(*w));
+    e.opt(&r.augmentation_weight, |e, w| e.u64(*w));
+    e.f64(r.lower_bound);
+    e.opt(&r.guarantee, |e, g| e.f64(*g));
+    e.opt(&r.rounds, |e, v| e.u64(*v));
+    e.u32(r.bandwidth);
+    e.opt(&r.measured_sc, |e, v| e.u64(*v));
+    e.seq(&r.level_quality, |e, q| {
+        e.u32(q.alpha);
+        e.u32(q.beta);
+        e.u8(match q.scheme {
+            ShortcutScheme::ThresholdBfs => 0,
+            ShortcutScheme::TreeRestricted => 1,
+        });
+    });
+    e.opt(&r.pass_cost, |e, v| e.u64(*v));
+    e.opt(&r.fallbacks, |e, v| e.u32(*v));
+    e.opt(&r.tap_stats, |e, t| {
+        e.u32(t.num_layers);
+        e.usize(t.num_segments);
+        e.u32(t.max_segment_diameter);
+        e.usize(t.virtual_edges);
+        e.u32(t.forward_iterations);
+        e.usize(t.anchors);
+        e.usize(t.cleaned);
+        e.u32(t.max_r_cover);
+    });
+    e.seq(&r.failed_edges, |e, id| e.u32(id.0));
+    e.opt(&r.incremental, |e, i| {
+        e.u32(i.parts_redone);
+        e.u32(i.levels_redone);
+        e.bool(i.fell_back);
+    });
+    e.opt(&r.fingerprint, |e, v| e.u64(*v));
+    e.bool(r.valid);
+    e.f64(r.wall_ms);
+    e.seq(&r.trace, |e, line| e.str(line));
+}
+
+fn decode_report(d: &mut Dec<'_>) -> Result<SolveReport, PersistError> {
+    Ok(SolveReport {
+        algorithm: d.str()?,
+        label: d.str()?,
+        params: d.str()?,
+        n: d.usize()?,
+        m: d.usize()?,
+        edges: d.seq(4, "edges", |d| Ok(EdgeId(d.u32()?)))?,
+        weight: d.u64()?,
+        mst_weight: d.opt(|d| d.u64())?,
+        augmentation_weight: d.opt(|d| d.u64())?,
+        lower_bound: d.f64()?,
+        guarantee: d.opt(|d| d.f64())?,
+        rounds: d.opt(|d| d.u64())?,
+        bandwidth: d.u32()?,
+        measured_sc: d.opt(|d| d.u64())?,
+        level_quality: d.seq(9, "level quality", |d| {
+            Ok(ShortcutQuality {
+                alpha: d.u32()?,
+                beta: d.u32()?,
+                scheme: match d.u8()? {
+                    0 => ShortcutScheme::ThresholdBfs,
+                    1 => ShortcutScheme::TreeRestricted,
+                    other => return Err(PersistError::Malformed(format!("scheme tag {other}"))),
+                },
+            })
+        })?,
+        pass_cost: d.opt(|d| d.u64())?,
+        fallbacks: d.opt(|d| d.u32())?,
+        tap_stats: d.opt(|d| {
+            Ok(TapStats {
+                num_layers: d.u32()?,
+                num_segments: d.usize()?,
+                max_segment_diameter: d.u32()?,
+                virtual_edges: d.usize()?,
+                forward_iterations: d.u32()?,
+                anchors: d.usize()?,
+                cleaned: d.usize()?,
+                max_r_cover: d.u32()?,
+            })
+        })?,
+        failed_edges: d.seq(4, "failed edges", |d| Ok(EdgeId(d.u32()?)))?,
+        incremental: d.opt(|d| {
+            Ok(IncrementalStats {
+                parts_redone: d.u32()?,
+                levels_redone: d.u32()?,
+                fell_back: d.bool()?,
+            })
+        })?,
+        fingerprint: d.opt(|d| d.u64())?,
+        valid: d.bool()?,
+        wall_ms: d.f64()?,
+        trace: d.seq(8, "trace", |d| d.str())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_report() -> SolveReport {
+        SolveReport {
+            algorithm: "shortcut".into(),
+            label: "grid-6x6".into(),
+            params: "eps=0.25 pool=2w/4t".into(),
+            n: 36,
+            m: 60,
+            edges: (0..10).map(EdgeId).collect(),
+            weight: 412,
+            mst_weight: Some(300),
+            augmentation_weight: Some(112),
+            lower_bound: 377.5,
+            guarantee: Some(1.63),
+            rounds: Some(812),
+            bandwidth: 16,
+            measured_sc: Some(91),
+            level_quality: vec![
+                ShortcutQuality { alpha: 2, beta: 7, scheme: ShortcutScheme::ThresholdBfs },
+                ShortcutQuality { alpha: 1, beta: 9, scheme: ShortcutScheme::TreeRestricted },
+            ],
+            pass_cost: Some(5),
+            fallbacks: Some(0),
+            tap_stats: Some(TapStats {
+                num_layers: 3,
+                num_segments: 7,
+                max_segment_diameter: 5,
+                virtual_edges: 12,
+                forward_iterations: 2,
+                anchors: 4,
+                cleaned: 1,
+                max_r_cover: 4,
+            }),
+            failed_edges: vec![EdgeId(3), EdgeId(8)],
+            incremental: Some(IncrementalStats {
+                parts_redone: 2,
+                levels_redone: 1,
+                fell_back: false,
+            }),
+            fingerprint: Some(0xFEED_FACE_CAFE_BEEF),
+            valid: true,
+            wall_ms: 1.25,
+            trace: vec!["phase a".into(), "phase b".into()],
+        }
+    }
+
+    fn state() -> WarmState {
+        WarmState {
+            next_job_id: 9,
+            submitted: 4,
+            completed: 3,
+            failed: 1,
+            cache_hits: 2,
+            cache_misses: 2,
+            cache: vec![
+                (
+                    JobKey { fingerprint: 0xABCD, request: "shortcut eps=0.25".into() },
+                    dense_report(),
+                ),
+                (
+                    JobKey { fingerprint: 1, request: "greedy".into() },
+                    SolveReport::default(),
+                ),
+            ],
+            log: vec![
+                LogEvent { seq: 0, job: JobId(0), at_us: 10, kind: EventKind::Submitted },
+                LogEvent {
+                    seq: 1,
+                    job: JobId(0),
+                    at_us: 20,
+                    kind: EventKind::Started { worker: 1 },
+                },
+                LogEvent {
+                    seq: 2,
+                    job: JobId(0),
+                    at_us: 30,
+                    kind: EventKind::Finished { cache_hit: true, ok: true },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_field() {
+        let original = state();
+        let bytes = encode_snapshot(&original);
+        let decoded = decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(decoded.next_job_id, original.next_job_id);
+        assert_eq!(
+            (decoded.submitted, decoded.completed, decoded.failed),
+            (original.submitted, original.completed, original.failed)
+        );
+        assert_eq!((decoded.cache_hits, decoded.cache_misses), (2, 2));
+        assert_eq!(decoded.cache.len(), 2);
+        assert_eq!(decoded.cache[0].0, original.cache[0].0);
+        // The report round-trips byte-identically (JSON as the witness —
+        // the same canonical form the service determinism contract uses).
+        assert_eq!(decoded.cache[0].1.to_json(), original.cache[0].1.to_json());
+        assert_eq!(decoded.cache[1].1.to_json(), original.cache[1].1.to_json());
+        assert_eq!(decoded.log.len(), 3);
+        assert_eq!(decoded.log[1].kind, EventKind::Started { worker: 1 });
+        assert_eq!(decoded.log[2].at_us, 30);
+    }
+
+    #[test]
+    fn an_empty_state_is_a_valid_snapshot() {
+        let decoded = decode_snapshot(&encode_snapshot(&WarmState::default())).unwrap();
+        assert_eq!(decoded.cache.len(), 0);
+        assert_eq!(decoded.log.len(), 0);
+    }
+
+    #[test]
+    fn framing_rejections_are_precise() {
+        let bytes = encode_snapshot(&state());
+        assert!(matches!(decode_snapshot(&[]), Err(PersistError::ZeroLength)));
+        assert!(matches!(
+            decode_snapshot(&bytes[..10]),
+            Err(PersistError::Truncated { needed: HEADER_LEN, have: 10 })
+        ));
+        let mut foreign = bytes.clone();
+        foreign[0] = b'X';
+        assert!(matches!(decode_snapshot(&foreign), Err(PersistError::BadMagic)));
+        let mut future = bytes.clone();
+        future[8] = 2;
+        assert!(matches!(
+            decode_snapshot(&future),
+            Err(PersistError::VersionMismatch { found: 2, supported: FORMAT_VERSION })
+        ));
+        assert!(matches!(
+            decode_snapshot(&bytes[..bytes.len() - 1]),
+            Err(PersistError::Truncated { .. })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(decode_snapshot(&trailing), Err(PersistError::Malformed(_))));
+        let mut flipped = bytes;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            decode_snapshot(&flipped),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+}

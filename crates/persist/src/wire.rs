@@ -1,0 +1,292 @@
+//! Byte-level encoding primitives: a little-endian writer ([`Enc`]), a
+//! bounds-checked reader ([`Dec`]), and the CRC-64 the snapshot header
+//! uses. All multi-byte integers are little-endian; strings and
+//! sequences are `u64` length-prefixed; `Option`s are a one-byte tag
+//! (`0` = none, `1` = some) followed by the value.
+
+use crate::PersistError;
+
+/// Appends little-endian primitives to a growing buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A bool as `0`/`1`.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// A `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize`, widened to `u64` (the format is 64-bit regardless of
+    /// the host).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// An `f64` by bit pattern — exact round trip, no text formatting.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// An `Option`: tag byte, then the value via `f`.
+    pub fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(value) => {
+                self.u8(1);
+                f(self, value);
+            }
+        }
+    }
+
+    /// A length-prefixed sequence, each element via `f`.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.usize(items.len());
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// A bounds-checked cursor over untrusted payload bytes. Every read
+/// returns a [`PersistError::Malformed`] instead of slicing out of
+/// bounds — the checksum has already vouched for integrity, so any
+/// failure here means a crafted or incompatible payload, not bit rot.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`, starting at 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Malformed(format!(
+                "{what}: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// A bool; any byte other than `0`/`1` is malformed.
+    pub fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Malformed(format!("bool tag {other}"))),
+        }
+    }
+
+    /// A little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        let bytes = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// A little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        let bytes = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u64` narrowed back to the host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| PersistError::Malformed(format!("usize {v} exceeds the host width")))
+    }
+
+    /// An `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, PersistError> {
+        let len = self.seq_len(1, "string")?;
+        let bytes = self.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PersistError::Malformed(format!("string is not UTF-8: {e}")))
+    }
+
+    /// An `Option`: tag byte, then the value via `f`.
+    pub fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, PersistError>,
+    ) -> Result<Option<T>, PersistError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            other => Err(PersistError::Malformed(format!("option tag {other}"))),
+        }
+    }
+
+    /// Reads a sequence length and sanity-checks it against the bytes
+    /// actually left (each element needs at least `min_elem` bytes), so
+    /// a crafted length cannot trigger a giant allocation.
+    pub fn seq_len(&mut self, min_elem: usize, what: &str) -> Result<usize, PersistError> {
+        let len = self.usize()?;
+        let need = len.checked_mul(min_elem.max(1));
+        if need.is_none_or(|need| need > self.remaining()) {
+            return Err(PersistError::Malformed(format!(
+                "{what} length {len} exceeds the {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// A length-prefixed sequence, each element via `f`; `min_elem` is
+    /// the per-element lower bound for the length sanity check.
+    pub fn seq<T>(
+        &mut self,
+        min_elem: usize,
+        what: &str,
+        mut f: impl FnMut(&mut Self) -> Result<T, PersistError>,
+    ) -> Result<Vec<T>, PersistError> {
+        let len = self.seq_len(min_elem, what)?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(f(self)?);
+        }
+        Ok(items)
+    }
+}
+
+/// CRC-64/ECMA-182 (reflected, `0xC96C5795D7870F42`), the checksum the
+/// snapshot header stores over its payload. Chosen over a fast
+/// non-cryptographic hash because CRC *guarantees* detection of any
+/// single-bit flip and all short burst errors — exactly the torn-write
+/// and bit-rot shapes a snapshot file meets in practice.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    static TABLE: std::sync::OnceLock<[u64; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        const POLY: u64 = 0xC96C_5795_D787_0F42;
+        let mut table = [0u64; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u64;
+    for &byte in bytes {
+        crc = table[((crc ^ byte as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Enc::new();
+        enc.u8(7);
+        enc.bool(true);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX - 1);
+        enc.f64(-0.125);
+        enc.str("héllo");
+        enc.opt(&Some(42u64), |e, v| e.u64(*v));
+        enc.opt::<u64>(&None, |e, v| e.u64(*v));
+        enc.seq(&[1u32, 2, 3], |e, v| e.u32(*v));
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.f64().unwrap(), -0.125);
+        assert_eq!(dec.str().unwrap(), "héllo");
+        assert_eq!(dec.opt(|d| d.u64()).unwrap(), Some(42));
+        assert_eq!(dec.opt(|d| d.u64()).unwrap(), None);
+        assert_eq!(dec.seq(4, "u32s", |d| d.u32()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_past_the_end_are_structured_errors() {
+        let mut dec = Dec::new(&[1, 2]);
+        assert!(matches!(dec.u64(), Err(PersistError::Malformed(_))));
+        let mut tag = Dec::new(&[9]);
+        assert!(matches!(tag.bool(), Err(PersistError::Malformed(_))));
+        // A crafted length field cannot demand more than what is there.
+        let mut enc = Enc::new();
+        enc.u64(u64::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut huge = Dec::new(&bytes);
+        assert!(matches!(huge.seq_len(8, "crafted"), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn crc64_known_vector_and_bit_flip_sensitivity() {
+        // CRC-64/XZ ("123456789") = 0x995DC9BBDF1939FA.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        let mut bytes = b"decss snapshot payload".to_vec();
+        let clean = crc64(&bytes);
+        for bit in 0..bytes.len() * 8 {
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc64(&bytes), clean, "flip of bit {bit} must change the crc");
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Hostile snapshot files: whatever bytes land on disk — truncated,
+//! bit-flipped, version-bumped, zero-length, or pure noise — decoding
+//! must return a *structured* [`PersistError`] and never panic, so the
+//! serving tier can fall back to a clean cold start.
+
+use decss_persist::{decode_snapshot, encode_snapshot, read_snapshot, PersistError, WarmState};
+use decss_service::{EventKind, JobId, JobKey, LogEvent};
+use decss_solver::SolveReport;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A representative warm state: two cache entries (one dense report),
+/// one full job lifecycle in the log.
+fn sample_state() -> WarmState {
+    let report = SolveReport {
+        algorithm: "shortcut".into(),
+        label: "grid-4x4".into(),
+        params: "eps=0.25".into(),
+        n: 16,
+        m: 24,
+        edges: (0..8).map(decss_graphs::EdgeId).collect(),
+        weight: 77,
+        lower_bound: 60.5,
+        guarantee: Some(1.27),
+        fingerprint: Some(0xD00D),
+        valid: true,
+        wall_ms: 0.8,
+        trace: vec!["one".into(), "two".into()],
+        ..SolveReport::default()
+    };
+    WarmState {
+        next_job_id: 2,
+        submitted: 2,
+        completed: 2,
+        failed: 0,
+        cache_hits: 0,
+        cache_misses: 2,
+        cache: vec![
+            (
+                JobKey { fingerprint: 0xD00D, request: "shortcut eps=0.25".into() },
+                report,
+            ),
+            (
+                JobKey { fingerprint: 0xBEEF, request: "greedy".into() },
+                SolveReport::default(),
+            ),
+        ],
+        log: vec![
+            LogEvent { seq: 0, job: JobId(0), at_us: 5, kind: EventKind::Submitted },
+            LogEvent {
+                seq: 1,
+                job: JobId(0),
+                at_us: 9,
+                kind: EventKind::Started { worker: 0 },
+            },
+            LogEvent {
+                seq: 2,
+                job: JobId(0),
+                at_us: 14,
+                kind: EventKind::Finished { cache_hit: false, ok: true },
+            },
+        ],
+    }
+}
+
+#[test]
+fn zero_length_and_header_stub_files_are_refused() {
+    assert!(matches!(decode_snapshot(&[]), Err(PersistError::ZeroLength)));
+    for n in 1..28 {
+        match decode_snapshot(&vec![0u8; n]) {
+            Err(PersistError::Truncated { needed: 28, have }) => assert_eq!(have, n),
+            other => panic!("{n}-byte stub: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn a_corrupt_file_on_disk_reads_as_an_error_not_a_panic() {
+    let dir = std::env::temp_dir().join("decss-persist-hostile");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("corrupt.snap");
+    let mut bytes = encode_snapshot(&sample_state());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("plant corrupt file");
+    assert!(matches!(
+        read_snapshot(&path),
+        Err(PersistError::ChecksumMismatch { .. })
+    ));
+    // The cold-start fallback is exactly "ignore the error and keep the
+    // empty service" — nothing was partially imported on the way.
+    std::fs::write(&path, b"").expect("plant empty file");
+    assert!(matches!(read_snapshot(&path), Err(PersistError::ZeroLength)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting the file anywhere — header, payload boundary, mid-field —
+    /// yields ZeroLength or Truncated, never a misparse of what is left.
+    #[test]
+    fn any_truncation_is_structured(cut_seed in 0u64..u64::MAX) {
+        let bytes = encode_snapshot(&sample_state());
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match decode_snapshot(&bytes[..cut]) {
+            Err(PersistError::ZeroLength) => prop_assert_eq!(cut, 0),
+            Err(PersistError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(needed > cut);
+            }
+            other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+        }
+    }
+
+    /// Flipping any single bit is detected: the CRC guarantees payload
+    /// flips, the framing checks catch header flips. Never Ok, never a
+    /// panic.
+    #[test]
+    fn any_single_bit_flip_is_detected(bit_seed in 0u64..u64::MAX) {
+        let mut bytes = encode_snapshot(&sample_state());
+        let bit = (bit_seed % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decode_snapshot(&bytes).is_err(), "flipped bit {} decoded", bit);
+    }
+
+    /// Every version stamp but the supported one is refused by name.
+    #[test]
+    fn any_other_version_is_refused(version in 0u32..u32::MAX) {
+        let supported = decss_persist::FORMAT_VERSION;
+        let version = if version == supported { version + 1 } else { version };
+        let mut bytes = encode_snapshot(&WarmState::default());
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        match decode_snapshot(&bytes) {
+            Err(PersistError::VersionMismatch { found, supported: s }) => {
+                prop_assert_eq!(found, version);
+                prop_assert_eq!(s, supported);
+            }
+            other => prop_assert!(false, "version {}: {:?}", version, other),
+        }
+    }
+
+    /// Pure noise of any size never panics; with the right magic and
+    /// version it still fails structurally (bad frame or checksum).
+    #[test]
+    fn random_garbage_never_panics(seed in 0u64..u64::MAX, len in 0usize..4096) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        prop_assert!(decode_snapshot(&bytes).is_err());
+        // Same noise dressed up as a plausible snapshot: magic+version
+        // pass, so the length/checksum layers must do their job.
+        if bytes.len() >= 12 {
+            bytes[..8].copy_from_slice(b"DECSSNAP");
+            bytes[8..12].copy_from_slice(&decss_persist::FORMAT_VERSION.to_le_bytes());
+            prop_assert!(decode_snapshot(&bytes).is_err());
+        }
+    }
+
+    /// A crafted payload that passes the checksum (re-stamped length and
+    /// CRC over corrupted payload bytes) still cannot cause a panic or
+    /// an out-of-bounds read — field decoding is bounds-checked.
+    #[test]
+    fn checksum_blessed_payload_corruption_is_still_safe(byte_seed in 0u64..u64::MAX, value in 0u32..256) {
+        let state = sample_state();
+        let mut bytes = encode_snapshot(&state);
+        let payload_len = bytes.len() - 28;
+        let target = 28 + (byte_seed % payload_len as u64) as usize;
+        bytes[target] = value as u8;
+        let crc = decss_persist::wire::crc64(&bytes[28..]);
+        bytes[20..28].copy_from_slice(&crc.to_le_bytes());
+        // Decoding may succeed (the byte landed in a don't-care spot or
+        // kept the field valid) or fail with Malformed — both fine; the
+        // property is the absence of panics and wild reads.
+        match decode_snapshot(&bytes) {
+            Ok(decoded) => prop_assert!(decoded.cache.len() <= state.cache.len() + 1),
+            Err(e) => prop_assert!(
+                matches!(e, PersistError::Malformed(_)),
+                "unexpected error class: {:?}", e
+            ),
+        }
+    }
+}

@@ -155,6 +155,95 @@ impl InstanceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Clones every **Ready** entry in LRU order (coldest first).
+    /// Pending entries are skipped: an in-flight claim is owed to this
+    /// process's parked waiters and means nothing to a snapshot. The
+    /// coalescing invariants stay entirely inside this module — a
+    /// persistence layer only ever sees finished `(key, report)` pairs.
+    pub fn export_entries(&self) -> Vec<(JobKey, SolveReport)> {
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .lru
+            .iter()
+            .filter_map(|key| match inner.slots.get(key) {
+                Some(Slot::Ready(report)) => Some((key.clone(), (**report).clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Seeds the cache with finished entries, in order (so an exported
+    /// LRU order survives a round trip). Keys that are already present
+    /// — Ready *or* Pending — are left untouched: an import never
+    /// clobbers a live claim or a fresher report. Entries beyond the
+    /// capacity evict coldest-first exactly as [`fill`](Self::fill)
+    /// would; a zero-capacity cache imports nothing. Returns how many
+    /// entries were inserted (before any eviction).
+    pub fn import_entries(
+        &self,
+        entries: impl IntoIterator<Item = (JobKey, SolveReport)>,
+    ) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inserted = 0;
+        let mut inner = self.inner.lock().expect("cache lock");
+        for (key, report) in entries {
+            if inner.slots.contains_key(&key) {
+                continue;
+            }
+            inner.slots.insert(key.clone(), Slot::Ready(Box::new(report)));
+            inner.lru.push_back(key);
+            inserted += 1;
+            while inner.lru.len() > self.capacity {
+                let evicted = inner.lru.pop_front().expect("over-capacity lru");
+                inner.slots.remove(&evicted);
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+        inserted
+    }
+
+    /// Overwrites the hit/miss counters (restore path: the counters are
+    /// part of the snapshotted service state, not derived from the
+    /// imported entries).
+    pub fn restore_counters(&self, hits: u64, misses: u64) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.hits = hits;
+        inner.misses = misses;
+    }
+
+    /// Approximate resident bytes of the ready entries: struct sizes
+    /// plus the dominant heap blocks (edge lists, per-level quality,
+    /// strings, trace lines). Container overhead (hash table slots, LRU
+    /// deque) is not modeled — this is a capacity-planning gauge, not
+    /// an allocator audit.
+    pub fn approx_resident_bytes(&self) -> usize {
+        fn report_bytes(r: &SolveReport) -> usize {
+            std::mem::size_of::<SolveReport>()
+                + r.algorithm.len()
+                + r.label.len()
+                + r.params.len()
+                + r.edges.len() * std::mem::size_of::<decss_graphs::EdgeId>()
+                + r.failed_edges.len() * std::mem::size_of::<decss_graphs::EdgeId>()
+                + std::mem::size_of_val(r.level_quality.as_slice())
+                + r.trace.iter().map(|line| line.len()).sum::<usize>()
+        }
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .slots
+            .iter()
+            .map(|(key, slot)| {
+                let payload = match slot {
+                    Slot::Ready(report) => report_bytes(report),
+                    Slot::Pending => 0,
+                };
+                std::mem::size_of::<JobKey>() + key.request.len() + payload
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +319,77 @@ mod tests {
             assert_eq!(w.join().unwrap(), 99);
         }
         assert_eq!((cache.hits(), cache.misses()), (3, 1));
+    }
+
+    #[test]
+    fn export_skips_pending_and_preserves_lru_order() {
+        let cache = InstanceCache::new(4);
+        for tag in [1, 2, 3] {
+            assert!(matches!(cache.lookup_or_claim(&key(tag)), Lookup::Claimed));
+            cache.fill(&key(tag), report(tag * 10));
+        }
+        // Touch 1 (now hottest) and leave 4 claimed-but-unfilled.
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_claim(&key(4)), Lookup::Claimed));
+        let exported = cache.export_entries();
+        let tags: Vec<u64> = exported.iter().map(|(k, _)| k.fingerprint).collect();
+        assert_eq!(tags, vec![2, 3, 1], "coldest first, pending key 4 skipped");
+        assert_eq!(exported[2].1.weight, 10);
+        cache.abandon(&key(4));
+    }
+
+    #[test]
+    fn import_round_trips_and_never_clobbers() {
+        let warm = InstanceCache::new(4);
+        for tag in [1, 2] {
+            assert!(matches!(warm.lookup_or_claim(&key(tag)), Lookup::Claimed));
+            warm.fill(&key(tag), report(tag));
+        }
+        let cold = InstanceCache::new(4);
+        // Pre-existing ready entry for key 1 must survive the import.
+        assert!(matches!(cold.lookup_or_claim(&key(1)), Lookup::Claimed));
+        cold.fill(&key(1), report(777));
+        assert_eq!(cold.import_entries(warm.export_entries()), 1, "only key 2 was vacant");
+        match cold.lookup_or_claim(&key(1)) {
+            Lookup::Hit(r) => assert_eq!(r.weight, 777, "import must not clobber"),
+            Lookup::Claimed => panic!("expected a hit"),
+        }
+        assert!(matches!(cold.lookup_or_claim(&key(2)), Lookup::Hit(_)));
+        // Counters restore as absolute values, not derived ones.
+        cold.restore_counters(5, 9);
+        assert_eq!((cold.hits(), cold.misses()), (5, 9));
+    }
+
+    #[test]
+    fn import_respects_capacity_and_zero_disables_it() {
+        let warm = InstanceCache::new(8);
+        for tag in 1..=4 {
+            assert!(matches!(warm.lookup_or_claim(&key(tag)), Lookup::Claimed));
+            warm.fill(&key(tag), report(tag));
+        }
+        let exported = warm.export_entries();
+        let small = InstanceCache::new(2);
+        small.import_entries(exported.clone());
+        assert_eq!(small.len(), 2);
+        // Coldest-first eviction keeps the two hottest exported keys.
+        assert!(matches!(small.lookup_or_claim(&key(3)), Lookup::Hit(_)));
+        assert!(matches!(small.lookup_or_claim(&key(4)), Lookup::Hit(_)));
+        let disabled = InstanceCache::new(0);
+        assert_eq!(disabled.import_entries(exported), 0);
+        assert!(disabled.is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_track_entry_payloads() {
+        let cache = InstanceCache::new(4);
+        assert_eq!(cache.approx_resident_bytes(), 0);
+        assert!(matches!(cache.lookup_or_claim(&key(1)), Lookup::Claimed));
+        cache.fill(&key(1), report(1));
+        let one = cache.approx_resident_bytes();
+        assert!(one >= std::mem::size_of::<SolveReport>());
+        assert!(matches!(cache.lookup_or_claim(&key(2)), Lookup::Claimed));
+        cache.fill(&key(2), report(2));
+        assert!(cache.approx_resident_bytes() > one);
     }
 
     #[test]

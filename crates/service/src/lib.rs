@@ -54,7 +54,9 @@ pub use cache::InstanceCache;
 pub use key::{graph_fingerprint, JobKey};
 pub use log::{EventKind, LogEvent, ServiceLog};
 pub use queue::{JobQueue, PushError};
-pub use service::{DrainSummary, JobOutcome, JobResult, ServiceConfig, SolveService, SubmitError};
+pub use service::{
+    DrainSummary, JobOutcome, JobResult, ServiceConfig, SolveService, SubmitError, WarmState,
+};
 pub use stats::{LatencyHistogram, Stats};
 
 use std::fmt;

@@ -47,6 +47,11 @@ pub struct LogEvent {
 /// [`audit`](ServiceLog::audit) checks the per-job lifecycle invariant.
 pub struct ServiceLog {
     start: Instant,
+    /// Added to every fresh timestamp. Zero for a cold log; after
+    /// [`import_events`](ServiceLog::import_events) it is the last
+    /// imported `at_us`, so the restored tail and new events share one
+    /// monotone clock even though the `Instant` epoch restarted.
+    floor_us: std::sync::atomic::AtomicU64,
     events: Mutex<Vec<LogEvent>>,
 }
 
@@ -59,7 +64,11 @@ impl Default for ServiceLog {
 impl ServiceLog {
     /// An empty log; timestamps count from now.
     pub fn new() -> Self {
-        ServiceLog { start: Instant::now(), events: Mutex::new(Vec::new()) }
+        ServiceLog {
+            start: Instant::now(),
+            floor_us: std::sync::atomic::AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
     }
 
     /// Appends one event, stamping the sequence number and clock.
@@ -68,9 +77,40 @@ impl ServiceLog {
         // Clock read under the lock: stamping before acquisition would
         // let a preempted writer record a *later* seq with an *earlier*
         // timestamp, breaking the total order the log promises.
-        let at_us = self.start.elapsed().as_micros() as u64;
+        let at_us = self.floor_us.load(std::sync::atomic::Ordering::Relaxed)
+            + self.start.elapsed().as_micros() as u64;
         let seq = events.len() as u64;
         events.push(LogEvent { seq, job, at_us, kind });
+    }
+
+    /// Seeds an **empty** log with a restored event tail. Sequence
+    /// numbers are re-stamped densely from 0 (a snapshot may have
+    /// filtered incomplete lifecycles out of the middle) and the clock
+    /// floor is raised to the last imported timestamp, so every event
+    /// recorded afterwards stays later than the imported history —
+    /// preserving the total order [`audit`](ServiceLog::audit) and the
+    /// snapshot tests rely on.
+    ///
+    /// # Errors
+    ///
+    /// When the log has already recorded events (a restore must happen
+    /// before the service serves) or the imported timestamps are not
+    /// nondecreasing.
+    pub fn import_events(&self, imported: Vec<LogEvent>) -> Result<(), String> {
+        let mut events = self.events.lock().expect("log lock");
+        if !events.is_empty() {
+            return Err(format!("cannot import into a log holding {} events", events.len()));
+        }
+        if imported.windows(2).any(|w| w[0].at_us > w[1].at_us) {
+            return Err("imported events are not in timestamp order".into());
+        }
+        let floor = imported.last().map_or(0, |e| e.at_us);
+        for (seq, mut event) in imported.into_iter().enumerate() {
+            event.seq = seq as u64;
+            events.push(event);
+        }
+        self.floor_us.store(floor, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 
     /// Events recorded so far.
@@ -146,6 +186,40 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
         assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
         assert_eq!(log.audit(), Ok(2));
+    }
+
+    #[test]
+    fn import_restamps_seq_and_keeps_the_clock_monotone() {
+        let source = ServiceLog::new();
+        source.record(JobId(0), EventKind::Submitted);
+        source.record(JobId(0), EventKind::Started { worker: 0 });
+        source.record(JobId(0), EventKind::Finished { cache_hit: false, ok: true });
+        let mut tail = source.snapshot();
+        // A filtered snapshot leaves seq gaps; fake one.
+        tail[1].seq = 17;
+        let restored = ServiceLog::new();
+        restored.import_events(tail).expect("import into an empty log");
+        restored.record(JobId(1), EventKind::Submitted);
+        restored.record(JobId(1), EventKind::Started { worker: 0 });
+        restored.record(JobId(1), EventKind::Finished { cache_hit: true, ok: true });
+        let events = restored.snapshot();
+        assert_eq!(events.len(), 6);
+        assert!(
+            events.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+            "seq re-stamped densely"
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "new events continue after the imported clock"
+        );
+        assert_eq!(restored.audit(), Ok(2));
+
+        // A second import, or one into a used log, is refused.
+        assert!(restored.import_events(Vec::new()).is_err());
+        let unsorted = ServiceLog::new();
+        let mut bad = source.snapshot();
+        bad[0].at_us = u64::MAX;
+        assert!(unsorted.import_events(bad).unwrap_err().contains("timestamp order"));
     }
 
     #[test]

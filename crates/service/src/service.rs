@@ -4,7 +4,7 @@
 
 use crate::cache::{InstanceCache, Lookup};
 use crate::key::JobKey;
-use crate::log::{EventKind, ServiceLog};
+use crate::log::{EventKind, LogEvent, ServiceLog};
 use crate::queue::{JobQueue, PushError};
 use crate::stats::{LatencyHistogram, Stats};
 use crate::JobId;
@@ -137,6 +137,39 @@ pub struct DrainSummary {
     /// [`ServiceLog::audit`] over the full log: `Ok(jobs)` when every
     /// accepted job has exactly one submit → start → finish lifecycle.
     pub audit: Result<usize, String>,
+}
+
+/// The portable warm state of a [`SolveService`]: everything a restart
+/// needs to serve known fingerprints from cache and keep the
+/// accountability log continuous. Produced by
+/// [`SolveService::export_warm_state`], consumed by
+/// [`SolveService::restore_warm_state`]; the `decss-persist` crate
+/// serializes it to disk.
+///
+/// An export is always **audit-consistent**: only jobs whose full
+/// submit → start → finish lifecycle had landed in the log at export
+/// time are included (counters are derived from that filtered tail), so
+/// a snapshot taken mid-flight restores into a service whose log still
+/// audits clean.
+#[derive(Clone, Debug, Default)]
+pub struct WarmState {
+    /// The next [`JobId`] the restored service must issue, so new jobs
+    /// never collide with ids in the imported log tail.
+    pub next_job_id: u64,
+    /// Jobs accepted (completed + failed of the exported lifecycle set).
+    pub submitted: u64,
+    /// Jobs finished with a report.
+    pub completed: u64,
+    /// Jobs finished with a `SolveError`.
+    pub failed: u64,
+    /// Cache lookups served from a ready entry.
+    pub cache_hits: u64,
+    /// Cache lookups that claimed (paid for a solve).
+    pub cache_misses: u64,
+    /// Ready cache entries, LRU order (coldest first).
+    pub cache: Vec<(JobKey, SolveReport)>,
+    /// The audited event tail: complete lifecycles only.
+    pub log: Vec<LogEvent>,
 }
 
 struct Job {
@@ -382,6 +415,7 @@ impl SolveService {
             queue_depth: self.shared.queue.depth(),
             cache_capacity: self.config.cache_capacity,
             cache_entries: self.shared.cache.len(),
+            cache_bytes: self.shared.cache.approx_resident_bytes(),
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
@@ -394,6 +428,76 @@ impl SolveService {
     /// The append-only accountability log (see [`ServiceLog`]).
     pub fn log(&self) -> &ServiceLog {
         &self.shared.log
+    }
+
+    /// Snapshots the warm state: ready cache entries, the audited event
+    /// tail, and the counters — see [`WarmState`]. Safe at any time
+    /// (including mid-flight): jobs without a complete lifecycle are
+    /// filtered out and the counters are recomputed from the filtered
+    /// tail, so what is exported always audits clean on its own.
+    pub fn export_warm_state(&self) -> WarmState {
+        let events = self.shared.log.snapshot();
+        let mut phases: HashMap<u64, u8> = HashMap::new();
+        for e in &events {
+            let bit = match e.kind {
+                EventKind::Submitted => 1,
+                EventKind::Started { .. } => 2,
+                EventKind::Finished { .. } => 4,
+            };
+            *phases.entry(e.job.0).or_insert(0) |= bit;
+        }
+        let log: Vec<LogEvent> = events
+            .into_iter()
+            .filter(|e| phases.get(&e.job.0) == Some(&7))
+            .collect();
+        let mut completed = 0;
+        let mut failed = 0;
+        for e in &log {
+            if let EventKind::Finished { ok, .. } = e.kind {
+                if ok {
+                    completed += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+        }
+        WarmState {
+            next_job_id: self.next_id.load(Ordering::Relaxed),
+            submitted: completed + failed,
+            completed,
+            failed,
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            cache: self.shared.cache.export_entries(),
+            log,
+        }
+    }
+
+    /// Restores a previously exported [`WarmState`] into this service.
+    /// Must run before the service accepts its first job: the id
+    /// counter, the log, and the counters are rebased onto the imported
+    /// history, and the cache is seeded with the exported entries
+    /// (evicting coldest-first past this service's own capacity).
+    /// Returns the number of cache entries retained.
+    ///
+    /// # Errors
+    ///
+    /// When the service has already accepted a job, or the imported log
+    /// tail is malformed (see [`ServiceLog::import_events`]).
+    pub fn restore_warm_state(&self, state: WarmState) -> Result<usize, String> {
+        if self.shared.submitted.load(Ordering::Relaxed) != 0 || !self.shared.log.is_empty() {
+            return Err("warm state must be restored before the service serves".into());
+        }
+        self.shared.log.import_events(state.log)?;
+        self.next_id.store(state.next_job_id, Ordering::Relaxed);
+        self.shared.submitted.store(state.submitted, Ordering::Relaxed);
+        self.shared.completed.store(state.completed, Ordering::Relaxed);
+        self.shared.failed.store(state.failed, Ordering::Relaxed);
+        self.shared.cache.import_entries(state.cache);
+        self.shared
+            .cache
+            .restore_counters(state.cache_hits, state.cache_misses);
+        Ok(self.shared.cache.len())
     }
 
     /// Graceful drain: close intake, run the backlog dry, join the
@@ -880,6 +984,68 @@ mod tests {
         // The rejected submissions never entered the audited lifecycle.
         assert_eq!(service.log().audit(), Ok(3));
         // Draining again is a no-op with the same verdict.
+        assert_eq!(service.drain().audit, Ok(3));
+    }
+
+    #[test]
+    fn warm_state_round_trip_serves_identical_reports_from_cache() {
+        let warm = SolveService::new(ServiceConfig::default().workers(2).cache_capacity(8));
+        let g = grid();
+        let jobs = warm.submit_batch(vec![
+            (Arc::clone(&g), SolveRequest::new("improved")),
+            (Arc::clone(&g), SolveRequest::new("greedy")),
+        ]);
+        let originals: Vec<SolveReport> =
+            warm.join_all(&jobs).into_iter().map(|r| r.unwrap().report).collect();
+        warm.drain();
+        let state = warm.export_warm_state();
+        assert_eq!(state.cache.len(), 2, "drain leaves the cache intact");
+        assert_eq!((state.submitted, state.completed, state.failed), (2, 2, 0));
+
+        let restored = SolveService::new(ServiceConfig::default().workers(2).cache_capacity(8));
+        assert_eq!(restored.restore_warm_state(state.clone()), Ok(2));
+        // A second restore, or one into a used service, must fail.
+        assert!(restored.restore_warm_state(state).is_err());
+        let replays = restored.submit_batch(vec![
+            (Arc::clone(&g), SolveRequest::new("improved")),
+            (Arc::clone(&g), SolveRequest::new("greedy")),
+        ]);
+        for (replay, original) in restored.join_all(&replays).into_iter().zip(&originals) {
+            let outcome = replay.unwrap();
+            assert!(outcome.cache_hit, "restored entries serve as hits");
+            let mut a = outcome.report;
+            let mut b = original.clone();
+            a.wall_ms = 0.0;
+            b.wall_ms = 0.0;
+            assert_eq!(a.to_json(), b.to_json(), "byte-identical modulo wall_ms");
+        }
+        let stats = restored.stats();
+        assert_eq!((stats.submitted, stats.cache_hits), (4, 2));
+        assert!(stats.cache_bytes > 0);
+        // The audit spans the imported tail AND the new generation.
+        assert_eq!(restored.drain().audit, Ok(4));
+    }
+
+    #[test]
+    fn mid_flight_export_stays_audit_consistent() {
+        // Hold the single worker with a big job; export while the small
+        // job is queued. The incomplete lifecycles must be filtered so
+        // the exported tail audits clean on a restored service.
+        let service = SolveService::new(ServiceConfig::default().workers(1).cache_capacity(8));
+        let g = grid();
+        let fast = service.submit(Arc::clone(&g), SolveRequest::new("greedy"));
+        assert!(service.join(fast).is_ok());
+        let big = Arc::new(gen::grid(100, 100, 32, 3));
+        let blocker = service.submit(Arc::clone(&big), SolveRequest::new("shortcut"));
+        let queued = service.submit(Arc::clone(&g), SolveRequest::new("improved"));
+        let state = service.export_warm_state();
+        assert_eq!(state.submitted, state.completed + state.failed);
+        assert!(state.submitted >= 1, "the finished job is in the export");
+        let restored = SolveService::new(ServiceConfig::default().workers(1).cache_capacity(8));
+        restored.restore_warm_state(state).expect("restore");
+        assert!(restored.drain().audit.is_ok(), "filtered tail audits clean");
+        assert!(service.join(blocker).is_ok());
+        assert!(service.join(queued).is_ok());
         assert_eq!(service.drain().audit, Ok(3));
     }
 

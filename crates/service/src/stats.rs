@@ -87,6 +87,9 @@ pub struct Stats {
     pub cache_capacity: usize,
     /// Ready reports currently cached.
     pub cache_entries: usize,
+    /// Approximate resident bytes of the cached reports (see
+    /// `InstanceCache::approx_resident_bytes`).
+    pub cache_bytes: usize,
     /// Jobs accepted by `submit` so far.
     pub submitted: u64,
     /// Jobs that finished with a report.
@@ -124,7 +127,8 @@ impl Stats {
     pub fn json_fields(&self) -> String {
         let mut out = format!(
             "\"workers\": {}, \"queue_capacity\": {}, \"queue_depth\": {}, \
-             \"cache_capacity\": {}, \"cache_entries\": {}, \"submitted\": {}, \
+             \"cache_capacity\": {}, \"cache_entries\": {}, \"cache_bytes\": {}, \
+             \"submitted\": {}, \
              \"completed\": {}, \"failed\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"hit_rate\": {:.4}",
             self.workers,
@@ -132,6 +136,7 @@ impl Stats {
             self.queue_depth,
             self.cache_capacity,
             self.cache_entries,
+            self.cache_bytes,
             self.submitted,
             self.completed,
             self.failed,
@@ -191,6 +196,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             cache_capacity: 16,
+            cache_bytes: 4096,
             submitted: 3,
             completed: 3,
             cache_hits: 1,
@@ -203,6 +209,7 @@ mod tests {
         let json = format!("{{{}}}", s.json_fields());
         for field in [
             "\"workers\": 2",
+            "\"cache_entries\": 0, \"cache_bytes\": 4096",
             "\"hit_rate\": 0.3333",
             "\"latency\": [{\"algorithm\": \"shortcut\", \"count\": 1",
             "\"histogram\": \"1024us:1\"",

@@ -46,7 +46,9 @@ use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
 use decss::graphs::{algo, io, EdgeId, Graph, VertexId};
 use decss::net::jobs::{self, FileAccess};
-use decss::net::{signal, stress, NetConfig, NetServer, QuotaConfig, StressConfig};
+use decss::net::{
+    signal, stress, NetConfig, NetServer, QuotaConfig, ShardConfig, ShardServer, StressConfig,
+};
 use decss::service::{ServiceConfig, SolveService};
 use decss::solver::{SolveReport, SolveRequest, SolverSession, TraceLevel};
 use std::process::ExitCode;
@@ -67,8 +69,9 @@ fn main() -> ExitCode {
             eprintln!("  decss verify     --input FILE --edges ID[,ID...]");
             eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K|auto] [--root R] [--bursts B]");
             eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] [--cache-cap N] [--out FILE]");
-            eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE] [--keep-going]");
-            eprintln!("  decss serve      --listen ADDR [--workers K] [--cache-cap N] [--queue-cap N] [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] [--quota-rps R] [--quota-burst B] [--grace-ms MS]");
+            eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE] [--keep-going] [--restore PATH] [--snapshot PATH]");
+            eprintln!("  decss serve      --listen ADDR [--workers K] [--cache-cap N] [--queue-cap N] [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] [--quota-rps R] [--quota-burst B] [--grace-ms MS] [--restore PATH] [--snapshot PATH] [--snapshot-interval-ms MS]");
+            eprintln!("  decss shard      --listen ADDR --backends ADDR[,ADDR...] [--max-conns N] [--probe-interval-ms MS] [--forward-timeout-ms MS] [--grace-ms MS]");
             eprintln!("  decss netstress  [--seed S] [--ops N] [--threads K] [--workers K] [--queue-cap N] [--faults]");
             eprintln!();
             eprintln!("run `decss algorithms` for the solver registry NAMEs.");
@@ -107,9 +110,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("simulate") => simulate(&args[1..]),
         Some("scenario") => scenario(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("shard") => shard(&args[1..]),
         Some("netstress") => netstress(&args[1..]),
         _ => Err(
-            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve | netstress"
+            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve | shard | netstress"
                 .into(),
         ),
     }
@@ -425,6 +429,15 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             .cache_capacity(cache_cap)
             .queue_capacity(queue_cap),
     );
+    if let Some(path) = flag(args, "--restore") {
+        match decss::persist::read_snapshot(std::path::Path::new(path))
+            .map_err(|e| e.to_string())
+            .and_then(|state| service.restore_warm_state(state))
+        {
+            Ok(entries) => eprintln!("serve: restored {entries} cache entries from {path}"),
+            Err(e) => eprintln!("serve: restore from {path} failed ({e}); starting cold"),
+        }
+    }
     let submissions: Vec<_> = specs
         .iter()
         .map(|s| {
@@ -448,7 +461,18 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     // The backlog is already joined; drain closes intake, stops the
     // workers, and audits the service log — the same shutdown path the
     // network tier takes, so file mode gets the same accountability.
+    // Drain leaves the cache intact, so the post-drain snapshot carries
+    // the fully settled warm state.
     let summary = service.drain();
+    if let Some(path) = flag(args, "--snapshot") {
+        match decss::persist::write_snapshot(
+            std::path::Path::new(path),
+            &service.export_warm_state(),
+        ) {
+            Ok(bytes) => eprintln!("serve: snapshot {path} written ({bytes} bytes)"),
+            Err(e) => eprintln!("serve: snapshot {path} failed: {e}"),
+        }
+    }
     let json = jobs::report_document(&summary.stats, &rows);
     match flag(args, "--out") {
         Some(path) => {
@@ -495,6 +519,16 @@ fn serve_network(args: &[String], listen: &str) -> Result<ExitCode, String> {
         let burst: f64 = parse_flag(args, "--quota-burst", (refill_per_sec * 2.0).max(1.0))?;
         net = net.quota(QuotaConfig { refill_per_sec, burst });
     }
+    if let Some(path) = flag(args, "--restore") {
+        net = net.restore_from(path);
+    }
+    if let Some(path) = flag(args, "--snapshot") {
+        net = net.snapshot_to(path);
+    }
+    if let Some(ms) = flag(args, "--snapshot-interval-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --snapshot-interval-ms {ms}"))?;
+        net = net.snapshot_interval(Duration::from_millis(ms.max(1)));
+    }
     let service = ServiceConfig::default()
         .workers(workers)
         .cache_capacity(cache_cap)
@@ -521,6 +555,11 @@ fn serve_network(args: &[String], listen: &str) -> Result<ExitCode, String> {
     for (client, jobs_done) in &summary.clients {
         eprintln!("serve: client {client}: {jobs_done} jobs");
     }
+    match &summary.snapshot {
+        Some(Ok(bytes)) => eprintln!("serve: final snapshot written ({bytes} bytes)"),
+        Some(Err(e)) => eprintln!("serve: final snapshot failed: {e}"),
+        None => {}
+    }
     let audited = summary
         .service
         .audit
@@ -533,6 +572,60 @@ fn serve_network(args: &[String], listen: &str) -> Result<ExitCode, String> {
         ));
     }
     eprintln!("serve: audit clean ({audited} jobs accounted); bye");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The fingerprint-sharded front tier: bind `--listen ADDR`, route
+/// `POST /solve` / `POST /jobs` across the `--backends` fleet by
+/// rendezvous hashing on the graph fingerprint, probing each backend's
+/// `/ready` in the background and failing over when one drains or
+/// dies. SIGTERM drains the front tier and prints the per-backend
+/// accounting. Exits 0 on a clean drain.
+fn shard(args: &[String]) -> Result<ExitCode, String> {
+    let listen = flag(args, "--listen").ok_or("--listen ADDR is required")?;
+    let backends: Vec<String> = flag(args, "--backends")
+        .ok_or("--backends ADDR[,ADDR...] is required")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let max_conns: usize = parse_flag(args, "--max-conns", 8)?;
+    let probe_ms: u64 = parse_flag(args, "--probe-interval-ms", 250)?;
+    let forward_ms: u64 = parse_flag(args, "--forward-timeout-ms", 30_000)?;
+    let grace_ms: u64 = parse_flag(args, "--grace-ms", 150)?;
+    let config = ShardConfig::default()
+        .max_connections(max_conns)
+        .probe_interval(Duration::from_millis(probe_ms.max(1)))
+        .forward_timeout(Duration::from_millis(forward_ms.max(1)));
+
+    signal::reset();
+    signal::install_handlers();
+    let handle = ShardServer::start(listen, &backends, config)?;
+    eprintln!(
+        "shard: listening on http://{} over {} backends",
+        handle.addr(),
+        backends.len()
+    );
+    eprintln!("shard: GET /healthz /ready /stats; POST /solve /jobs; SIGTERM drains");
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shard: shutdown signal received; draining ...");
+    let summary = handle.drain(Duration::from_millis(grace_ms));
+    eprintln!(
+        "shard: drained; {} requests, {} routed ({} rerouted), {} with no backend",
+        summary.net.requests, summary.net.routed, summary.net.rerouted, summary.net.no_backend,
+    );
+    for backend in &summary.backends {
+        eprintln!(
+            "shard: backend {}: {} jobs, {} errors, {}",
+            backend.label,
+            backend.routed,
+            backend.errors,
+            if backend.healthy { "healthy" } else { "down" },
+        );
+    }
+    eprintln!("shard: bye");
     Ok(ExitCode::SUCCESS)
 }
 

@@ -30,7 +30,12 @@
 //!   connection pool, strict request parsing, load shedding with retry
 //!   hints, per-client quotas, graceful SIGTERM drain, and the
 //!   fault-injection chaos harness (`decss serve --listen` and
-//!   `decss netstress`).
+//!   `decss netstress`), plus the fingerprint-sharded front tier
+//!   (`decss shard`),
+//! * [`persist`] — warm-state persistence: a versioned, checksummed
+//!   snapshot format for the service's cache, audited log tail, and
+//!   counters, written atomically on drain or on a timer and restored
+//!   at startup (`decss serve --restore/--snapshot`).
 //!
 //! # Quickstart
 //!
@@ -63,6 +68,7 @@ pub use decss_congest as congest;
 pub use decss_core as core;
 pub use decss_graphs as graphs;
 pub use decss_net as net;
+pub use decss_persist as persist;
 pub use decss_service as service;
 pub use decss_shortcuts as shortcuts;
 pub use decss_solver as solver;

@@ -204,6 +204,7 @@ fn serve_document_schema_is_pinned() {
         "queue_depth",
         "cache_capacity",
         "cache_entries",
+        "cache_bytes",
         "submitted",
         "completed",
         "failed",
