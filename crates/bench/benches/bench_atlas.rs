@@ -1,0 +1,68 @@
+//! Wall-clock of the workload atlas: generator throughput per family,
+//! the skip-sampled `G(n, p)` generator at scale (the `O(n²)` →
+//! `O(m)` bugfix this suite guards), per-family shortcut solves, and a
+//! small end-to-end trace replay. Measurements dump to
+//! `BENCH_atlas.json` (override with `DECSS_BENCH_JSON`) for the perf
+//! gate.
+
+use criterion::{criterion_group, Criterion};
+use decss_graphs::gen;
+use decss_net::jobs::FileAccess;
+use decss_net::trace::{self, GenConfig, ReplayConfig};
+use decss_solver::{SolveRequest, SolverSession};
+
+fn bench_atlas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atlas");
+    group.sample_size(10);
+
+    // Generator throughput per family: how much a trace or experiment
+    // pays to materialise each instance.
+    for family in gen::ATLAS_ALL {
+        group.bench_function(format!("gen/{}(2048)", family.label()), |b| {
+            b.iter(|| family.instance(2048, 64, 1))
+        });
+    }
+
+    // The skip-sampling fix: sparse G(n, p) at sizes where the old
+    // all-pairs loop was quadratic. m ≈ 2n here, so the row tracks the
+    // O(m) claim directly.
+    group.bench_function("gen/gnp_skip(50000, p=4/n)", |b| {
+        b.iter(|| gen::gnp_two_ec_skip(50_000, 4.0 / 50_000.0, 64, 1))
+    });
+
+    // Per-family solve cost: the shortcut pipeline on a mid-size
+    // instance of each family (the quality side of these rows is pinned
+    // by tests/atlas_envelopes.rs).
+    group.sample_size(5);
+    let mut session = SolverSession::new();
+    for family in gen::ATLAS_ALL {
+        let g = family.instance(512, 32, 1);
+        let req = SolveRequest::new("shortcut").seed(1);
+        group.bench_function(format!("solve/{}(512)", family.label()), |b| {
+            b.iter(|| session.solve(&g, &req).expect("atlas instances solve"))
+        });
+    }
+
+    // End-to-end: a small generated trace through the local replay
+    // engine (service spin-up, submission, join, report rendering).
+    let text = trace::generate(&GenConfig { seed: 1, jobs: 16, ..GenConfig::default() });
+    let cfg = ReplayConfig { workers: 2, ..ReplayConfig::default() };
+    group.bench_function("trace/replay(16 jobs)", |b| {
+        b.iter(|| trace::replay(&text, FileAccess::Denied, &cfg).expect("trace replays"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_atlas);
+
+// Custom main instead of criterion_main!: after the run it dumps the
+// measurements to BENCH_atlas.json for the perf gate.
+fn main() {
+    let path = std::env::var("DECSS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_atlas.json").to_string()
+    });
+    let mut c = Criterion::default();
+    benches(&mut c);
+    decss_bench::benchjson::dump("atlas", &c.measurements, &path);
+}

@@ -1,0 +1,341 @@
+//! The workload atlas: graph families that stretch the sweep grid beyond
+//! the grid/hard-sqrt slice — heavy-tailed degree sequences, planar road
+//! meshes, expanders, dense near-cliques, and an adversarial multi-gadget
+//! worst case for the shortcut pipeline. Every generator is seeded,
+//! deterministic, and 2-edge-connected by construction.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::random::random_weights;
+
+/// The atlas families, kept separate from [`super::Family`] so the
+/// original sweep grid (and everything pinned to its `ALL` order) is
+/// untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtlasFamily {
+    /// Preferential attachment over a Hamiltonian cycle: heavy-tailed
+    /// degrees, a few hubs of degree `Θ(√n)`.
+    PowerLaw,
+    /// A planar "brick wall" road mesh: long rows joined by side rails
+    /// and sparse interior rungs.
+    RoadMesh,
+    /// The union of several random Hamiltonian cycles: constant-degree,
+    /// logarithmic diameter, no sparse cuts.
+    Expander,
+    /// A complete graph with a seeded fraction of edges knocked out.
+    NearClique,
+    /// A ring of Das Sarma-style hard gadgets: every hierarchy level of
+    /// the shortcut pipeline meets a fresh `√b` congestion core.
+    Adversarial,
+}
+
+/// Every atlas family, in a fixed documented order.
+pub const ALL: [AtlasFamily; 5] = [
+    AtlasFamily::PowerLaw,
+    AtlasFamily::RoadMesh,
+    AtlasFamily::Expander,
+    AtlasFamily::NearClique,
+    AtlasFamily::Adversarial,
+];
+
+impl AtlasFamily {
+    /// The CLI / job-dialect label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtlasFamily::PowerLaw => "powerlaw",
+            AtlasFamily::RoadMesh => "roadmesh",
+            AtlasFamily::Expander => "expander",
+            AtlasFamily::NearClique => "nearclique",
+            AtlasFamily::Adversarial => "adversarial",
+        }
+    }
+
+    /// A seeded instance of the family with about `n` vertices (some
+    /// families round to their natural block size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 64` — atlas instances are meant for the sweep
+    /// grid, not toy sizes.
+    pub fn instance(self, n: usize, max_weight: Weight, seed: u64) -> Graph {
+        assert!(n >= 64, "atlas instances need n >= 64, got {n}");
+        match self {
+            AtlasFamily::PowerLaw => powerlaw_two_ec(n, 2, max_weight, seed),
+            AtlasFamily::RoadMesh => road_mesh_two_ec(n, max_weight, seed),
+            AtlasFamily::Expander => expander_two_ec(n, 3, max_weight, seed),
+            AtlasFamily::NearClique => near_clique_two_ec(n, 0.85, max_weight, seed),
+            AtlasFamily::Adversarial => adversarial_shortcut_two_ec(n, max_weight, seed),
+        }
+    }
+}
+
+/// Preferential attachment over a base Hamiltonian cycle: each vertex
+/// `v` adds `chords_per_vertex` chords whose far endpoints are drawn
+/// proportionally to current degree (by sampling the edge-endpoint
+/// multiset), so early vertices become hubs. The cycle alone already
+/// makes the graph 2-edge-connected.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn powerlaw_two_ec(n: usize, chords_per_vertex: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "2-edge-connected graphs need n >= 3, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Endpoint multiset: sampling a uniform element is sampling a vertex
+    // with probability proportional to its degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * (1 + chords_per_vertex));
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w).expect("cycle edges are valid");
+        endpoints.push(i);
+        endpoints.push(j);
+    }
+    for v in 0..n as u32 {
+        for _ in 0..chords_per_vertex {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t == v {
+                continue;
+            }
+            let w = random_weights(&mut rng, max_weight);
+            if b.add_edge_dedup(v, t, w).expect("chord endpoints valid") {
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+    }
+    b.build().expect("n >= 3")
+}
+
+/// A planar "brick wall" road mesh on a `rows x cols` grid derived from
+/// `n`: every row is a full horizontal path, consecutive rows are joined
+/// by rails at both ends (columns `0` and `cols-1`) plus a sparse set of
+/// seeded interior rungs. Connected and bridgeless: every edge lies on
+/// the cycle through its own row, a neighbouring row, and the two rails.
+///
+/// # Panics
+///
+/// Panics if `n < 12`.
+pub fn road_mesh_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 12, "road mesh needs n >= 12, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = ((n as f64).sqrt().ceil() as usize).max(3);
+    let rows = (n / cols).max(2);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(id(r, c), id(r, c + 1), w).expect("in range");
+        }
+    }
+    for r in 0..rows - 1 {
+        for &c in &[0, cols - 1] {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(id(r, c), id(r + 1, c), w).expect("in range");
+        }
+        // About one interior rung per four columns keeps the mesh planar
+        // (rungs connect vertically adjacent vertices only) but sparse.
+        for c in 1..cols - 1 {
+            if rng.gen_bool(0.25) {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(id(r, c), id(r + 1, c), w).expect("in range");
+            }
+        }
+    }
+    b.build().expect("rows * cols >= 12")
+}
+
+/// The union of `cycles` random Hamiltonian cycles (Fisher–Yates
+/// permutations, deduplicated): a constant-degree expander-like graph
+/// with diameter `O(log n)` and no sparse cuts. The first cycle alone
+/// already makes it 2-edge-connected.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `cycles == 0`.
+pub fn expander_two_ec(n: usize, cycles: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 4, "expander needs n >= 4, got {n}");
+    assert!(cycles >= 1, "expander needs at least one cycle");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..cycles {
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        for i in 0..n {
+            let (u, v) = (perm[i], perm[(i + 1) % n]);
+            let w = random_weights(&mut rng, max_weight);
+            let _ = b.add_edge_dedup(u, v, w).expect("permuted endpoints valid");
+        }
+    }
+    b.build().expect("n >= 4")
+}
+
+/// A dense near-clique: a Hamiltonian cycle plus every remaining pair
+/// independently kept with probability `keep`. At `keep` close to 1 this
+/// is `K_n` with a seeded sprinkle of missing edges — the `m ≈ n²`
+/// corner of the atlas.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `keep` is not in `[0, 1]`.
+pub fn near_clique_two_ec(n: usize, keep: f64, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "2-edge-connected graphs need n >= 3, got {n}");
+    assert!((0.0..=1.0).contains(&keep), "keep probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w).expect("cycle edges are valid");
+    }
+    for i in 0..n as u32 {
+        for j in (i + 2)..n as u32 {
+            if i == 0 && j == n as u32 - 1 {
+                continue;
+            }
+            if rng.gen_bool(keep) {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(i, j, w).expect("in range");
+            }
+        }
+    }
+    b.build().expect("n >= 3")
+}
+
+/// The shortcut-pipeline worst case: a ring of three Das Sarma-style
+/// hard gadgets (`√b` paths of length `√b` hanging under a binary
+/// tree, see [`super::hard_sqrt_two_ec`]), with consecutive gadgets
+/// joined by **two** vertex-disjoint edges so no junction is a bridge.
+/// Each gadget forces `Ω̃(√b)` congestion locally while the ring keeps
+/// the global diameter small — the hierarchy meets a fresh congestion
+/// core at every level instead of one isolated hard spot.
+///
+/// # Panics
+///
+/// Panics if `n < 64`.
+pub fn adversarial_shortcut_two_ec(n: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 64, "adversarial instance needs n >= 64, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = 3usize;
+    // Per-gadget path count/length; each gadget has p*p + 2p - 1 vertices.
+    let p = ((n / blocks) as f64).sqrt().floor() as usize;
+    assert!(p >= 4, "gadget too small for n = {n}");
+    let gadget_size = p * p + 2 * p - 1;
+    let mut b = GraphBuilder::new(blocks * gadget_size);
+    for k in 0..blocks {
+        let base = (k * gadget_size) as u32;
+        let path_v = |i: usize, j: usize| base + (i * p + j) as u32;
+        let tv = |t: usize| base + (p * p + t) as u32;
+        for i in 0..p {
+            for j in 0..p - 1 {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(path_v(i, j), path_v(i, j + 1), w).expect("in range");
+            }
+        }
+        let tree_size = 2 * p - 1;
+        for t in 1..tree_size {
+            let w = random_weights(&mut rng, max_weight);
+            b.add_edge(tv((t - 1) / 2), tv(t), w).expect("in range");
+        }
+        let leaf = |j: usize| tv(tree_size - p + j);
+        for j in 0..p {
+            for i in 0..p {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(leaf(j), path_v(i, j), w).expect("in range");
+            }
+        }
+    }
+    // Ring the gadgets together with two vertex-disjoint edges per
+    // junction: gadget k's first two path vertices to gadget k+1's.
+    for k in 0..blocks {
+        let a = (k * gadget_size) as u32;
+        let c = (((k + 1) % blocks) * gadget_size) as u32;
+        let w1 = random_weights(&mut rng, max_weight);
+        b.add_edge(a, c, w1).expect("in range");
+        let w2 = random_weights(&mut rng, max_weight);
+        b.add_edge(a + 1, c + 1, w2).expect("in range");
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn every_family_is_two_edge_connected_and_deterministic() {
+        for family in ALL {
+            for seed in 0..3 {
+                let g = family.instance(96, 20, seed);
+                assert!(algo::is_two_edge_connected(&g), "{} seed {seed}", family.label());
+                let h = family.instance(96, 20, seed);
+                assert_eq!(g, h, "{} seed {seed} not deterministic", family.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = ALL.iter().map(|f| f.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ALL.len());
+    }
+
+    #[test]
+    fn powerlaw_grows_hubs() {
+        let g = powerlaw_two_ec(200, 2, 10, 1);
+        let mut deg = vec![0usize; g.n()];
+        for id in 0..g.m() as u32 {
+            let e = g.edge(crate::EdgeId(id));
+            deg[e.u.index()] += 1;
+            deg[e.v.index()] += 1;
+        }
+        let max = *deg.iter().max().expect("non-empty");
+        assert!(max >= 10, "no hub emerged: max degree {max}");
+    }
+
+    #[test]
+    fn road_mesh_is_sparse_and_wide() {
+        let g = road_mesh_two_ec(144, 10, 0);
+        assert!(g.m() < 2 * g.n(), "mesh not sparse: m = {}", g.m());
+        assert!(algo::diameter(&g) as usize >= 10, "mesh not wide");
+    }
+
+    #[test]
+    fn expander_has_small_diameter() {
+        let g = expander_two_ec(256, 3, 10, 0);
+        assert!(algo::diameter(&g) <= 12, "D = {}", algo::diameter(&g));
+    }
+
+    #[test]
+    fn near_clique_is_dense() {
+        let g = near_clique_two_ec(64, 0.85, 10, 0);
+        let full = 64 * 63 / 2;
+        assert!(g.m() > full * 3 / 4, "m = {} of {full}", g.m());
+        assert!(g.m() < full, "a near-clique must miss some edges");
+    }
+
+    #[test]
+    fn adversarial_is_a_gadget_ring() {
+        let g = adversarial_shortcut_two_ec(192, 10, 0);
+        assert!(algo::is_two_edge_connected(&g));
+        // Three gadgets of (p^2 + 2p - 1) vertices with p = 8.
+        assert_eq!(g.n(), 3 * (64 + 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 64")]
+    fn tiny_atlas_instances_rejected() {
+        let _ = AtlasFamily::PowerLaw.instance(32, 10, 0);
+    }
+}

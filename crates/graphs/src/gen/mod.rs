@@ -5,16 +5,21 @@
 //! additionally guarantee 2-edge-connectivity, which is the precondition
 //! of the TAP and 2-ECSS algorithms.
 
+mod atlas;
 mod families;
 mod grid;
 mod outerplanar;
 mod random;
 mod special;
 
+pub use atlas::{
+    adversarial_shortcut_two_ec, expander_two_ec, near_clique_two_ec, powerlaw_two_ec,
+    road_mesh_two_ec, AtlasFamily, ALL as ATLAS_ALL,
+};
 pub use families::{instance, Family};
 pub use grid::{grid, torus};
 pub use outerplanar::outerplanar_disk;
-pub use random::{gnp_two_ec, random_weights, sparse_two_ec, tree_plus_chords};
+pub use random::{gnp_two_ec, gnp_two_ec_skip, random_weights, sparse_two_ec, tree_plus_chords};
 pub use special::{
     broom_two_ec, caterpillar_two_ec, chorded_cycle, complete, cycle, hard_sqrt_two_ec, hypercube,
     ladder, lollipop_two_ec, path,

@@ -43,6 +43,76 @@ pub fn gnp_two_ec(n: usize, p: f64, max_weight: Weight, seed: u64) -> Graph {
     b.build().expect("n >= 3")
 }
 
+/// [`gnp_two_ec`] with geometric skip-sampling: the same cycle-plus-
+/// `G(n, p)`-chords family, but the chord loop runs in expected `O(m)`
+/// instead of the `O(n²)` per-pair coin flips above, so sparse `p` at
+/// large `n` (the atlas sizes) is cheap.
+///
+/// The candidate pairs are linearised in the same `(i, j)` row-major
+/// order as [`gnp_two_ec`] and each is kept with probability `p` by
+/// jumping `floor(ln(U) / ln(1 - p))` pairs at a time. The RNG stream
+/// necessarily differs from the per-pair version, so this is a **new
+/// entry point** — existing callers of [`gnp_two_ec`] keep their exact
+/// byte-for-byte graphs.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `p` is not in `[0, 1]`.
+pub fn gnp_two_ec_skip(n: usize, p: f64, max_weight: Weight, seed: u64) -> Graph {
+    assert!(n >= 3, "2-edge-connected graphs need n >= 3, got {n}");
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        let w = random_weights(&mut rng, max_weight);
+        b.add_edge(i, j, w).expect("cycle edges are valid");
+    }
+    if p >= 1.0 {
+        // Degenerate: every chord survives; no skipping possible.
+        for i in 0..n as u32 {
+            for j in (i + 2)..n as u32 {
+                if i == 0 && j == n as u32 - 1 {
+                    continue;
+                }
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(i, j, w).expect("chord edges are valid");
+            }
+        }
+        return b.build().expect("n >= 3");
+    }
+    if p > 0.0 {
+        // Linear index k over all pairs i < j (row-major); cycle pairs
+        // are sampled but discarded, which leaves every *chord* kept
+        // independently with probability exactly p.
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        let ln_q = (1.0 - p).ln();
+        let mut k = 0u64;
+        let mut i = 0u64; // current row, with rows of width n-1-i
+        let mut row_start = 0u64;
+        loop {
+            // U in (0, 1]: ln is finite and the skip is >= 0.
+            let u = 1.0 - rng.gen::<f64>();
+            k += (u.ln() / ln_q).floor() as u64;
+            if k >= total {
+                break;
+            }
+            while k >= row_start + (n as u64 - 1 - i) {
+                row_start += n as u64 - 1 - i;
+                i += 1;
+            }
+            let j = i + 1 + (k - row_start);
+            let wraparound = i == 0 && j == n as u64 - 1;
+            if j >= i + 2 && !wraparound {
+                let w = random_weights(&mut rng, max_weight);
+                b.add_edge(i as u32, j as u32, w).expect("chord edges are valid");
+            }
+            k += 1;
+        }
+    }
+    b.build().expect("n >= 3")
+}
+
 /// A sparse 2-edge-connected graph: Hamiltonian cycle plus `extra` random
 /// chords (deduplicated), so `m = n + extra'` with `extra' <= extra`.
 ///
@@ -162,6 +232,41 @@ mod tests {
         let g = sparse_two_ec(30, 10, 100, 3);
         assert!(algo::is_two_edge_connected(&g));
         assert!(g.m() >= 30 && g.m() <= 40, "m = {}", g.m());
+    }
+
+    #[test]
+    fn gnp_skip_is_two_edge_connected_and_deterministic() {
+        for seed in 0..5 {
+            let g = gnp_two_ec_skip(24, 0.1, 100, seed);
+            assert!(algo::is_two_edge_connected(&g), "seed {seed}");
+            assert_eq!(g, gnp_two_ec_skip(24, 0.1, 100, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gnp_skip_matches_expected_density() {
+        // n = 300, p = 4/n: ~296 expected chords on top of the 300-cycle.
+        let n = 300;
+        let p = 4.0 / n as f64;
+        let mut total = 0usize;
+        for seed in 0..10 {
+            total += gnp_two_ec_skip(n, p, 50, seed).m() - n;
+        }
+        let mean = total as f64 / 10.0;
+        let expected = p * (n as f64 * (n as f64 - 1.0) / 2.0 - n as f64);
+        assert!(
+            (mean - expected).abs() < expected * 0.25,
+            "mean chords {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_skip_handles_degenerate_probabilities() {
+        let empty = gnp_two_ec_skip(12, 0.0, 10, 3);
+        assert_eq!(empty.m(), 12, "p = 0 leaves just the cycle");
+        let full = gnp_two_ec_skip(12, 1.0, 10, 3);
+        assert_eq!(full.m(), 12 * 11 / 2, "p = 1 yields the complete graph");
+        assert!(algo::is_two_edge_connected(&full));
     }
 
     #[test]

@@ -85,22 +85,32 @@ pub fn split_delta_list(list: &str) -> Vec<&str> {
 }
 
 /// Builds a generated instance by family label (the `gen` vocabulary:
-/// every `gen::Family` plus the extra named constructions).
+/// every `gen::Family`, every atlas family, plus the extra named
+/// constructions).
 pub fn instance_by_label(family: &str, n: usize, w: u64, seed: u64) -> Result<Graph, String> {
     Ok(match family {
         "broom" => gen::broom_two_ec(n, w, seed),
         "hard-sqrt" => gen::hard_sqrt_two_ec(n, w, seed),
         "tree-chords" => gen::tree_plus_chords(n, n / 2, w, seed),
         other => {
+            if let Some(fam) = gen::ATLAS_ALL.into_iter().find(|f| f.label() == other) {
+                // The generator itself asserts this; a served job must
+                // get an error row, not a worker panic.
+                if n < 64 {
+                    return Err(format!("atlas family {other} needs n >= 64, got {n}"));
+                }
+                return Ok(fam.instance(n, w, seed));
+            }
             let fam =
                 gen::Family::ALL
                     .into_iter()
                     .find(|f| f.label() == other)
                     .ok_or_else(|| {
                         format!(
-                            "unknown family {other}; options: {}, broom, hard-sqrt, tree-chords",
-                            gen::Family::ALL.map(|f| f.label()).join(", ")
-                        )
+                        "unknown family {other}; options: {}, {}, broom, hard-sqrt, tree-chords",
+                        gen::Family::ALL.map(|f| f.label()).join(", "),
+                        gen::ATLAS_ALL.map(|f| f.label()).join(", ")
+                    )
                     })?;
             gen::instance(fam, n, w, seed)
         }
@@ -140,103 +150,7 @@ pub fn parse_job_specs(text: &str, files: FileAccess) -> Result<Vec<JobSpec>, St
             }
             continue; // array brackets / blank lines
         }
-        if line.matches('{').count() > 1 {
-            // A compacted array (e.g. `jq -c` output) would otherwise
-            // silently collapse into one job built from the first
-            // occurrence of each field.
-            return Err(at(
-                "multiple job objects on one line; the format is one job object per line".into(),
-            ));
-        }
-        let algorithm = string_field(line, "algorithm")
-            .ok_or_else(|| at("malformed \"algorithm\" field".into()))?;
-        // A key that is present but fails the strict `"key": value`
-        // scan must error, not silently drop the knob — a swallowed
-        // `fail_edges` or `deadline_ms` changes what the job *means*.
-        let num = |key: &str| -> Result<Option<f64>, String> {
-            match number_field(line, key) {
-                Some(v) => Ok(Some(v)),
-                None if line.contains(&format!("\"{key}\"")) => Err(at(format!(
-                    "malformed \"{key}\" field (expected `\"{key}\": <number>`)"
-                ))),
-                None => Ok(None),
-            }
-        };
-        let mut req = SolveRequest::new(&algorithm);
-        if let Some(e) = num("epsilon")? {
-            req = req.epsilon(e);
-        }
-        if let Some(b) = num("bandwidth")? {
-            req = req.bandwidth(b as u32);
-        }
-        if let Some(k) = num("fail_edges")? {
-            req = req.fail_edges(k as u32);
-        }
-        if let Some(s) = num("shards")? {
-            req = req.shards(s as usize);
-        }
-        if let Some(ms) = num("deadline_ms")? {
-            req = req.deadline(Duration::from_millis(ms as u64));
-        }
-        match string_array_field(line, "deltas") {
-            Some(specs) => {
-                req = req.deltas(parse_deltas(specs.iter().map(String::as_str)).map_err(&at)?);
-            }
-            None if line.contains("\"deltas\"") => return Err(at(
-                "malformed \"deltas\" field (expected `\"deltas\": [\"rw(edge,weight)\", ...]`)"
-                    .into(),
-            )),
-            None => {}
-        }
-        let seed = match num("seed")? {
-            Some(s) => {
-                req = req.seed(s as u64);
-                s as u64
-            }
-            None => 0,
-        };
-        if line.contains("\"input\"") && string_field(line, "input").is_none() {
-            return Err(at("malformed \"input\" field (expected `\"input\": \"PATH\"`)".into()));
-        }
-        let (family, requested_n, graph) = if let Some(path) = string_field(line, "input") {
-            if files == FileAccess::Denied {
-                return Err(at(format!(
-                    "\"input\" graph files are not served over the network (got {path:?}); \
-                     use \"family\" + \"n\""
-                )));
-            }
-            let graph = match graphs.get(&path) {
-                Some(g) => Arc::clone(g),
-                None => {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| at(format!("reading {path}: {e}")))?;
-                    let g = Arc::new(
-                        io::parse_graph(&text).map_err(|e| at(format!("parsing {path}: {e}")))?,
-                    );
-                    graphs.insert(path.clone(), Arc::clone(&g));
-                    g
-                }
-            };
-            (path, graph.n(), graph)
-        } else {
-            let family = string_field(line, "family")
-                .ok_or_else(|| at("job needs \"family\" + \"n\" or \"input\"".into()))?;
-            let n = num("n")?
-                .ok_or_else(|| at(format!("family {family:?} needs an \"n\" field")))?
-                as usize;
-            let w = num("max_weight")?.map_or(64, |w| w as u64);
-            let memo = format!("{family}:{n}:{w}:{seed}");
-            let graph = match graphs.get(&memo) {
-                Some(g) => Arc::clone(g),
-                None => {
-                    let g = Arc::new(instance_by_label(&family, n, w, seed).map_err(at)?);
-                    graphs.insert(memo, Arc::clone(&g));
-                    g
-                }
-            };
-            (family, n, graph)
-        };
-        specs.push(JobSpec { family, requested_n, seed, graph, req });
+        specs.push(parse_job_line(line, files, &mut graphs).map_err(at)?);
     }
     if specs.is_empty() {
         return Err(
@@ -244,6 +158,115 @@ pub fn parse_job_specs(text: &str, files: FileAccess) -> Result<Vec<JobSpec>, St
         );
     }
     Ok(specs)
+}
+
+/// Parses one job-object line of the dialect. `graphs` memoizes
+/// instances across calls, so identical specs (including a trace's
+/// duplicate storms) share one in-memory graph. Shared by
+/// [`parse_job_specs`] and the trace replayer ([`crate::trace`]);
+/// errors carry no line number — callers add their own context.
+pub fn parse_job_line(
+    line: &str,
+    files: FileAccess,
+    graphs: &mut HashMap<String, Arc<Graph>>,
+) -> Result<JobSpec, String> {
+    if line.matches('{').count() > 1 {
+        // A compacted array (e.g. `jq -c` output) would otherwise
+        // silently collapse into one job built from the first
+        // occurrence of each field.
+        return Err(
+            "multiple job objects on one line; the format is one job object per line".into(),
+        );
+    }
+    let algorithm = string_field(line, "algorithm")
+        .ok_or_else(|| "malformed \"algorithm\" field".to_string())?;
+    // A key that is present but fails the strict `"key": value`
+    // scan must error, not silently drop the knob — a swallowed
+    // `fail_edges` or `deadline_ms` changes what the job *means*.
+    let num = |key: &str| -> Result<Option<f64>, String> {
+        match number_field(line, key) {
+            Some(v) => Ok(Some(v)),
+            None if line.contains(&format!("\"{key}\"")) => {
+                Err(format!("malformed \"{key}\" field (expected `\"{key}\": <number>`)"))
+            }
+            None => Ok(None),
+        }
+    };
+    let mut req = SolveRequest::new(&algorithm);
+    if let Some(e) = num("epsilon")? {
+        req = req.epsilon(e);
+    }
+    if let Some(b) = num("bandwidth")? {
+        req = req.bandwidth(b as u32);
+    }
+    if let Some(k) = num("fail_edges")? {
+        req = req.fail_edges(k as u32);
+    }
+    if let Some(s) = num("shards")? {
+        req = req.shards(s as usize);
+    }
+    if let Some(ms) = num("deadline_ms")? {
+        req = req.deadline(Duration::from_millis(ms as u64));
+    }
+    match string_array_field(line, "deltas") {
+        Some(specs) => {
+            req = req.deltas(parse_deltas(specs.iter().map(String::as_str))?);
+        }
+        None if line.contains("\"deltas\"") => {
+            return Err(
+                "malformed \"deltas\" field (expected `\"deltas\": [\"rw(edge,weight)\", ...]`)"
+                    .into(),
+            )
+        }
+        None => {}
+    }
+    let seed = match num("seed")? {
+        Some(s) => {
+            req = req.seed(s as u64);
+            s as u64
+        }
+        None => 0,
+    };
+    if line.contains("\"input\"") && string_field(line, "input").is_none() {
+        return Err("malformed \"input\" field (expected `\"input\": \"PATH\"`)".into());
+    }
+    let (family, requested_n, graph) = if let Some(path) = string_field(line, "input") {
+        if files == FileAccess::Denied {
+            return Err(format!(
+                "\"input\" graph files are not served over the network (got {path:?}); \
+                 use \"family\" + \"n\""
+            ));
+        }
+        let graph = match graphs.get(&path) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+                let g =
+                    Arc::new(io::parse_graph(&text).map_err(|e| format!("parsing {path}: {e}"))?);
+                graphs.insert(path.clone(), Arc::clone(&g));
+                g
+            }
+        };
+        (path, graph.n(), graph)
+    } else {
+        let family = string_field(line, "family")
+            .ok_or_else(|| "job needs \"family\" + \"n\" or \"input\"".to_string())?;
+        let n =
+            num("n")?.ok_or_else(|| format!("family {family:?} needs an \"n\" field"))? as usize;
+        let w = num("max_weight")?.map_or(64, |w| w as u64);
+        let memo = format!("{family}:{n}:{w}:{seed}");
+        let graph = match graphs.get(&memo) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(instance_by_label(&family, n, w, seed)?);
+                graphs.insert(memo, Arc::clone(&g));
+                g
+            }
+        };
+        (family, n, graph)
+    };
+    Ok(JobSpec { family, requested_n, seed, graph, req })
 }
 
 /// Renders one report row — the schema both `decss serve` output files

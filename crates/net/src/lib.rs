@@ -30,6 +30,7 @@ pub mod server;
 pub mod shard;
 pub mod signal;
 pub mod stress;
+pub mod trace;
 
 pub use client::{raw_exchange, Client, Response};
 pub use fault::{FaultClock, FaultPlan};
@@ -41,3 +42,4 @@ pub use shard::{
     rendezvous_pick, rendezvous_score, ShardConfig, ShardHandle, ShardServer, ShardSummary,
 };
 pub use stress::{chaos, ChaosReport, StressConfig};
+pub use trace::{Arrival, GenConfig, ReplayConfig, ReplayOutcome, Trace, TraceEvent, TraceHeader};

@@ -542,16 +542,34 @@ impl NetServer {
     /// How long a shed client should wait before retrying: roughly the
     /// time for the backlog to drain at the observed per-job latency.
     fn retry_hint_ms(&self) -> u64 {
-        let stats = self.service.stats();
-        let per_job_ms = stats
+        retry_hint_from(&self.service.stats())
+    }
+}
+
+/// Per-job latency assumed before any job has completed: without it a
+/// cold-start shed would quote the clamp floor no matter how deep the
+/// backlog already is.
+const COLD_START_JOB_MS: f64 = 100.0;
+
+/// The `retry_after_ms` estimate from a stats snapshot: backlog divided
+/// across workers at the observed mean per-job latency. With zero
+/// recorded latencies (cold start under a thundering herd) the estimate
+/// is seeded with [`COLD_START_JOB_MS`] so the hint still scales with
+/// queue depth instead of collapsing to the floor.
+fn retry_hint_from(stats: &decss_service::Stats) -> u64 {
+    let samples: u64 = stats.latency.iter().map(|(_, h)| h.count()).sum();
+    let per_job_ms = if samples == 0 {
+        COLD_START_JOB_MS
+    } else {
+        stats
             .latency
             .iter()
             .map(|(_, h)| h.mean_ms())
             .fold(0.0f64, f64::max)
-            .max(5.0);
-        let backlog = stats.queue_depth.max(1) as f64;
-        ((per_job_ms * backlog / stats.workers.max(1) as f64) as u64).clamp(10, 2_000)
-    }
+            .max(5.0)
+    };
+    let backlog = stats.queue_depth.max(1) as f64;
+    ((per_job_ms * backlog / stats.workers.max(1) as f64) as u64).clamp(10, 2_000)
 }
 
 impl NetHandle {
@@ -1050,4 +1068,45 @@ fn solve_batch(server: &Arc<NetServer>, req: &Request) -> Reply {
         .collect();
     let document = jobs::report_document(&server.service.stats(), &rows);
     reply(200, document.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_hint_from;
+    use decss_service::{LatencyHistogram, Stats};
+
+    #[test]
+    fn cold_start_hint_scales_with_backlog() {
+        // Zero completed jobs, but a real backlog: the hint must budget
+        // per-job time, not collapse near the clamp floor.
+        let stats = Stats { workers: 2, queue_depth: 8, ..Stats::default() };
+        assert_eq!(retry_hint_from(&stats), 400, "8 jobs / 2 workers at 100 ms each");
+        let deeper = Stats { workers: 2, queue_depth: 16, ..Stats::default() };
+        assert!(
+            retry_hint_from(&deeper) > retry_hint_from(&stats),
+            "a deeper backlog must push the hint up"
+        );
+    }
+
+    #[test]
+    fn observed_latency_overrides_the_cold_start_seed() {
+        let mut h = LatencyHistogram::new();
+        h.record(10_000); // one 10 ms job
+        let stats = Stats {
+            workers: 1,
+            queue_depth: 4,
+            completed: 1,
+            latency: vec![("improved".to_string(), h)],
+            ..Stats::default()
+        };
+        assert_eq!(retry_hint_from(&stats), 40, "4 jobs at the observed 10 ms");
+    }
+
+    #[test]
+    fn hint_stays_clamped() {
+        let idle = Stats { workers: 8, queue_depth: 0, ..Stats::default() };
+        assert!(retry_hint_from(&idle) >= 10);
+        let swamped = Stats { workers: 1, queue_depth: 100_000, ..Stats::default() };
+        assert_eq!(retry_hint_from(&swamped), 2_000);
+    }
 }

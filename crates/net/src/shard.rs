@@ -21,10 +21,11 @@ use crate::jobs::{self, FileAccess};
 use crate::server::{read_request_with, ReadOutcome};
 use decss_service::{JobKey, JobQueue, PushError};
 use decss_solver::json::escape;
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -170,6 +171,11 @@ pub struct ShardCounters {
     pub rerouted: AtomicU64,
     /// Jobs answered `503 no_backend` (no healthy backend left).
     pub no_backend: AtomicU64,
+    /// Keys answered by a different backend than last time — each one
+    /// is a warm-cache miss on the new owner (the backend-set changed
+    /// underneath the key). Tracked over the most recently seen 4096
+    /// keys (`OWNER_MAP_CAP`).
+    pub remapped_keys: AtomicU64,
     /// Requests rejected by the parser.
     pub parse_errors: AtomicU64,
     /// Connections cut off at the read deadline.
@@ -195,6 +201,8 @@ pub struct ShardSnapshot {
     pub rerouted: u64,
     /// See [`ShardCounters::no_backend`].
     pub no_backend: u64,
+    /// See [`ShardCounters::remapped_keys`].
+    pub remapped_keys: u64,
     /// See [`ShardCounters::parse_errors`].
     pub parse_errors: u64,
     /// See [`ShardCounters::timeouts`].
@@ -214,6 +222,7 @@ impl ShardCounters {
             routed: self.routed.load(Ordering::Relaxed),
             rerouted: self.rerouted.load(Ordering::Relaxed),
             no_backend: self.no_backend.load(Ordering::Relaxed),
+            remapped_keys: self.remapped_keys.load(Ordering::Relaxed),
             parse_errors: self.parse_errors.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             hangups: self.hangups.load(Ordering::Relaxed),
@@ -228,14 +237,15 @@ impl ShardSnapshot {
         format!(
             "\"accepted\": {}, \"refused_busy\": {}, \"requests\": {}, \
              \"routed\": {}, \"rerouted\": {}, \"no_backend\": {}, \
-             \"parse_errors\": {}, \"timeouts\": {}, \"hangups\": {}, \
-             \"conns_closed\": {}",
+             \"remapped_keys\": {}, \"parse_errors\": {}, \"timeouts\": {}, \
+             \"hangups\": {}, \"conns_closed\": {}",
             self.accepted,
             self.refused_busy,
             self.requests,
             self.routed,
             self.rerouted,
             self.no_backend,
+            self.remapped_keys,
             self.parse_errors,
             self.timeouts,
             self.hangups,
@@ -276,6 +286,12 @@ impl ShardSummary {
     }
 }
 
+/// How many distinct fingerprints the remap detector remembers. Beyond
+/// the cap, *new* keys stop being tracked (known keys keep updating) —
+/// the counter stays a lower bound instead of the map growing without
+/// bound.
+const OWNER_MAP_CAP: usize = 4096;
+
 /// The front-tier state shared by the accept loop, connection workers,
 /// and the probe thread.
 pub struct ShardServer {
@@ -287,6 +303,9 @@ pub struct ShardServer {
     stop_accept: AtomicBool,
     stop_probe: AtomicBool,
     counters: ShardCounters,
+    /// Last backend index that answered each fingerprint (bounded by
+    /// [`OWNER_MAP_CAP`]): the warm-cache remap detector.
+    owners: Mutex<HashMap<u64, usize>>,
 }
 
 /// The running front tier. [`drain`](ShardHandle::drain) (or drop)
@@ -336,6 +355,7 @@ impl ShardServer {
             stop_accept: AtomicBool::new(false),
             stop_probe: AtomicBool::new(false),
             counters: ShardCounters::default(),
+            owners: Mutex::new(HashMap::new()),
             addr: local,
             backends,
             config,
@@ -405,6 +425,26 @@ impl ShardServer {
         rendezvous_pick(healthy.iter().map(|(_, l)| *l), fingerprint).map(|pick| healthy[pick].0)
     }
 
+    /// Records that `fingerprint` was answered by backend `index`. When
+    /// the key was last answered by a *different* backend, the answer
+    /// cold-started on the new owner: `remapped_keys` counts the miss so
+    /// the warm-cache hole left by a backend-set change is observable in
+    /// `/stats` rather than silent.
+    fn note_owner(&self, fingerprint: u64, index: usize) {
+        let mut owners = self.owners.lock().expect("owner map lock");
+        match owners.get(&fingerprint).copied() {
+            Some(prev) if prev == index => {}
+            Some(_) => {
+                owners.insert(fingerprint, index);
+                self.counters.remapped_keys.fetch_add(1, Ordering::Relaxed);
+            }
+            None if owners.len() < OWNER_MAP_CAP => {
+                owners.insert(fingerprint, index);
+            }
+            None => {}
+        }
+    }
+
     /// Forwards `body` to the owner of `fingerprint` as a single-job
     /// `POST /solve`, failing over (and marking backends unhealthy) on
     /// transport errors and `503 draining` answers. Returns the backend
@@ -436,18 +476,31 @@ impl ShardServer {
                 // A draining backend refuses intake with 503: take it
                 // out of rotation and hand its keys to the next scorer.
                 Ok(resp) if resp.status == 503 => {
-                    backend.healthy.store(false, Ordering::SeqCst);
-                    backend.errors.fetch_add(1, Ordering::Relaxed);
+                    self.demote(backend, "503 on forward");
                 }
                 Ok(resp) => {
                     backend.routed.fetch_add(1, Ordering::Relaxed);
+                    self.note_owner(fingerprint, index);
                     return Ok((resp.status, resp.body));
                 }
                 Err(_) => {
-                    backend.healthy.store(false, Ordering::SeqCst);
-                    backend.errors.fetch_add(1, Ordering::Relaxed);
+                    self.demote(backend, "transport error");
                 }
             }
+        }
+    }
+
+    /// Marks `backend` unhealthy from the routing path, logging the
+    /// backend-set change (once per transition) together with how many
+    /// keys have been observed remapping so far.
+    fn demote(&self, backend: &BackendState, why: &str) {
+        backend.errors.fetch_add(1, Ordering::Relaxed);
+        if backend.healthy.swap(false, Ordering::SeqCst) {
+            eprintln!(
+                "decss-shard: backend {} down ({why}); {} remapped keys so far",
+                backend.label,
+                self.counters.remapped_keys.load(Ordering::Relaxed),
+            );
         }
     }
 }
@@ -526,7 +579,18 @@ fn probe_loop(server: &Arc<ShardServer>) {
                 .with_timeout(timeout)
                 .get("/ready")
                 .is_ok_and(|r| r.status == 200);
-            backend.healthy.store(up, Ordering::SeqCst);
+            let was = backend.healthy.swap(up, Ordering::SeqCst);
+            if was != up {
+                // A backend-set change: every key the old set owned
+                // elsewhere may now remap (and cold-start) — log the
+                // transition with the running remap count.
+                eprintln!(
+                    "decss-shard: probe marked backend {} {}; {} remapped keys so far",
+                    backend.label,
+                    if up { "up" } else { "down" },
+                    server.counters.remapped_keys.load(Ordering::Relaxed),
+                );
+            }
         }
         next = Instant::now() + server.config.probe_interval;
     }

@@ -163,6 +163,49 @@ fn batches_route_per_job_and_reindex_rows() {
 }
 
 #[test]
+fn failover_surfaces_remapped_keys_in_stats() {
+    let a = backend();
+    let b = backend();
+    let labels = vec![a.addr().to_string(), b.addr().to_string()];
+    let front = ShardServer::start(
+        "127.0.0.1:0",
+        &labels,
+        ShardConfig::default()
+            // Slow probe: the routing path, not the probe, must discover
+            // the drain, exactly like a mid-stream failover.
+            .probe_interval(Duration::from_secs(60))
+            .forward_timeout(Duration::from_secs(10)),
+    )
+    .expect("front tier starts");
+    let client = Client::new(front.addr()).with_client_id("remap-test");
+
+    // One job owned by backend A, served warm on A.
+    let mut seeds = 500u64;
+    let line = jobs_owned_by(&labels, 0, 1, &mut seeds).remove(0);
+    let resp = client.post("/solve", &format!("[\n{line}\n]")).expect("first solve");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let stats = client.get("/stats").expect("stats").text();
+    assert!(stats.contains("\"remapped_keys\": 0"), "no remap yet: {stats}");
+
+    // A leaves the backend set; the same key must fail over to B and be
+    // counted as a remapped (cold-started) key.
+    assert!(a.drain(Duration::ZERO).service.audit.is_ok());
+    let resp = client
+        .post("/solve", &format!("[\n{line}\n]"))
+        .expect("failover solve");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let stats = client.get("/stats").expect("stats").text();
+    assert!(
+        stats.contains("\"remapped_keys\": 1"),
+        "the failed-over key is a visible warm-cache miss: {stats}"
+    );
+
+    let summary = front.drain(Duration::ZERO);
+    assert_eq!(summary.net.remapped_keys, 1, "{summary:?}");
+    assert!(b.drain(Duration::ZERO).service.audit.is_ok());
+}
+
+#[test]
 fn a_front_tier_with_no_healthy_backend_sheds_instead_of_hanging() {
     // A backend that exists only long enough to be configured.
     let dead = backend();

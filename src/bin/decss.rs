@@ -16,6 +16,12 @@
 //!                  [--cache-cap N] [--out runs.json]
 //! decss serve      --jobs jobs.json [--workers K] [--cache-cap N] [--queue-cap N] \
 //!                  [--out reports.json] [--keep-going]
+//! decss serve      --trace trace.jsonl [--workers K] [--cache-cap N] [--queue-cap N] \
+//!                  [--pace] [--out reports.json]
+//! decss trace gen  [--seed S] [--jobs N] [--arrival poisson|bursty] [--mean-gap-ms MS] \
+//!                  [--out trace.jsonl]
+//! decss trace replay --input trace.jsonl [--target ADDR] [--workers K] [--cache-cap N] \
+//!                  [--queue-cap N] [--pace] [--out reports.json]
 //! decss serve      --listen 127.0.0.1:8080 [--workers K] [--cache-cap N] [--queue-cap N] \
 //!                  [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] \
 //!                  [--quota-rps R] [--quota-burst B] [--grace-ms MS]
@@ -46,6 +52,7 @@ use decss::congest::protocols::{bfs, boruvka, flood, leader};
 use decss::congest::{RoundEngine, SimReport};
 use decss::graphs::{algo, io, EdgeId, Graph, VertexId};
 use decss::net::jobs::{self, FileAccess};
+use decss::net::trace::{self, Arrival, GenConfig, ReplayConfig};
 use decss::net::{
     signal, stress, NetConfig, NetServer, QuotaConfig, ShardConfig, ShardServer, StressConfig,
 };
@@ -70,6 +77,9 @@ fn main() -> ExitCode {
             eprintln!("  decss simulate   --input FILE --protocol flood|bfs|leader|mst [--shards K|auto] [--root R] [--bursts B]");
             eprintln!("  decss scenario   --families F[,F...] --sizes N[,N...] [--seeds S[,S...]] [--algorithms NAME[,...]] [--epsilon E] [--max-weight W] [--bandwidth B] [--fail-edges K] [--shards K] [--workers K] [--cache-cap N] [--out FILE]");
             eprintln!("  decss serve      --jobs FILE.json [--workers K] [--cache-cap N] [--queue-cap N] [--out FILE] [--keep-going] [--restore PATH] [--snapshot PATH]");
+            eprintln!("  decss serve      --trace FILE.jsonl [--workers K] [--cache-cap N] [--queue-cap N] [--pace] [--out FILE]");
+            eprintln!("  decss trace      gen [--seed S] [--jobs N] [--arrival poisson|bursty] [--mean-gap-ms MS] [--out FILE]");
+            eprintln!("  decss trace      replay --input FILE.jsonl [--target ADDR] [--workers K] [--cache-cap N] [--queue-cap N] [--pace] [--out FILE]");
             eprintln!("  decss serve      --listen ADDR [--workers K] [--cache-cap N] [--queue-cap N] [--max-conns N] [--read-timeout-ms MS] [--write-timeout-ms MS] [--quota-rps R] [--quota-burst B] [--grace-ms MS] [--restore PATH] [--snapshot PATH] [--snapshot-interval-ms MS]");
             eprintln!("  decss shard      --listen ADDR --backends ADDR[,ADDR...] [--max-conns N] [--probe-interval-ms MS] [--forward-timeout-ms MS] [--grace-ms MS]");
             eprintln!("  decss netstress  [--seed S] [--ops N] [--threads K] [--workers K] [--queue-cap N] [--faults]");
@@ -110,10 +120,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("simulate") => simulate(&args[1..]),
         Some("scenario") => scenario(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("shard") => shard(&args[1..]),
         Some("netstress") => netstress(&args[1..]),
         _ => Err(
-            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve | shard | netstress"
+            "expected a subcommand: solve | algorithms | gen | verify | simulate | scenario | serve | trace | shard | netstress"
                 .into(),
         ),
     }
@@ -415,7 +426,11 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(listen) = flag(args, "--listen") {
         return serve_network(args, listen);
     }
-    let jobs_path = flag(args, "--jobs").ok_or("--jobs FILE.json or --listen ADDR is required")?;
+    if let Some(trace_path) = flag(args, "--trace") {
+        return serve_trace(args, trace_path);
+    }
+    let jobs_path = flag(args, "--jobs")
+        .ok_or("--jobs FILE.json, --trace FILE.jsonl, or --listen ADDR is required")?;
     let text =
         std::fs::read_to_string(jobs_path).map_err(|e| format!("reading {jobs_path}: {e}"))?;
     let specs = jobs::parse_job_specs(&text, FileAccess::Allowed)?;
@@ -494,6 +509,114 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The shared replay knobs of `decss serve --trace` and `decss trace
+/// replay`.
+fn replay_config_from_flags(args: &[String]) -> Result<ReplayConfig, String> {
+    let defaults = ReplayConfig::default();
+    Ok(ReplayConfig {
+        workers: parse_flag(args, "--workers", defaults.workers)?,
+        queue_cap: parse_flag(args, "--queue-cap", defaults.queue_cap)?,
+        cache_cap: parse_flag(args, "--cache-cap", defaults.cache_cap)?,
+        pace: args.iter().any(|a| a == "--pace"),
+    })
+}
+
+/// Consumes a trace file through a local [`SolveService`] (the `decss
+/// serve --trace FILE` mode): every event is submitted in arrival
+/// order, the report document (replay header with tail latencies,
+/// service stats, per-job rows) goes to stdout or `--out`, and the
+/// drain audit must balance. Deliberate in-trace failures (cancels,
+/// expiries, failure storms) are data rows, not process errors — the
+/// exit code is 0 unless the infrastructure itself misbehaves.
+fn serve_trace(args: &[String], trace_path: &str) -> Result<ExitCode, String> {
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let cfg = replay_config_from_flags(args)?;
+    let outcome = trace::replay(&text, FileAccess::Allowed, &cfg)?;
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &outcome.document).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("serve: wrote {} trace-job reports to {path}", outcome.jobs);
+        }
+        None => print!("{}", outcome.document),
+    }
+    if outcome.failed > 0 {
+        eprintln!(
+            "serve: {} of {} trace jobs failed by design (cancels/expiries are trace data)",
+            outcome.failed, outcome.jobs
+        );
+    }
+    outcome
+        .audit
+        .expect("local replay audits")
+        .map_err(|e| format!("service log audit failed: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `decss trace gen | replay`: generate a seeded workload trace, or
+/// replay one locally (same engine as `decss serve --trace`) or against
+/// a running server (`--target ADDR` posts each event as `POST
+/// /solve`).
+fn trace_cmd(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("gen") => {
+            let args = &args[1..];
+            let defaults = GenConfig::default();
+            let cfg = GenConfig {
+                seed: parse_flag(args, "--seed", defaults.seed)?,
+                jobs: parse_flag(args, "--jobs", defaults.jobs)?,
+                arrival: match flag(args, "--arrival") {
+                    None => defaults.arrival,
+                    Some(label) => Arrival::from_label(label)?,
+                },
+                mean_gap_ms: parse_flag(args, "--mean-gap-ms", defaults.mean_gap_ms)?,
+            };
+            if cfg.jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            let text = trace::generate(&cfg);
+            match flag(args, "--out") {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("trace: wrote {} events to {path}", cfg.jobs);
+                }
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("replay") => {
+            let args = &args[1..];
+            let input = flag(args, "--input").ok_or("--input FILE.jsonl is required")?;
+            let text =
+                std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+            let cfg = replay_config_from_flags(args)?;
+            let outcome = match flag(args, "--target") {
+                Some(target) => trace::replay_remote(&text, target, &cfg)?,
+                None => trace::replay(&text, FileAccess::Allowed, &cfg)?,
+            };
+            match flag(args, "--out") {
+                Some(path) => {
+                    std::fs::write(path, &outcome.document)
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("trace: wrote {} replay reports to {path}", outcome.jobs);
+                }
+                None => print!("{}", outcome.document),
+            }
+            if outcome.failed > 0 {
+                eprintln!(
+                    "trace: {} of {} jobs failed by design (cancels/expiries are trace data)",
+                    outcome.failed, outcome.jobs
+                );
+            }
+            if let Some(audit) = outcome.audit {
+                audit.map_err(|e| format!("service log audit failed: {e}"))?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("expected `decss trace gen` or `decss trace replay`".into()),
+    }
 }
 
 /// The network tier: bind `--listen ADDR`, serve `/healthz`, `/ready`,

@@ -347,3 +347,68 @@ fn netstress_smoke_passes_the_contract() {
     assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
     assert!(out.contains("netstress: PASS"), "{out}");
 }
+
+#[test]
+fn trace_gen_is_seed_deterministic_and_replayable() {
+    let (text_a, _, code) = decss_code(&["trace", "gen", "--seed", "21", "--jobs", "8"]);
+    assert_eq!(code, Some(0));
+    let (text_b, _, _) = decss_code(&["trace", "gen", "--seed", "21", "--jobs", "8"]);
+    assert_eq!(text_a, text_b, "same seed must emit byte-identical traces");
+    let (text_c, _, _) = decss_code(&["trace", "gen", "--seed", "22", "--jobs", "8"]);
+    assert_ne!(text_a, text_c, "different seeds must differ");
+    assert!(
+        text_a.lines().next().unwrap().contains("\"trace_version\""),
+        "{text_a}"
+    );
+    assert_eq!(text_a.lines().filter(|l| l.contains("\"algorithm\"")).count(), 8);
+
+    // Round-trip: the generated trace replays through `serve --trace`
+    // with one report row per event and exit 0 even when the trace
+    // deliberately includes cancellations or expiries.
+    let path = tempfile("trace-roundtrip.jsonl", &text_a);
+    let path = path.to_str().unwrap();
+    let (out, err, code) = decss_code(&["serve", "--trace", path, "--workers", "2"]);
+    assert_eq!(code, Some(0), "stderr: {err}");
+    assert_eq!(out.matches("\"job\":").count(), 8, "{out}");
+    assert!(out.contains("\"replay\""), "{out}");
+    assert!(out.contains("\"tail_ms\""), "{out}");
+
+    // `trace replay --input` runs the same engine.
+    let (out2, _, code) = decss_code(&["trace", "replay", "--input", path, "--workers", "2"]);
+    assert_eq!(code, Some(0));
+    let strip = |doc: &str| {
+        doc.lines()
+            .filter(|l| l.contains("\"job\""))
+            .map(|l| {
+                let mut s = l.to_string();
+                if let Some(i) = s.find("\"cache_hit\": ") {
+                    let j = i + s[i..].find(", ").unwrap() + 2;
+                    s.replace_range(i..j, "");
+                }
+                if let Some(i) = s.find(", \"wall_ms\": ") {
+                    let j = i + s[i..].find('}').unwrap();
+                    s.replace_range(i..j, "");
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip(&out),
+        strip(&out2),
+        "replay rows are deterministic across entry points"
+    );
+}
+
+#[test]
+fn trace_cmd_rejects_bad_invocations() {
+    let (_, err, code) = decss_code(&["trace"]);
+    assert_eq!(code, Some(1));
+    assert!(err.contains("trace gen"), "{err}");
+    let (_, err, code) = decss_code(&["trace", "replay"]);
+    assert_eq!(code, Some(1));
+    assert!(err.contains("--input"), "{err}");
+    let (_, err, code) = decss_code(&["trace", "gen", "--arrival", "nope"]);
+    assert_eq!(code, Some(1));
+    assert!(err.contains("arrival"), "{err}");
+}
